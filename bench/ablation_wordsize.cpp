@@ -1,0 +1,65 @@
+// Ablation A: host word size for the parallel technique. The paper's cost
+// model says the number of words per bit-field drives runtime ("if the
+// width of the bit-field expanded from 32 bits to 33, the amount of
+// simulation time could more than double"); 64-bit words halve the word
+// count of deep circuits. Built on google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "core/kernel_runner.h"
+#include "gen/iscas_profiles.h"
+#include "harness/vectors.h"
+#include "parsim/parallel_sim.h"
+
+namespace {
+
+using namespace udsim;
+
+template <class Word>
+void run_parallel(benchmark::State& state, const std::string& name) {
+  const Netlist nl = make_iscas85_like(name);
+  ParallelOptions o;
+  o.word_bits = static_cast<int>(sizeof(Word) * 8);
+  const ParallelCompiled c = compile_parallel(nl, o);
+  KernelRunner<Word> runner(c.program);
+  const std::size_t pis = nl.primary_inputs().size();
+  constexpr std::size_t kVectors = 64;
+  RandomVectorSource src(pis, 7);
+  std::vector<Bit> v(pis);
+  std::vector<Word> in(pis * kVectors);
+  for (std::size_t k = 0; k < kVectors; ++k) {
+    src.next(v);
+    for (std::size_t i = 0; i < pis; ++i) in[k * pis + i] = v[i];
+  }
+  std::size_t k = 0;
+  for (auto _ : state) {
+    runner.run(std::span<const Word>(in.data() + k * pis, pis));
+    k = (k + 1) % kVectors;
+  }
+  state.counters["field_words"] =
+      static_cast<double>(c.stats.field_words_max);
+  state.counters["ops"] = static_cast<double>(c.stats.total_ops);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void register_all() {
+  for (const IscasProfile& p : iscas85_profiles()) {
+    benchmark::RegisterBenchmark(("parallel_w32/" + p.name).c_str(),
+                                 [n = p.name](benchmark::State& s) {
+                                   run_parallel<std::uint32_t>(s, n);
+                                 });
+    benchmark::RegisterBenchmark(("parallel_w64/" + p.name).c_str(),
+                                 [n = p.name](benchmark::State& s) {
+                                   run_parallel<std::uint64_t>(s, n);
+                                 });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

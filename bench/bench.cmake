@@ -1,0 +1,40 @@
+# Benchmark harness targets. Included from the top-level CMakeLists (not
+# add_subdirectory) so that ${CMAKE_BINARY_DIR}/bench contains only the
+# bench binaries and `for b in build/bench/*; do $b; done` runs clean.
+function(udsim_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE udsim)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+udsim_bench(fig19_techniques)
+udsim_bench(fig19b_zero_delay)
+udsim_bench(fig20_trimming)
+udsim_bench(fig21_retained_shifts)
+udsim_bench(fig22_bitfield_widths)
+udsim_bench(fig23_shift_elimination)
+udsim_bench(fig24_combined)
+udsim_bench(ext_fault_parallel)
+udsim_bench(ext_multidelay)
+udsim_bench(ablation_emitted_c)
+target_link_libraries(ablation_emitted_c PRIVATE ${CMAKE_DL_LIBS})
+
+udsim_bench(ablation_wordsize)
+target_link_libraries(ablation_wordsize PRIVATE benchmark::benchmark)
+udsim_bench(ablation_dataparallel)
+target_link_libraries(ablation_dataparallel PRIVATE benchmark::benchmark)
+
+# Smoke-test every harness binary under ctest (tiny workloads).
+add_test(NAME bench_fig19_smoke COMMAND fig19_techniques --vectors 40 --trials 1 --circuits c432,c499)
+add_test(NAME bench_fig19b_smoke COMMAND fig19b_zero_delay --vectors 40 --trials 1 --circuits c432)
+add_test(NAME bench_fig20_smoke COMMAND fig20_trimming --vectors 40 --trials 1 --circuits c432,c1908)
+add_test(NAME bench_fig21_smoke COMMAND fig21_retained_shifts --circuits c432,c499)
+add_test(NAME bench_fig22_smoke COMMAND fig22_bitfield_widths --circuits c432,c499)
+add_test(NAME bench_fig23_smoke COMMAND fig23_shift_elimination --vectors 40 --trials 1 --circuits c432,c880)
+add_test(NAME bench_fig24_smoke COMMAND fig24_combined --vectors 40 --trials 1 --circuits c432,c880)
+add_test(NAME bench_fault_smoke COMMAND ext_fault_parallel --vectors 32 --trials 1 --circuits c432)
+add_test(NAME bench_multidelay_smoke COMMAND ext_multidelay --vectors 40 --trials 1)
+add_test(NAME bench_emitted_c_smoke COMMAND ablation_emitted_c --vectors 40 --trials 1 --circuits c432)
+add_test(NAME bench_wordsize_smoke COMMAND ablation_wordsize --benchmark_filter=c432 --benchmark_min_time=0.01s)
+add_test(NAME bench_dataparallel_smoke COMMAND ablation_dataparallel --benchmark_filter=c432 --benchmark_min_time=0.01s)

@@ -1,0 +1,48 @@
+// Extension experiment: throughput of the three fault-simulation
+// organizations (serial recompile-per-fault, parallel-pattern single-fault,
+// parallel-fault single-pattern) on the smaller profiles. Demonstrates the
+// bit-parallel payoff the paper's reference [12] is about.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "fault/fault_sim.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace udsim;
+  using namespace udsim::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  if (args.circuits.empty()) {
+    args.circuits = {"c432", "c499", "c880", "c1355"};
+  }
+  const std::size_t patterns = std::min<std::size_t>(args.vectors, 256);
+  std::printf("=== Extension: fault-simulation organizations (%zu random "
+              "patterns, %d trials) ===\n\n",
+              patterns, args.trials);
+
+  Table table({"circuit", "faults", "coverage%", "serial ms", "ppsfp ms",
+               "pfsp ms", "serial/ppsfp", "serial/pfsp"});
+  for (const std::string& name : args.circuits) {
+    const Netlist nl = make_iscas85_like(name, args.seed);
+    const auto faults = enumerate_faults(nl);
+    FaultSimulator<> sim(nl);
+    double cov = 0;
+    const double t_serial = median_seconds(
+        [&] { cov = run_serial_fault_sim(nl, faults, patterns, 7).coverage(); },
+        args.trials);
+    const double t_ppsfp = median_seconds(
+        [&] { (void)sim.run_ppsfp(faults, patterns, 7); }, args.trials);
+    const double t_pfsp = median_seconds(
+        [&] { (void)sim.run_pfsp(faults, patterns, 7); }, args.trials);
+    table.add_row({name, std::to_string(faults.size()), Table::num(100 * cov, 1),
+                   Table::num(1e3 * t_serial), Table::num(1e3 * t_ppsfp),
+                   Table::num(1e3 * t_pfsp), Table::num(t_serial / t_ppsfp, 1),
+                   Table::num(t_serial / t_pfsp, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\n(serial rebuilds and re-simulates one fault at a time; the "
+              "parallel organizations pack 32 patterns or 31 faulty machines "
+              "per word)\n");
+  return 0;
+}

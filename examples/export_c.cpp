@@ -1,0 +1,65 @@
+// export_c: generate the compiled-simulation C source for a circuit, the
+// artifact the paper's code generators produce. The output is a complete
+// translation unit (arena + init + step function) that can be compiled with
+// any C compiler; bench/ablation_emitted_c does exactly that and checks it
+// against the in-process executor.
+//
+// Usage: export_c [circuit] [engine] > sim.c
+//   circuit: ISCAS-85 profile name or path to a .bench file (default c432)
+//   engine:  lcc | pcset | parallel | parallel-trim | parallel-pt |
+//            parallel-cb | parallel-combined          (default parallel)
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "gen/iscas_profiles.h"
+#include "ir/c_emitter.h"
+#include "lcc/lcc.h"
+#include "netlist/bench_io.h"
+#include "parsim/parallel_sim.h"
+#include "pcsim/pcset_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace udsim;
+  const std::string which = argc > 1 ? argv[1] : "c432";
+  const std::string engine = argc > 2 ? argv[2] : "parallel";
+
+  try {
+    Netlist nl = which.find(".bench") != std::string::npos
+                     ? read_bench_file(which)
+                     : make_iscas85_like(which);
+    lower_wired_nets(nl);
+
+    Program program;
+    if (engine == "lcc") {
+      program = compile_lcc(nl).program;
+    } else if (engine == "pcset") {
+      program = compile_pcset(nl).program;
+    } else {
+      ParallelOptions o;
+      if (engine == "parallel-trim") {
+        o.trimming = true;
+      } else if (engine == "parallel-pt") {
+        o.shift_elim = ShiftElim::PathTracing;
+      } else if (engine == "parallel-cb") {
+        o.shift_elim = ShiftElim::CycleBreaking;
+      } else if (engine == "parallel-combined") {
+        o.trimming = true;
+        o.shift_elim = ShiftElim::PathTracing;
+      } else if (engine != "parallel") {
+        std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+        return 2;
+      }
+      program = compile_parallel(nl, o).program;
+    }
+    std::fprintf(stderr,
+                 "circuit %s, engine %s: %zu ops, %u arena words, %zu inputs\n",
+                 nl.name().c_str(), engine.c_str(), program.size(),
+                 program.arena_words, nl.primary_inputs().size());
+    emit_c(std::cout, program);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

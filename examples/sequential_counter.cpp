@@ -1,0 +1,66 @@
+// sequential_counter: simulate synchronous sequential circuits with the
+// unit-delay compiled engines by breaking them at the flip-flops (paper §1:
+// treat flip-flop inputs as primary outputs and outputs as primary inputs).
+// Shows a binary counter ticking and an LFSR stream, with the intra-cycle
+// unit-delay waveform of the counter's carry chain.
+#include <cstdio>
+#include <vector>
+
+#include "gen/sequential.h"
+#include "parsim/parallel_sim.h"
+
+int main() {
+  using namespace udsim;
+
+  // ---- 4-bit counter ---------------------------------------------------------
+  const Netlist seq = counter(4);
+  const BrokenCircuit bc = break_flip_flops(seq);
+  std::printf("counter(4): %zu gates; broken core has %zu inputs (%zu external"
+              " + %zu state)\n\n",
+              seq.real_gate_count(), bc.comb.primary_inputs().size(),
+              bc.comb.primary_inputs().size() - bc.regs.size(), bc.regs.size());
+
+  ParallelSim<> sim(bc.comb);
+  std::vector<Bit> state(bc.regs.size(), 0);
+  std::printf("cycle  en  q3q2q1q0   d-nets settle at depth %d\n",
+              sim.compiled().lv.depth);
+  for (int cycle = 0; cycle < 18; ++cycle) {
+    const Bit en = cycle == 12 || cycle == 13 ? 0 : 1;  // pause mid-count
+    std::vector<Bit> v{en};
+    v.insert(v.end(), state.begin(), state.end());
+    sim.step(v);
+    for (std::size_t i = 0; i < bc.regs.size(); ++i) {
+      state[i] = sim.final_value(bc.regs[i].d);
+    }
+    std::printf("%5d   %d  ", cycle, en);
+    for (std::size_t i = bc.regs.size(); i-- > 0;) std::printf("%d", state[i]);
+    std::printf("\n");
+  }
+
+  // Intra-cycle view: the top counter bit's XOR sees the rippling enable
+  // chain; print its unit-delay history for the last cycle.
+  std::printf("\nintra-cycle unit-delay history of the top d-net:\n  t: ");
+  const NetId top_d = bc.regs.back().d;
+  for (int t = 0; t <= sim.compiled().lv.depth; ++t) {
+    std::printf("%d", sim.value_at(top_d, t));
+  }
+  std::printf("   (bit t = value at time t within the cycle)\n");
+
+  // ---- 8-bit LFSR ------------------------------------------------------------
+  const Netlist lf = lfsr(8, {8, 6, 5, 4});
+  const BrokenCircuit lbc = break_flip_flops(lf);
+  ParallelSim<> lsim(lbc.comb);
+  std::vector<Bit> lstate(lbc.regs.size(), 0);
+  std::printf("\nlfsr(8, taps 8/6/5/4) output stream: ");
+  for (int cycle = 0; cycle < 32; ++cycle) {
+    std::vector<Bit> v{cycle == 0 ? Bit{1} : Bit{0}};  // seed kick
+    v.insert(v.end(), lstate.begin(), lstate.end());
+    lsim.step(v);
+    for (std::size_t i = 0; i < lbc.regs.size(); ++i) {
+      lstate[i] = lsim.final_value(lbc.regs[i].d);
+    }
+    std::printf("%d", lstate.back());
+  }
+  std::printf("\n");
+  return 0;
+}

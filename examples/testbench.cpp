@@ -1,0 +1,109 @@
+// testbench: the batch stimulus/response driver a user points at a circuit.
+// Reads a pattern file (or generates random patterns), simulates with the
+// chosen engine, and writes the response file. The stimulus format is
+// documented in src/core/pattern_io.h.
+//
+// Usage:
+//   testbench <circuit> [--engine parallel|pcset|event2|event3|lcc]
+//             [--patterns file | --random N] [--out file] [--seed S]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/pattern_io.h"
+#include "core/simulator.h"
+#include "gen/iscas_profiles.h"
+#include "harness/vectors.h"
+#include "netlist/bench_io.h"
+
+int main(int argc, char** argv) {
+  using namespace udsim;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: testbench <circuit> [--engine e] "
+                         "[--patterns file | --random N] [--out file]\n");
+    return 2;
+  }
+  std::string circuit = argv[1];
+  std::string engine = "parallel";
+  std::string pattern_path;
+  std::string out_path;
+  std::size_t random_count = 16;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&] { return std::string(argv[++i]); };
+    if (a == "--engine") {
+      engine = next();
+    } else if (a == "--patterns") {
+      pattern_path = next();
+    } else if (a == "--random") {
+      random_count = std::stoul(next());
+    } else if (a == "--out") {
+      out_path = next();
+    } else if (a == "--seed") {
+      seed = std::stoull(next());
+    }
+  }
+
+  try {
+    Netlist nl = circuit.find(".bench") != std::string::npos
+                     ? read_bench_file(circuit)
+                     : make_iscas85_like(circuit);
+    lower_wired_nets(nl);
+
+    EngineKind kind = EngineKind::Parallel;
+    if (engine == "pcset") kind = EngineKind::PCSet;
+    else if (engine == "event2") kind = EngineKind::Event2;
+    else if (engine == "event3") kind = EngineKind::Event3;
+    else if (engine == "lcc") kind = EngineKind::ZeroDelayLcc;
+    else if (engine != "parallel") {
+      std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+      return 2;
+    }
+
+    PatternSet patterns;
+    if (!pattern_path.empty()) {
+      std::ifstream f(pattern_path);
+      if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", pattern_path.c_str());
+        return 1;
+      }
+      patterns = read_patterns(f, nl);
+    } else {
+      patterns.inputs = nl.primary_inputs().size();
+      patterns.bits.resize(patterns.inputs * random_count);
+      RandomVectorSource src(patterns.inputs, seed);
+      for (std::size_t k = 0; k < random_count; ++k) {
+        src.next(std::span<Bit>(patterns.bits.data() + k * patterns.inputs,
+                                patterns.inputs));
+      }
+    }
+
+    auto sim = make_simulator(nl, kind);
+    std::vector<Bit> responses;
+    responses.reserve(patterns.count() * nl.primary_outputs().size());
+    for (std::size_t k = 0; k < patterns.count(); ++k) {
+      sim->step(patterns.row(k));
+      for (NetId po : nl.primary_outputs()) {
+        responses.push_back(sim->final_value(po));
+      }
+    }
+
+    std::ostringstream os;
+    write_responses(os, nl, responses);
+    if (out_path.empty()) {
+      std::cout << os.str();
+    } else {
+      std::ofstream f(out_path);
+      f << os.str();
+      std::printf("wrote %zu responses to %s (engine: %s)\n", patterns.count(),
+                  out_path.c_str(), std::string(engine_name(kind)).c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// timing_and_xinit: two analyses the compiled substrate makes cheap —
+// a static timing report (critical path, per-output arrival windows) and
+// X-initialization analysis of a sequential design (which registers a reset
+// sequence actually initializes).
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/timing.h"
+#include "gen/arithmetic.h"
+#include "gen/sequential.h"
+#include "lcc/lcc3.h"
+
+int main() {
+  using namespace udsim;
+
+  // ---- timing report on an 8-bit ripple-carry adder --------------------------
+  const Netlist rca = ripple_carry_adder(8);
+  const Levelization lv = levelize(rca);
+  print_timing_report(std::cout, rca, lv);
+
+  // ---- X-initialization of sequential designs --------------------------------
+  std::printf("\n=== X-initialization analysis ===\n");
+  {
+    const Netlist seq = counter(4);
+    const BrokenCircuit bc = break_flip_flops(seq);
+    const Tri en[] = {Tri::One};
+    const XInitResult r = x_initialization(bc, en, 32);
+    std::printf("counter(4), enable held high: %s after %d cycles"
+                " (%zu registers still X)\n",
+                r.fully_initialized ? "initialized" : "NOT initialized",
+                r.cycles, r.unresolved.size());
+    std::printf("  (expected: a counter without reset can never leave X —\n"
+                "   q' = q ^ carry keeps the unknown alive)\n");
+  }
+  {
+    const Netlist seq = lfsr(8, {8, 6, 5, 4});
+    const BrokenCircuit bc = break_flip_flops(seq);
+    const Tri seed_hi[] = {Tri::One};
+    const XInitResult r = x_initialization(bc, seed_hi, 32);
+    std::printf("lfsr(8), seed input held high: %s after %d cycles"
+                " (%zu registers still X)\n",
+                r.fully_initialized ? "initialized" : "NOT initialized",
+                r.cycles, r.unresolved.size());
+    std::printf("  (an LFSR shifts: X drains only if the feedback resolves;\n"
+                "   XOR with an X tap keeps it unknown)\n");
+  }
+  return 0;
+}

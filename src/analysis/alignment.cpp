@@ -1,0 +1,276 @@
+#include "analysis/alignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "analysis/network_graph.h"
+
+namespace udsim {
+
+namespace {
+constexpr int kUnassigned = std::numeric_limits<int>::max();
+}
+
+AlignmentPlan align_unoptimized(const Netlist& nl, const Levelization&) {
+  AlignmentPlan plan;
+  plan.net_align.assign(nl.net_count(), 0);
+  plan.gate_align.resize(nl.gate_count());
+  for (std::uint32_t i = 0; i < nl.gate_count(); ++i) {
+    plan.gate_align[i] = nl.delay(GateId{i});
+  }
+  return plan;
+}
+
+AlignmentPlan align_path_tracing(const Netlist& nl, const Levelization& lv) {
+  AlignmentPlan plan;
+  plan.net_align.assign(nl.net_count(), kUnassigned);
+  plan.gate_align.assign(nl.gate_count(), kUnassigned);
+
+  // Iterative version of paper Fig. 17 (net_align / gate_align mutual
+  // recursion) — an explicit stack keeps deep circuits (c6288-like) safe.
+  struct Item {
+    bool is_net;
+    std::uint32_t id;
+    int value;
+  };
+  std::vector<Item> stack;
+  const auto drain = [&] {
+    while (!stack.empty()) {
+      const Item it = stack.back();
+      stack.pop_back();
+      if (it.is_net) {
+        if (it.value < plan.net_align[it.id]) {
+          plan.net_align[it.id] = it.value;
+          for (GateId g : nl.net(NetId{it.id}).drivers) {
+            stack.push_back({false, g.value, it.value});
+          }
+        }
+      } else {
+        if (it.value < plan.gate_align[it.id]) {
+          plan.gate_align[it.id] = it.value;
+          const Gate& g = nl.gate(GateId{it.id});
+          const int d = nl.delay(GateId{it.id});
+          for (NetId in : g.inputs) {
+            stack.push_back({true, in.value, it.value - d});
+          }
+        }
+      }
+    }
+  };
+
+  for (NetId po : nl.primary_outputs()) {
+    stack.push_back({true, po.value, lv.net_minlevel[po.value]});
+    drain();
+  }
+
+  // Nets not reaching any primary output: start a fresh trace at each,
+  // deepest first, aligned to its own minlevel (same rule as a PO start).
+  std::vector<std::uint32_t> rest;
+  for (std::uint32_t i = 0; i < nl.net_count(); ++i) {
+    if (plan.net_align[i] == kUnassigned) rest.push_back(i);
+  }
+  std::sort(rest.begin(), rest.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return lv.net_level[a] > lv.net_level[b];
+  });
+  for (std::uint32_t n : rest) {
+    if (plan.net_align[n] != kUnassigned) continue;
+    stack.push_back({true, n, lv.net_minlevel[n]});
+    drain();
+  }
+  return plan;
+}
+
+AlignmentPlan align_cycle_breaking(const Netlist& nl, const Levelization& lv) {
+  const UndirectedNetworkGraph g = build_network_graph(nl);
+  const std::size_t nv = g.vertex_count();
+
+  // --- Pass 1: DFS, keep tree edges, drop back edges. -----------------------
+  std::vector<bool> visited(nv, false);
+  std::vector<bool> tree_edge(g.edges.size(), false);
+  std::vector<bool> edge_used(g.edges.size(), false);
+  std::vector<int> component(nv, -1);
+  int num_components = 0;
+
+  // Start DFS from primary-output net vertices first (the paper's alignment
+  // pass "starts at an arbitrary primary output"); remaining vertices follow.
+  std::vector<std::uint32_t> starts;
+  starts.reserve(nv);
+  for (NetId po : nl.primary_outputs()) starts.push_back(g.net_vertex(po));
+  for (std::uint32_t v = 0; v < nv; ++v) starts.push_back(v);
+
+  struct Frame {
+    std::uint32_t vertex;
+    std::size_t next = 0;  // index into adjacency list
+  };
+  std::vector<Frame> dfs;
+  for (std::uint32_t s : starts) {
+    if (visited[s]) continue;
+    const int comp = num_components++;
+    visited[s] = true;
+    component[s] = comp;
+    dfs.push_back({s, 0});
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      if (f.next >= g.adjacency[f.vertex].size()) {
+        dfs.pop_back();
+        continue;
+      }
+      const std::uint32_t e = g.adjacency[f.vertex][f.next++];
+      if (edge_used[e]) continue;
+      edge_used[e] = true;
+      const std::uint32_t w = g.other(e, f.vertex);
+      if (visited[w]) {
+        // Back edge: "the most recently traversed edge is removed".
+        continue;
+      }
+      tree_edge[e] = true;
+      visited[w] = true;
+      component[w] = comp;
+      dfs.push_back({w, 0});
+    }
+  }
+
+  // --- Pass 2: propagate alignments over the spanning forest. ---------------
+  AlignmentPlan plan;
+  plan.net_align.assign(nl.net_count(), kUnassigned);
+  plan.gate_align.assign(nl.gate_count(), kUnassigned);
+
+  const auto align_of = [&](std::uint32_t v) -> int& {
+    return g.is_net_vertex(v)
+               ? plan.net_align[v]
+               : plan.gate_align[v - static_cast<std::uint32_t>(g.num_nets)];
+  };
+
+  std::vector<std::uint32_t> bfs;
+  for (std::uint32_t s : starts) {
+    if (align_of(s) != kUnassigned) continue;
+    // Seed value: a net starts at its minlevel; a gate start (possible only
+    // in gate-only pathological components) at its own minlevel.
+    if (g.is_net_vertex(s)) {
+      align_of(s) = lv.net_minlevel[s];
+    } else {
+      align_of(s) = lv.gate_minlevel[s - g.num_nets];
+    }
+    bfs.clear();
+    bfs.push_back(s);
+    while (!bfs.empty()) {
+      const std::uint32_t v = bfs.back();
+      bfs.pop_back();
+      const int a = align_of(v);
+      for (std::uint32_t e : g.adjacency[v]) {
+        if (!tree_edge[e]) continue;
+        const std::uint32_t w = g.other(e, v);
+        if (align_of(w) != kUnassigned) continue;
+        const int d = nl.delay(GateId{g.edges[e].gate});
+        int aw;
+        if (g.is_net_vertex(v)) {
+          // net -> gate: gates driving the net get the net's alignment,
+          // gates reading it get alignment + delay.
+          aw = g.edges[e].is_input ? a + d : a;
+        } else {
+          // gate -> net: inputs get alignment - delay, outputs the same.
+          aw = g.edges[e].is_input ? a - d : a;
+        }
+        align_of(w) = aw;
+        bfs.push_back(w);
+      }
+    }
+  }
+
+  // --- Pass 3: per-component constant correction so the plan is legal. ------
+  std::vector<int> correction(static_cast<std::size_t>(num_components), 0);
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const int comp = component[g.net_vertex(NetId{n})];
+    correction[comp] = std::max(correction[comp],
+                                plan.net_align[n] - lv.net_minlevel[n]);
+  }
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& gate = nl.gate(GateId{gi});
+    const int comp = component[g.gate_vertex(GateId{gi})];
+    // Left input shifts need alignment(in) < minlevel(in) strictly.
+    for (NetId in : gate.inputs) {
+      if (plan.input_shift(nl, GateId{gi}, in) < 0) {
+        correction[comp] = std::max(
+            correction[comp], plan.net_align[in.value] - (lv.net_minlevel[in.value] - 1));
+      }
+    }
+    // Left output shifts need gate_align <= minlevel(out).
+    if (plan.output_shift(nl, GateId{gi}) < 0) {
+      const NetId out = gate.output;
+      correction[comp] = std::max(correction[comp],
+                                  plan.gate_align[gi] - lv.net_minlevel[out.value]);
+    }
+  }
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    plan.net_align[n] -= correction[component[g.net_vertex(NetId{n})]];
+  }
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    plan.gate_align[gi] -= correction[component[g.gate_vertex(GateId{gi})]];
+  }
+  return plan;
+}
+
+void check_alignment_plan(const Netlist& nl, const Levelization& lv,
+                          const AlignmentPlan& plan) {
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (plan.net_align[n] > lv.net_minlevel[n]) {
+      throw NetlistError("alignment of net '" + nl.net(NetId{n}).name +
+                         "' exceeds its minlevel");
+    }
+  }
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& gate = nl.gate(GateId{gi});
+    for (NetId in : gate.inputs) {
+      if (plan.input_shift(nl, GateId{gi}, in) < 0 &&
+          plan.net_align[in.value] >= lv.net_minlevel[in.value]) {
+        throw NetlistError("left input shift from net '" + nl.net(in).name +
+                           "' whose alignment is not below its minlevel");
+      }
+    }
+    if (plan.output_shift(nl, GateId{gi}) < 0) {
+      const NetId out = gate.output;
+      if (plan.gate_align[gi] > lv.net_minlevel[out.value]) {
+        throw NetlistError("left output shift onto net '" + nl.net(out).name +
+                           "' would need values older than the previous vector");
+      }
+    }
+  }
+}
+
+AlignmentStats alignment_stats(const Netlist& nl, const Levelization& lv,
+                               const AlignmentPlan& plan, int word_bits) {
+  AlignmentStats st;
+  long long width_sum = 0;
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const int w = plan.width_bits(lv, NetId{n});
+    st.max_width_bits = std::max(st.max_width_bits, w);
+    width_sum += w;
+    const int words = (w + word_bits - 1) / word_bits;
+    st.max_width_words = std::max(st.max_width_words, words);
+    st.total_width_words += words;
+  }
+  st.avg_width_bits = nl.net_count()
+                          ? static_cast<double>(width_sum) / static_cast<double>(nl.net_count())
+                          : 0.0;
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& gate = nl.gate(GateId{gi});
+    std::unordered_set<std::uint32_t> seen;
+    for (NetId in : gate.inputs) {
+      if (!seen.insert(in.value).second) continue;  // duplicate pin, one shift
+      const int s = plan.input_shift(nl, GateId{gi}, in);
+      if (s != 0) {
+        ++st.retained_shift_sites;
+        if (s < 0) ++st.left_shift_sites;
+      }
+    }
+    const int s = plan.output_shift(nl, GateId{gi});
+    if (s != 0) {
+      ++st.retained_shift_sites;
+      if (s < 0) ++st.left_shift_sites;
+    }
+  }
+  return st;
+}
+
+}  // namespace udsim

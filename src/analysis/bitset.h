@@ -1,0 +1,136 @@
+// Small dynamic bitset tuned for PC-set manipulation: unions, "union of a
+// shifted set" (the +delay increment of the paper's PC-set algorithm), and
+// ordered iteration.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace udsim {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t bits) : bits_(bits), words_((bits + 63) / 64) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) {
+    assert(i < bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    if (i >= bits_) return false;
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (std::uint64_t w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// this |= other (sizes must match).
+  void or_with(const DynBitset& other) {
+    assert(bits_ == other.bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// this |= (other << shift): the PC-set increment. Bits shifted beyond
+  /// size() would be a caller bug (sets are sized depth+1); asserted.
+  void or_with_shifted(const DynBitset& other, std::size_t shift) {
+    assert(bits_ == other.bits_);
+    if (shift == 0) {
+      or_with(other);
+      return;
+    }
+    const std::size_t word_shift = shift >> 6;
+    const std::size_t bit_shift = shift & 63;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+      if (i < word_shift) break;
+      std::uint64_t v = other.words_[i - word_shift] << bit_shift;
+      if (bit_shift != 0 && i > word_shift) {
+        v |= other.words_[i - word_shift - 1] >> (64 - bit_shift);
+      }
+      words_[i] |= v;
+    }
+#ifndef NDEBUG
+    // No information may be lost off the top.
+    for (std::size_t b = bits_ > shift ? bits_ - shift : 0; b < other.bits_; ++b) {
+      assert(!other.test(b) && "PC-set increment overflowed the set size");
+    }
+#endif
+  }
+
+  /// Smallest set bit, or -1 when empty.
+  [[nodiscard]] int min_bit() const noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i]) return static_cast<int>(i * 64 + static_cast<std::size_t>(std::countr_zero(words_[i])));
+    }
+    return -1;
+  }
+
+  /// Largest set bit, or -1 when empty.
+  [[nodiscard]] int max_bit() const noexcept {
+    for (std::size_t i = words_.size(); i-- > 0;) {
+      if (words_[i]) {
+        return static_cast<int>(i * 64 + 63 - static_cast<std::size_t>(std::countl_zero(words_[i])));
+      }
+    }
+    return -1;
+  }
+
+  /// Largest set bit strictly below `limit`, or -1. This is the paper's
+  /// operand-selection rule ("the largest element that is strictly smaller
+  /// than the PC-element for which code is being generated").
+  [[nodiscard]] int max_bit_below(std::size_t limit) const noexcept {
+    if (limit == 0 || words_.empty()) return -1;
+    std::size_t i = (limit - 1) >> 6;
+    if (i >= words_.size()) i = words_.size() - 1;
+    std::uint64_t w = words_[i];
+    const std::size_t top = (limit - 1) & 63;
+    if (i == (limit - 1) >> 6 && top != 63) {
+      w &= (std::uint64_t{1} << (top + 1)) - 1;
+    }
+    while (true) {
+      if (w) {
+        return static_cast<int>(i * 64 + 63 - static_cast<std::size_t>(std::countl_zero(w)));
+      }
+      if (i == 0) return -1;
+      w = words_[--i];
+    }
+  }
+
+  /// Ordered list of set bits.
+  [[nodiscard]] std::vector<int> to_vector() const {
+    std::vector<int> out;
+    out.reserve(count());
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w) {
+        const int b = std::countr_zero(w);
+        out.push_back(static_cast<int>(i * 64) + b);
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  friend bool operator==(const DynBitset&, const DynBitset&) = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace udsim

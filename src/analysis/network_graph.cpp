@@ -1,0 +1,88 @@
+#include "analysis/network_graph.h"
+
+namespace udsim {
+
+UndirectedNetworkGraph build_network_graph(const Netlist& nl) {
+  UndirectedNetworkGraph g;
+  g.num_nets = nl.net_count();
+  g.num_gates = nl.gate_count();
+  g.adjacency.resize(g.vertex_count());
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& gate = nl.gate(GateId{gi});
+    for (NetId in : gate.inputs) {
+      const auto e = static_cast<std::uint32_t>(g.edges.size());
+      g.edges.push_back({gi, in.value, true});
+      g.adjacency[g.net_vertex(in)].push_back(e);
+      g.adjacency[g.gate_vertex(GateId{gi})].push_back(e);
+    }
+    const auto e = static_cast<std::uint32_t>(g.edges.size());
+    g.edges.push_back({gi, gate.output.value, false});
+    g.adjacency[g.net_vertex(gate.output)].push_back(e);
+    g.adjacency[g.gate_vertex(GateId{gi})].push_back(e);
+  }
+  return g;
+}
+
+std::size_t fundamental_cycle_count(const UndirectedNetworkGraph& g) {
+  // F = E - V + C.
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::size_t components = 0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t v0 = 0; v0 < g.vertex_count(); ++v0) {
+    if (seen[v0]) continue;
+    ++components;
+    stack.push_back(v0);
+    seen[v0] = true;
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      for (std::uint32_t e : g.adjacency[v]) {
+        const std::uint32_t w = g.other(e, v);
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return g.edges.size() + components - g.vertex_count();
+}
+
+int cycle_weight(const Netlist& nl, const UndirectedNetworkGraph& g,
+                 std::span<const std::uint32_t> edge_cycle) {
+  // Walk the closed edge sequence, tracking the current vertex. Whenever two
+  // consecutive edges meet at a gate vertex, score the N-G-M step.
+  if (edge_cycle.size() < 2) return 0;
+  // Determine the starting vertex: the endpoint of edge 0 NOT shared with
+  // edge 1 (so the walk proceeds edge0 -> shared vertex -> edge1 ...).
+  const auto endpoints = [&](std::uint32_t e) {
+    const auto& ed = g.edges[e];
+    return std::pair<std::uint32_t, std::uint32_t>{
+        g.net_vertex(NetId{ed.net}), g.gate_vertex(GateId{ed.gate})};
+  };
+  auto [a0, b0] = endpoints(edge_cycle[0]);
+  auto [a1, b1] = endpoints(edge_cycle[1]);
+  std::uint32_t cur = (a0 == a1 || a0 == b1) ? b0 : a0;
+
+  int weight = 0;
+  for (std::size_t i = 0; i < edge_cycle.size(); ++i) {
+    const std::uint32_t e_in = edge_cycle[i];
+    const std::uint32_t mid = g.other(e_in, cur);
+    const std::uint32_t e_out = edge_cycle[(i + 1) % edge_cycle.size()];
+    if (!g.is_net_vertex(mid)) {
+      // N -(e_in)- G -(e_out)- M.
+      const bool in_is_input = g.edges[e_in].is_input;
+      const bool out_is_input = g.edges[e_out].is_input;
+      const int d = nl.delay(GateId{g.edges[e_in].gate});
+      if (in_is_input && !out_is_input) {
+        weight += d;  // entered on an input, left on the output
+      } else if (!in_is_input && out_is_input) {
+        weight -= d;
+      }
+    }
+    cur = mid;
+  }
+  return weight;
+}
+
+}  // namespace udsim

@@ -1,0 +1,61 @@
+// The undirected network graph of paper §4 (Figs. 13-16).
+//
+// One vertex per gate and per net; one undirected edge per gate *pin*
+// (input pins and the output pin). Cycles in this graph are what force a
+// simulation to retain shift operations; a cycle prevents the alignment
+// conditions 1-4 from being enforced iff its weight (paper's ±1 rule,
+// generalized to ±delay) is non-zero.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct UndirectedNetworkGraph {
+  struct Edge {
+    std::uint32_t gate = 0;
+    std::uint32_t net = 0;
+    bool is_input = false;  ///< true: net is an input of gate; false: output
+  };
+
+  std::size_t num_nets = 0;
+  std::size_t num_gates = 0;
+  std::vector<Edge> edges;
+  /// adjacency[v] lists edge indices; vertices 0..num_nets-1 are nets,
+  /// num_nets..num_nets+num_gates-1 are gates.
+  std::vector<std::vector<std::uint32_t>> adjacency;
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept { return num_nets + num_gates; }
+  [[nodiscard]] std::uint32_t net_vertex(NetId n) const noexcept { return n.value; }
+  [[nodiscard]] std::uint32_t gate_vertex(GateId g) const noexcept {
+    return static_cast<std::uint32_t>(num_nets) + g.value;
+  }
+  [[nodiscard]] bool is_net_vertex(std::uint32_t v) const noexcept { return v < num_nets; }
+
+  /// The other endpoint of edge e relative to v.
+  [[nodiscard]] std::uint32_t other(std::uint32_t e, std::uint32_t v) const noexcept {
+    const Edge& ed = edges[e];
+    const std::uint32_t gv = static_cast<std::uint32_t>(num_nets) + ed.gate;
+    return v == gv ? ed.net : gv;
+  }
+};
+
+[[nodiscard]] UndirectedNetworkGraph build_network_graph(const Netlist& nl);
+
+/// Number of fundamental cycles: F = E - V + C (paper: edges that must be
+/// removed per connected component is E - V + 1).
+[[nodiscard]] std::size_t fundamental_cycle_count(const UndirectedNetworkGraph& g);
+
+/// Weight of a simple cycle given as a closed edge sequence
+/// (edges[i] connects vertex i to vertex i+1, last edge closes the loop).
+/// Implements the paper's rule: traversing N→G→M adds +delay(G) when N is an
+/// input and M the output, -delay(G) in the opposite direction, 0 otherwise.
+/// The sign depends on traversal direction; the magnitude does not.
+[[nodiscard]] int cycle_weight(const Netlist& nl, const UndirectedNetworkGraph& g,
+                               std::span<const std::uint32_t> edge_cycle);
+
+}  // namespace udsim

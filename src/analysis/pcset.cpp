@@ -1,0 +1,103 @@
+#include "analysis/pcset.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace udsim {
+
+std::size_t PCSets::total_net_pc_size() const {
+  std::size_t n = 0;
+  for (const DynBitset& s : net_pc) n += s.count();
+  return n;
+}
+
+std::size_t PCSets::max_net_pc_size() const {
+  std::size_t n = 0;
+  for (const DynBitset& s : net_pc) n = std::max(n, s.count());
+  return n;
+}
+
+PCSets compute_pc_sets(const Netlist& nl, const Levelization& lv) {
+  PCSets pc;
+  pc.depth = lv.depth;
+  const std::size_t bits = static_cast<std::size_t>(lv.depth) + 1;
+  pc.net_pc.assign(nl.net_count(), DynBitset(bits));
+  pc.gate_pc.assign(nl.gate_count(), DynBitset(bits));
+
+  // Same dependency order as levelize(); reuse it via topological gate order
+  // would hide the per-net union, so walk nets/gates with the counting
+  // worklist inline (paper §2 steps 1-6).
+  std::vector<std::uint32_t> net_count(nl.net_count()), gate_count(nl.gate_count());
+  std::vector<std::uint32_t> queue;
+  const auto num_nets = static_cast<std::uint32_t>(nl.net_count());
+  for (std::uint32_t i = 0; i < num_nets; ++i) {
+    net_count[i] = static_cast<std::uint32_t>(nl.net(NetId{i}).drivers.size());
+    if (net_count[i] == 0) queue.push_back(i);
+  }
+  for (std::uint32_t i = 0; i < nl.gate_count(); ++i) {
+    gate_count[i] = static_cast<std::uint32_t>(nl.gate(GateId{i}).inputs.size());
+    if (gate_count[i] == 0) queue.push_back(num_nets + i);
+  }
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const std::uint32_t item = queue.back();
+    queue.pop_back();
+    ++processed;
+    if (item < num_nets) {
+      const NetId n{item};
+      DynBitset& u = pc.net_pc[item];
+      for (GateId g : nl.net(n).drivers) u.or_with(pc.gate_pc[g.value]);
+      if (!u.any()) u.set(0);  // step 4b: primary inputs / constants -> {0}
+      for (GateId g : nl.net(n).fanout) {
+        if (--gate_count[g.value] == 0) queue.push_back(num_nets + g.value);
+      }
+    } else {
+      const GateId g{item - num_nets};
+      const Gate& gate = nl.gate(g);
+      DynBitset& u = pc.gate_pc[g.value];
+      const auto shift = static_cast<std::size_t>(nl.delay(g));
+      for (NetId in : gate.inputs) u.or_with_shifted(pc.net_pc[in.value], shift);
+      const NetId out = gate.output;
+      if (--net_count[out.value] == 0) queue.push_back(out.value);
+    }
+  }
+  if (processed != nl.net_count() + nl.gate_count()) {
+    throw NetlistError("PC-set worklist stalled: netlist has a cycle");
+  }
+  return pc;
+}
+
+namespace {
+
+// Zero-insert for one (pseudo-)gate: any input whose minlevel exceeds the
+// gate's minimum input minlevel must retain its previous-vector value.
+void insert_for_pins(std::span<const NetId> pins, const Levelization& lv,
+                     PCSets& pc, std::vector<bool>& zeroed) {
+  if (pins.empty()) return;
+  int lo = std::numeric_limits<int>::max();
+  for (NetId in : pins) lo = std::min(lo, lv.net_minlevel[in.value]);
+  for (NetId in : pins) {
+    if (lv.net_minlevel[in.value] > lo && !pc.net_pc[in.value].test(0)) {
+      pc.net_pc[in.value].set(0);
+      zeroed[in.value] = true;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NetId> insert_zeros(const Netlist& nl, const Levelization& lv,
+                                std::span<const NetId> monitored, PCSets& pc) {
+  std::vector<bool> zeroed(nl.net_count(), false);
+  for (const Gate& g : nl.gates()) {
+    insert_for_pins(g.inputs, lv, pc, zeroed);
+  }
+  insert_for_pins(monitored, lv, pc, zeroed);
+  std::vector<NetId> out;
+  for (std::uint32_t i = 0; i < nl.net_count(); ++i) {
+    if (zeroed[i]) out.push_back(NetId{i});
+  }
+  return out;
+}
+
+}  // namespace udsim

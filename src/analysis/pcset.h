@@ -1,0 +1,46 @@
+// PC-sets: the set of Potential Change times of every net (paper §2).
+//
+// Lemma 1 of the paper: a net may change at time t iff there is an
+// input→net path of length t. PC-sets are computed with the counting
+// worklist algorithm; a gate's PC-set is the union of its inputs' sets
+// incremented by the gate delay, a net's is the union of its drivers'.
+//
+// Zero insertion: when a gate's inputs have differing minlevels, each input
+// whose minlevel is not minimal must retain its previous-vector value, which
+// the PC-set method represents by adding element 0 to that net's PC-set
+// (paper Figs. 2-3). The same rule applies to the monitored-net "PRINT gate".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/bitset.h"
+#include "analysis/levelize.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct PCSets {
+  std::vector<DynBitset> net_pc;   ///< indexed by NetId
+  std::vector<DynBitset> gate_pc;  ///< indexed by GateId
+  int depth = 0;                   ///< sets are sized depth+1 bits
+
+  [[nodiscard]] const DynBitset& of(NetId n) const { return net_pc.at(n.value); }
+  [[nodiscard]] const DynBitset& of(GateId g) const { return gate_pc.at(g.value); }
+
+  /// Sum over nets of |PC-set|: the number of variables (and roughly the
+  /// number of gate simulations) the PC-set method generates.
+  [[nodiscard]] std::size_t total_net_pc_size() const;
+  [[nodiscard]] std::size_t max_net_pc_size() const;
+};
+
+/// Compute raw PC-sets (no zero insertion).
+[[nodiscard]] PCSets compute_pc_sets(const Netlist& nl, const Levelization& lv);
+
+/// Apply zero insertion for every gate in `nl` and for one PRINT pseudo-gate
+/// whose inputs are `monitored`. Mutates `pc.net_pc`; returns the nets that
+/// received a zero.
+std::vector<NetId> insert_zeros(const Netlist& nl, const Levelization& lv,
+                                std::span<const NetId> monitored, PCSets& pc);
+
+}  // namespace udsim

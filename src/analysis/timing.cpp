@@ -1,0 +1,99 @@
+#include "analysis/timing.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace udsim {
+
+namespace {
+
+/// Walk back from `sink` choosing, at each net, a driver gate and input pin
+/// that witness the net's level (or minlevel).
+TimingPath trace(const Netlist& nl, const Levelization& lv, NetId sink, bool longest) {
+  TimingPath path;
+  NetId cur = sink;
+  path.nets.push_back(cur);
+  while (true) {
+    const Net& net = nl.net(cur);
+    if (net.drivers.empty()) break;  // primary input / constant source
+    const int want = longest ? lv.net_level[cur.value] : lv.net_minlevel[cur.value];
+    GateId chosen{};
+    NetId via{};
+    for (GateId g : net.drivers) {
+      const int gl = longest ? lv.gate_level[g.value] : lv.gate_minlevel[g.value];
+      if (gl != want) continue;
+      const Gate& gate = nl.gate(g);
+      if (gate.inputs.empty()) break;  // constant generator: path ends here
+      const int d = nl.delay(g);
+      for (NetId in : gate.inputs) {
+        const int il = longest ? lv.net_level[in.value] : lv.net_minlevel[in.value];
+        if (il + d == want) {
+          // Deterministic tie-break: lowest gate id wins.
+          if (!chosen.valid() || g.value < chosen.value) {
+            chosen = g;
+            via = in;
+          }
+          break;  // first matching pin of this gate
+        }
+      }
+    }
+    if (!chosen.valid()) break;  // constant source
+    path.gates.push_back(chosen);
+    path.delay += nl.delay(chosen);
+    cur = via;
+    path.nets.push_back(cur);
+  }
+  std::reverse(path.nets.begin(), path.nets.end());
+  std::reverse(path.gates.begin(), path.gates.end());
+  return path;
+}
+
+}  // namespace
+
+TimingPath critical_path(const Netlist& nl, const Levelization& lv, NetId sink) {
+  return trace(nl, lv, sink, /*longest=*/true);
+}
+
+TimingPath shortest_path(const Netlist& nl, const Levelization& lv, NetId sink) {
+  return trace(nl, lv, sink, /*longest=*/false);
+}
+
+std::vector<OutputTiming> output_timing(const Netlist& nl, const Levelization& lv) {
+  std::vector<OutputTiming> out;
+  out.reserve(nl.primary_outputs().size());
+  for (NetId po : nl.primary_outputs()) {
+    out.push_back({po, lv.net_minlevel[po.value], lv.net_level[po.value]});
+  }
+  return out;
+}
+
+void print_timing_report(std::ostream& os, const Netlist& nl, const Levelization& lv) {
+  os << "timing report for '" << nl.name() << "': depth " << lv.depth
+     << " (levels " << lv.depth + 1 << ")\n";
+  // Global critical path: the deepest primary output (deepest net overall is
+  // always observable because sinks are outputs in well-formed circuits).
+  NetId worst{};
+  for (NetId po : nl.primary_outputs()) {
+    if (!worst.valid() || lv.net_level[po.value] > lv.net_level[worst.value]) {
+      worst = po;
+    }
+  }
+  if (worst.valid()) {
+    const TimingPath cp = critical_path(nl, lv, worst);
+    os << "critical path to " << nl.net(worst).name << " (delay " << cp.delay
+       << "):\n";
+    for (std::size_t i = 0; i < cp.gates.size(); ++i) {
+      os << "  " << nl.net(cp.nets[i]).name << " -> "
+         << gate_type_name(nl.gate(cp.gates[i]).type) << "(d="
+         << nl.delay(cp.gates[i]) << ") -> " << nl.net(cp.nets[i + 1]).name
+         << "\n";
+    }
+  }
+  os << "output arrival windows [earliest, latest]:\n";
+  for (const OutputTiming& ot : output_timing(nl, lv)) {
+    os << "  " << nl.net(ot.output).name << " [" << ot.earliest << ", "
+       << ot.latest << "]\n";
+  }
+}
+
+}  // namespace udsim

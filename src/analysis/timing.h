@@ -1,0 +1,45 @@
+// Static timing queries on the levelized netlist: critical paths, per-output
+// arrival windows, and slack-style reporting. The level/minlevel machinery
+// already computes longest/shortest path delays (paper §1-2); this module
+// adds path *reconstruction* — which gates form the critical path — the way
+// a designer would consume it.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "analysis/levelize.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct TimingPath {
+  std::vector<NetId> nets;    ///< input ... output, in propagation order
+  std::vector<GateId> gates;  ///< gates between consecutive nets
+  int delay = 0;              ///< sum of gate delays along the path
+};
+
+struct OutputTiming {
+  NetId output;
+  int earliest = 0;  ///< minlevel: first time the output may change
+  int latest = 0;    ///< level: time by which it has settled
+};
+
+/// Longest-delay (critical) path ending at `sink`; ties broken by lowest
+/// gate id so the result is deterministic.
+[[nodiscard]] TimingPath critical_path(const Netlist& nl, const Levelization& lv,
+                                       NetId sink);
+
+/// Shortest-delay path ending at `sink` (the minlevel witness).
+[[nodiscard]] TimingPath shortest_path(const Netlist& nl, const Levelization& lv,
+                                       NetId sink);
+
+/// Arrival window of every primary output.
+[[nodiscard]] std::vector<OutputTiming> output_timing(const Netlist& nl,
+                                                      const Levelization& lv);
+
+/// Human-readable report: circuit depth, the global critical path gate by
+/// gate, and the per-output windows.
+void print_timing_report(std::ostream& os, const Netlist& nl, const Levelization& lv);
+
+}  // namespace udsim

@@ -1,0 +1,90 @@
+#include "analysis/trimming.h"
+
+#include <algorithm>
+
+namespace udsim {
+
+namespace {
+
+[[nodiscard]] std::size_t words_for(int width_bits, int word_bits) {
+  return static_cast<std::size_t>((width_bits + word_bits - 1) / word_bits);
+}
+
+}  // namespace
+
+std::vector<int> field_widths(const Netlist& nl, const Levelization& lv,
+                              const AlignmentPlan& plan, bool uniform) {
+  std::vector<int> widths(nl.net_count());
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    widths[n] = uniform ? lv.depth + 1 - plan.net_align[n]
+                        : plan.width_bits(lv, NetId{n});
+    widths[n] = std::max(widths[n], 1);
+  }
+  return widths;
+}
+
+TrimPlan compute_trim_plan(const Netlist& nl, const Levelization& lv,
+                           const PCSets& pc, const AlignmentPlan& plan,
+                           std::span<const int> widths, int word_bits) {
+  TrimPlan tp;
+  tp.word_bits = word_bits;
+  tp.net_words.resize(nl.net_count());
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const int align = plan.net_align[n];
+    const int minlevel = lv.net_minlevel[n];
+    const std::size_t words = words_for(widths[n], word_bits);
+    auto& cls = tp.net_words[n];
+    cls.resize(words, WordClass::Computed);
+    if (nl.net(NetId{n}).is_primary_input) {
+      // PI fields are written in full by the input-load phase; trimming does
+      // not apply.
+      tp.computed_words += words;
+      continue;
+    }
+    const DynBitset& set = pc.net_pc[n];
+    for (std::size_t w = 0; w < words; ++w) {
+      const int lo_time = align + static_cast<int>(w) * word_bits;
+      const int hi_time = lo_time + word_bits - 1;
+      if (hi_time < minlevel) {
+        cls[w] = WordClass::StableLow;
+        ++tp.stable_words;
+        continue;
+      }
+      bool has_rep = false;
+      for (int t = std::max(lo_time, 0); t <= hi_time; ++t) {
+        if (set.test(static_cast<std::size_t>(t))) {
+          has_rep = true;
+          break;
+        }
+      }
+      if (has_rep) {
+        ++tp.computed_words;
+      } else {
+        cls[w] = WordClass::Gap;
+        ++tp.gap_words;
+      }
+    }
+    // Word 0 must never be a gap (the broadcast source is word w-1); the
+    // minlevel representative guarantees this for legal alignments.
+    if (!cls.empty() && cls[0] == WordClass::Gap) {
+      cls[0] = WordClass::Computed;
+      --tp.gap_words;
+      ++tp.computed_words;
+    }
+  }
+  return tp;
+}
+
+TrimPlan full_trim_plan(const Netlist& nl, std::span<const int> widths, int word_bits) {
+  TrimPlan tp;
+  tp.word_bits = word_bits;
+  tp.net_words.resize(nl.net_count());
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const std::size_t words = words_for(widths[n], word_bits);
+    tp.net_words[n].assign(words, WordClass::Computed);
+    tp.computed_words += words;
+  }
+  return tp;
+}
+
+}  // namespace udsim

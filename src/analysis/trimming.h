@@ -1,0 +1,57 @@
+// Bit-field trimming analysis (paper §4, Fig. 9).
+//
+// Each element of a net's PC-set marks a *representative* bit position in
+// its bit-field. Whole words can then be skipped:
+//  - StableLow: every time in the word is below the net's minlevel — the
+//    word holds the previous vector's final value in every bit and is filled
+//    once at initialization;
+//  - Gap: no representative — the word equals the high-order bit of the
+//    preceding word, broadcast after that word is computed;
+//  - Computed: everything else (participates in gate simulation and shift).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/alignment.h"
+#include "analysis/levelize.h"
+#include "analysis/pcset.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+enum class WordClass : std::uint8_t { Computed, StableLow, Gap };
+
+struct TrimPlan {
+  int word_bits = 32;
+  /// Per net, per word of its field. All-Computed when trimming is off.
+  std::vector<std::vector<WordClass>> net_words;
+
+  std::size_t computed_words = 0;
+  std::size_t stable_words = 0;
+  std::size_t gap_words = 0;
+
+  [[nodiscard]] WordClass word_class(NetId n, std::size_t w) const {
+    return net_words[n.value][w];
+  }
+};
+
+/// Field width in bits of every net. The unoptimized technique gives every
+/// net a uniform depth+1-bit field (paper §3: "an n-bit field for each
+/// net"); the shift-eliminating variants size per net with the paper's
+/// formula level - alignment + 1.
+[[nodiscard]] std::vector<int> field_widths(const Netlist& nl, const Levelization& lv,
+                                            const AlignmentPlan& plan, bool uniform);
+
+/// Classify every word of every net field. `pc` must be the *raw* PC-sets
+/// (no zero insertion): representatives are genuine potential-change times.
+[[nodiscard]] TrimPlan compute_trim_plan(const Netlist& nl, const Levelization& lv,
+                                         const PCSets& pc, const AlignmentPlan& plan,
+                                         std::span<const int> widths, int word_bits);
+
+/// The no-trimming plan: every word of every net is Computed.
+[[nodiscard]] TrimPlan full_trim_plan(const Netlist& nl, std::span<const int> widths,
+                                      int word_bits);
+
+}  // namespace udsim

@@ -1,0 +1,45 @@
+// Combinational equivalence checking between two netlists, matching ports
+// by name: exhaustive for small input counts, packed-random otherwise.
+// Used to validate netlist transforms and regenerated circuits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct EquivalenceOptions {
+  /// Exhaustive when the common input count is at most this; otherwise
+  /// `random_vectors` packed-random vectors are used (so the result is a
+  /// strong randomized check, not a proof).
+  unsigned exhaustive_limit = 16;
+  std::size_t random_vectors = 4096;
+  std::uint64_t seed = 1;
+};
+
+struct Counterexample {
+  std::vector<Bit> inputs;      ///< in `a`'s primary-input order
+  std::string output;           ///< name of the differing output
+  Bit value_a = 0;
+  Bit value_b = 0;
+};
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  bool exhaustive = false;      ///< true: a proof; false: randomized only
+  std::size_t vectors_checked = 0;
+  std::optional<Counterexample> counterexample;
+  std::string error;            ///< non-empty when the interfaces mismatch
+};
+
+/// Compare the settled (zero-delay) behaviour of every same-named primary
+/// output, driving same-named primary inputs identically. Fails with
+/// `error` set if the input/output name sets differ.
+[[nodiscard]] EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                                  const EquivalenceOptions& opts = {});
+
+}  // namespace udsim

@@ -1,0 +1,48 @@
+// Owns the persistent word arena of a compiled program and runs vectors
+// through it. Shared by every compiled engine (LCC, PC-set, parallel).
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "ir/executor.h"
+#include "ir/program.h"
+#include "netlist/logic.h"
+
+namespace udsim {
+
+template <class Word>
+class KernelRunner {
+ public:
+  explicit KernelRunner(const Program& program) : program_(program) {
+    if (program.word_bits != static_cast<int>(sizeof(Word) * 8)) {
+      throw std::invalid_argument("KernelRunner: word size mismatch with program");
+    }
+    arena_.assign(program.arena_words, 0);
+    initialize_arena<Word>(program, std::span<Word>(arena_));
+  }
+
+  /// Simulate one vector: `in` is one word per primary input (bit 0 in
+  /// scalar mode, one lane per bit in packed mode).
+  void run(std::span<const Word> in) { execute<Word>(program_, in, arena_); }
+
+  [[nodiscard]] Word word(std::uint32_t idx) const { return arena_.at(idx); }
+  [[nodiscard]] Bit bit(std::uint32_t idx, unsigned bit_pos) const {
+    return static_cast<Bit>((arena_.at(idx) >> bit_pos) & 1u);
+  }
+  [[nodiscard]] std::span<const Word> arena() const noexcept { return arena_; }
+  [[nodiscard]] const Program& program() const noexcept { return program_; }
+
+  /// Clear state back to the post-construction arena.
+  void reset() {
+    arena_.assign(program_.arena_words, 0);
+    initialize_arena<Word>(program_, std::span<Word>(arena_));
+  }
+
+ private:
+  const Program& program_;
+  std::vector<Word> arena_;
+};
+
+}  // namespace udsim

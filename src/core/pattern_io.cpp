@@ -1,0 +1,103 @@
+#include "core/pattern_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace udsim {
+
+PatternSet read_patterns(std::istream& in, const Netlist& nl) {
+  PatternSet ps;
+  ps.inputs = nl.primary_inputs().size();
+  // column -> primary-input position; identity unless a header reorders.
+  std::vector<std::size_t> col_to_pi(ps.inputs);
+  for (std::size_t i = 0; i < ps.inputs; ++i) col_to_pi[i] = i;
+
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank
+    if (first == "inputs") {
+      if (saw_header || ps.count() != 0) {
+        throw PatternParseError("line " + std::to_string(lineno) +
+                                ": header must precede all vectors");
+      }
+      saw_header = true;
+      std::vector<std::size_t> order;
+      std::string name;
+      while (ls >> name) {
+        const auto net = nl.find_net(name);
+        if (!net || !nl.net(*net).is_primary_input) {
+          throw PatternParseError("line " + std::to_string(lineno) +
+                                  ": unknown input '" + name + "'");
+        }
+        const auto& pis = nl.primary_inputs();
+        for (std::size_t i = 0; i < pis.size(); ++i) {
+          if (pis[i] == *net) order.push_back(i);
+        }
+      }
+      if (order.size() != ps.inputs) {
+        throw PatternParseError("line " + std::to_string(lineno) +
+                                ": header must name every primary input once");
+      }
+      col_to_pi = std::move(order);
+      continue;
+    }
+    // A vector row.
+    if (first.size() != ps.inputs) {
+      throw PatternParseError("line " + std::to_string(lineno) + ": expected " +
+                              std::to_string(ps.inputs) + " bits, got " +
+                              std::to_string(first.size()));
+    }
+    std::string extra;
+    if (ls >> extra) {
+      throw PatternParseError("line " + std::to_string(lineno) +
+                              ": trailing tokens after the vector");
+    }
+    const std::size_t base = ps.bits.size();
+    ps.bits.resize(base + ps.inputs);
+    for (std::size_t c = 0; c < ps.inputs; ++c) {
+      const char ch = first[c];
+      if (ch != '0' && ch != '1') {
+        throw PatternParseError("line " + std::to_string(lineno) +
+                                ": bits must be 0 or 1");
+      }
+      ps.bits[base + col_to_pi[c]] = static_cast<Bit>(ch - '0');
+    }
+  }
+  return ps;
+}
+
+void write_patterns(std::ostream& out, const Netlist& nl, const PatternSet& patterns) {
+  out << "inputs";
+  for (NetId pi : nl.primary_inputs()) out << ' ' << nl.net(pi).name;
+  out << '\n';
+  for (std::size_t k = 0; k < patterns.count(); ++k) {
+    const auto row = patterns.row(k);
+    for (Bit b : row) out << static_cast<char>('0' + (b & 1));
+    out << '\n';
+  }
+}
+
+void write_responses(std::ostream& out, const Netlist& nl,
+                     std::span<const Bit> responses) {
+  const std::size_t width = nl.primary_outputs().size();
+  out << "outputs";
+  for (NetId po : nl.primary_outputs()) out << ' ' << nl.net(po).name;
+  out << '\n';
+  for (std::size_t k = 0; width && k + width <= responses.size(); k += width) {
+    for (std::size_t o = 0; o < width; ++o) {
+      out << static_cast<char>('0' + (responses[k + o] & 1));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace udsim

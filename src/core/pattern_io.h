@@ -1,0 +1,51 @@
+// Text pattern files: the simple stimulus/response format a downstream user
+// drives the simulators with.
+//
+//   # comment
+//   inputs a b cin          (optional header; must match the netlist)
+//   0101
+//   1100
+//
+// One line per vector, one character ('0'/'1') per primary input in header
+// order (or the netlist's primary-input order when no header is given).
+// Responses are written in the same style with an `outputs ...` header.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+class PatternParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PatternSet {
+  std::size_t inputs = 0;
+  std::vector<Bit> bits;  ///< row-major, `inputs` per row
+
+  [[nodiscard]] std::size_t count() const { return inputs ? bits.size() / inputs : 0; }
+  [[nodiscard]] std::span<const Bit> row(std::size_t k) const {
+    return {bits.data() + k * inputs, inputs};
+  }
+};
+
+/// Parse a pattern stream for `nl`. A header line `inputs n1 n2 ...`
+/// reorders columns to the netlist's primary-input order; without one the
+/// columns are taken positionally. Throws PatternParseError on bad input.
+[[nodiscard]] PatternSet read_patterns(std::istream& in, const Netlist& nl);
+
+/// Write patterns with an `inputs` header naming nl's primary inputs.
+void write_patterns(std::ostream& out, const Netlist& nl, const PatternSet& patterns);
+
+/// Write response rows (one Bit per primary output per vector, row-major)
+/// with an `outputs` header.
+void write_responses(std::ostream& out, const Netlist& nl,
+                     std::span<const Bit> responses);
+
+}  // namespace udsim

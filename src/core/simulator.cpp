@@ -1,0 +1,107 @@
+#include "core/simulator.h"
+
+#include "eventsim/event_sim.h"
+#include "lcc/lcc.h"
+#include "parsim/parallel_sim.h"
+#include "pcsim/pcset_sim.h"
+
+namespace udsim {
+
+std::string_view engine_name(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::Event2:
+      return "event-driven 2-value";
+    case EngineKind::Event3:
+      return "event-driven 3-value";
+    case EngineKind::PCSet:
+      return "PC-set method";
+    case EngineKind::Parallel:
+      return "parallel technique";
+    case EngineKind::ParallelTrimmed:
+      return "parallel + trimming";
+    case EngineKind::ParallelPathTracing:
+      return "parallel + path tracing";
+    case EngineKind::ParallelCycleBreaking:
+      return "parallel + cycle breaking";
+    case EngineKind::ParallelCombined:
+      return "parallel + path tracing + trimming";
+    case EngineKind::ZeroDelayLcc:
+      return "zero-delay LCC";
+  }
+  return "?";
+}
+
+namespace {
+
+template <class Engine>
+class EngineAdapter final : public Simulator {
+ public:
+  template <class... Args>
+  EngineAdapter(EngineKind kind, const Netlist& nl, Args&&... args)
+      : kind_(kind), engine_(nl, std::forward<Args>(args)...) {}
+
+  void step(std::span<const Bit> pi_values) override { engine_.step(pi_values); }
+  [[nodiscard]] EngineKind kind() const noexcept override { return kind_; }
+  [[nodiscard]] Bit final_value(NetId n) const override {
+    return value_of(engine_, n);
+  }
+
+ private:
+  static Bit value_of(const EventSim2& e, NetId n) { return e.value(n); }
+  static Bit value_of(const EventSim3& e, NetId n) {
+    return e.value(n) == Tri::One ? 1 : 0;
+  }
+  static Bit value_of(const PCSetSim<>& e, NetId n) { return e.final_value(n); }
+  static Bit value_of(const ParallelSim<>& e, NetId n) { return e.final_value(n); }
+  static Bit value_of(const LccSim<>& e, NetId n) { return e.value(n); }
+
+  EngineKind kind_;
+  Engine engine_;
+};
+
+ParallelOptions parallel_options(EngineKind kind) {
+  ParallelOptions o;
+  switch (kind) {
+    case EngineKind::ParallelTrimmed:
+      o.trimming = true;
+      break;
+    case EngineKind::ParallelPathTracing:
+      o.shift_elim = ShiftElim::PathTracing;
+      break;
+    case EngineKind::ParallelCycleBreaking:
+      o.shift_elim = ShiftElim::CycleBreaking;
+      break;
+    case EngineKind::ParallelCombined:
+      o.trimming = true;
+      o.shift_elim = ShiftElim::PathTracing;
+      break;
+    default:
+      break;
+  }
+  return o;
+}
+
+}  // namespace
+
+std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind) {
+  switch (kind) {
+    case EngineKind::Event2:
+      return std::make_unique<EngineAdapter<EventSim2>>(kind, nl);
+    case EngineKind::Event3:
+      return std::make_unique<EngineAdapter<EventSim3>>(kind, nl);
+    case EngineKind::PCSet:
+      return std::make_unique<EngineAdapter<PCSetSim<>>>(kind, nl);
+    case EngineKind::ZeroDelayLcc:
+      return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl);
+    case EngineKind::Parallel:
+    case EngineKind::ParallelTrimmed:
+    case EngineKind::ParallelPathTracing:
+    case EngineKind::ParallelCycleBreaking:
+    case EngineKind::ParallelCombined:
+      return std::make_unique<EngineAdapter<ParallelSim<>>>(kind, nl,
+                                                            parallel_options(kind));
+  }
+  throw NetlistError("make_simulator: unknown engine kind");
+}
+
+}  // namespace udsim

@@ -1,0 +1,53 @@
+// Unified simulator facade: one interface over every engine in the library,
+// used by the examples and the cross-engine equivalence tests.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+enum class EngineKind {
+  Event2,               ///< interpreted event-driven, 2-valued (Fig. 19 col 2)
+  Event3,               ///< interpreted event-driven, 3-valued (Fig. 19 col 1)
+  PCSet,                ///< PC-set method (Fig. 19 col 3)
+  Parallel,             ///< parallel technique, unoptimized (Fig. 19 col 4)
+  ParallelTrimmed,      ///< + bit-field trimming (Fig. 20)
+  ParallelPathTracing,  ///< + path-tracing shift elimination (Fig. 23)
+  ParallelCycleBreaking,///< + cycle-breaking shift elimination (Fig. 23)
+  ParallelCombined,     ///< path tracing + trimming (Fig. 24)
+  ZeroDelayLcc,         ///< zero-delay compiled simulation (context exp.)
+};
+
+[[nodiscard]] std::string_view engine_name(EngineKind k) noexcept;
+
+/// Minimal common surface: feed vectors, read settled values.
+/// (Waveform-level access is engine-specific; use the engine classes
+/// directly — ParallelSim::value_at, PCSetSim::value_at, OracleSim::step.)
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Simulate one input vector (one Bit per primary input).
+  virtual void step(std::span<const Bit> pi_values) = 0;
+
+  /// Settled value of a net after the last vector.
+  [[nodiscard]] virtual Bit final_value(NetId n) const = 0;
+
+  [[nodiscard]] virtual EngineKind kind() const noexcept = 0;
+
+ protected:
+  Simulator() = default;
+};
+
+/// Construct an engine over `nl` (which must already have wired nets
+/// lowered; see lower_wired_nets).
+[[nodiscard]] std::unique_ptr<Simulator> make_simulator(const Netlist& nl,
+                                                        EngineKind kind);
+
+}  // namespace udsim

@@ -1,0 +1,66 @@
+#include "core/vcd.h"
+
+#include <ostream>
+
+namespace udsim {
+
+namespace {
+
+/// Compact VCD identifier: base-94 over the printable range '!'..'~'.
+std::string vcd_id(std::size_t k) {
+  std::string s;
+  do {
+    s.push_back(static_cast<char>('!' + k % 94));
+    k /= 94;
+  } while (k);
+  return s;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& os, const Netlist& nl, std::span<const NetId> nets)
+    : os_(os) {
+  if (nets.empty()) {
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) nets_.push_back(NetId{n});
+  } else {
+    nets_.assign(nets.begin(), nets.end());
+  }
+  ids_.reserve(nets_.size());
+  last_.assign(nets_.size(), -1);
+
+  os_ << "$timescale 1ns $end\n$scope module " << (nl.name().empty() ? "top" : nl.name())
+      << " $end\n";
+  for (std::size_t k = 0; k < nets_.size(); ++k) {
+    ids_.push_back(vcd_id(k));
+    // VCD identifiers forbid whitespace in names; netlist names are safe.
+    os_ << "$var wire 1 " << ids_[k] << " " << nl.net(nets_[k]).name << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::add_vector(const Waveform& wf) {
+  for (int t = 0; t <= wf.depth(); ++t) {
+    bool stamped = false;
+    for (std::size_t k = 0; k < nets_.size(); ++k) {
+      const int v = wf.at(nets_[k], t);
+      if (v == last_[k]) continue;
+      if (!stamped) {
+        os_ << '#' << (time_ + static_cast<std::uint64_t>(t)) << '\n';
+        stamped = true;
+      }
+      os_ << v << ids_[k] << '\n';
+      last_[k] = v;
+    }
+  }
+  time_ += static_cast<std::uint64_t>(wf.depth()) + 1;
+}
+
+void VcdWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  os_ << '#' << time_ << '\n';
+}
+
+VcdWriter::~VcdWriter() { finish(); }
+
+}  // namespace udsim

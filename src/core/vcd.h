@@ -1,0 +1,46 @@
+// Minimal IEEE-1364 VCD (value change dump) writer so unit-delay waveforms
+// can be inspected in standard viewers (GTKWave etc.). Time is measured in
+// gate delays; each simulated input vector advances the dump by depth+1
+// ticks so successive vectors butt against each other on the time axis.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/waveform.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+class VcdWriter {
+ public:
+  /// Dump changes of `nets` (empty = all nets) of `nl`.
+  VcdWriter(std::ostream& os, const Netlist& nl, std::span<const NetId> nets = {});
+
+  /// Append one vector's waveform. Values are emitted only when they change
+  /// (including against the previous vector's final value).
+  void add_vector(const Waveform& wf);
+
+  /// Emit the final timestamp. Called automatically by the destructor.
+  void finish();
+
+  ~VcdWriter();
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  [[nodiscard]] std::uint64_t current_time() const noexcept { return time_; }
+
+ private:
+  [[nodiscard]] const std::string& id_of(std::size_t k) const { return ids_[k]; }
+
+  std::ostream& os_;
+  std::vector<NetId> nets_;
+  std::vector<std::string> ids_;   ///< VCD identifier codes
+  std::vector<int> last_;          ///< last emitted value, -1 = none
+  std::uint64_t time_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace udsim

@@ -1,0 +1,62 @@
+// Unit-delay waveforms: the value of every net at every time 0..depth for
+// one input vector. This is the ground truth all engines are tested against.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(std::size_t nets, int depth)
+      : times_(static_cast<std::size_t>(depth) + 1),
+        values_(nets * times_, 0) {}
+
+  [[nodiscard]] int depth() const noexcept { return static_cast<int>(times_) - 1; }
+  [[nodiscard]] std::size_t net_count() const noexcept {
+    return times_ ? values_.size() / times_ : 0;
+  }
+
+  [[nodiscard]] Bit at(NetId n, int t) const {
+    assert(t >= 0 && static_cast<std::size_t>(t) < times_);
+    return values_[n.value * times_ + static_cast<std::size_t>(t)];
+  }
+
+  void set(NetId n, int t, Bit v) {
+    assert(t >= 0 && static_cast<std::size_t>(t) < times_);
+    values_[n.value * times_ + static_cast<std::size_t>(t)] = v;
+  }
+
+  /// Final (settled) value of the net for this vector.
+  [[nodiscard]] Bit final_value(NetId n) const { return at(n, depth()); }
+
+  /// Times t >= 1 at which the net's value differs from time t-1
+  /// (the *actual* change times; always a subset of the PC-set — Lemma 1).
+  [[nodiscard]] std::vector<int> change_times(NetId n) const {
+    std::vector<int> out;
+    for (int t = 1; t <= depth(); ++t) {
+      if (at(n, t) != at(n, t - 1)) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// Number of value changes after the first settle, i.e. whether the net
+  /// glitched: more than one change means a hazard occurred on this vector.
+  [[nodiscard]] std::size_t transition_count(NetId n) const {
+    return change_times(n).size();
+  }
+
+  friend bool operator==(const Waveform&, const Waveform&) = default;
+
+ private:
+  std::size_t times_ = 0;
+  std::vector<Bit> values_;
+};
+
+}  // namespace udsim

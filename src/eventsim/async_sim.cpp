@@ -1,0 +1,143 @@
+#include "eventsim/async_sim.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gen/rng.h"
+
+namespace udsim {
+
+AsyncEventSim::AsyncEventSim(const Netlist& nl) : nl_(nl) {
+  lower_wired_nets(nl_);
+  nl_.validate_structure();
+  values_.assign(nl_.net_count(), 0);
+  ring_size_ = static_cast<std::size_t>(std::max(nl_.max_delay(), 1)) + 1;
+  ring_time_.assign(nl_.net_count() * ring_size_, -1);
+  ring_value_.assign(nl_.net_count() * ring_size_, 0);
+  last_target_time_.assign(nl_.net_count(), -1);
+  last_target_value_.assign(nl_.net_count(), 0);
+  wheel_.resize(ring_size_ + 1);
+  Rng rng(0x5eedu);
+  zobrist_.resize(nl_.net_count());
+  for (std::uint64_t& z : zobrist_) z = rng.next();
+  for (const Gate& g : nl_.gates()) {
+    if (g.type == GateType::Const1) values_[g.output.value] = 1;
+  }
+}
+
+void AsyncEventSim::reset(Bit v) {
+  for (Bit& x : values_) x = v & 1;
+  for (const Gate& g : nl_.gates()) {
+    if (g.type == GateType::Const0) values_[g.output.value] = 0;
+    if (g.type == GateType::Const1) values_[g.output.value] = 1;
+  }
+  first_step_ = true;
+}
+
+void AsyncEventSim::schedule(NetId net, Bit v, std::int64_t target, std::int64_t now) {
+  const std::uint32_t n = net.value;
+  const std::size_t rs = ring_slot(n, target);
+  if (ring_time_[rs] == target) {
+    ring_value_[rs] = v;
+    last_target_value_[n] = v;
+    return;
+  }
+  const Bit projected =
+      last_target_time_[n] > now ? last_target_value_[n] : values_[n];
+  if (v == projected) return;
+  ring_time_[rs] = target;
+  ring_value_[rs] = v;
+  last_target_time_[n] = target;
+  last_target_value_[n] = v;
+  wheel_[static_cast<std::size_t>(target % static_cast<std::int64_t>(wheel_.size()))]
+      .push_back(n);
+  ++pending_;
+}
+
+AsyncStepResult AsyncEventSim::step(std::span<const Bit> pi_values, int max_time) {
+  if (pi_values.size() != nl_.primary_inputs().size()) {
+    throw NetlistError("AsyncEventSim::step: wrong primary-input count");
+  }
+  AsyncStepResult result;
+  const std::int64_t base = base_time_;
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    schedule(nl_.primary_inputs()[i], pi_values[i] & 1, base, base - 1);
+  }
+  bool force_all = first_step_;
+  first_step_ = false;
+
+  std::vector<std::uint32_t> changed;
+  std::vector<std::uint32_t> eval_list;
+  std::vector<Bit> pins;
+  std::int64_t t = base;
+  std::int64_t last_event = base;
+  // Period detection: first repeat of the value-state signature while
+  // events remain pending.
+  std::unordered_map<std::uint64_t, std::int64_t> seen;
+  while ((pending_ || (t == base && force_all)) && t - base <= max_time) {
+    auto& slot =
+        wheel_[static_cast<std::size_t>(t % static_cast<std::int64_t>(wheel_.size()))];
+    while (!slot.empty() || (t == base && force_all)) {
+      changed.clear();
+      for (std::uint32_t n : slot) {
+        const std::size_t rs = ring_slot(n, t);
+        if (ring_time_[rs] != t) continue;  // defensive: stale entry
+        ring_time_[rs] = -1;
+        --pending_;
+        if (ring_value_[rs] == values_[n]) continue;
+        values_[n] = ring_value_[rs];
+        state_hash_ ^= zobrist_[n];
+        ++result.events;
+        last_event = t;
+        changed.push_back(n);
+      }
+      slot.clear();
+      eval_list.clear();
+      if (t == base && force_all) {
+        force_all = false;
+        for (std::uint32_t gi = 0; gi < nl_.gate_count(); ++gi) {
+          eval_list.push_back(gi);
+        }
+      } else {
+        for (std::uint32_t n : changed) {
+          for (GateId g : nl_.net(NetId{n}).fanout) {
+            eval_list.push_back(g.value);
+          }
+        }
+      }
+      for (std::uint32_t gi : eval_list) {
+        const Gate& g = nl_.gate(GateId{gi});
+        if (is_constant(g.type)) continue;
+        pins.clear();
+        for (NetId in : g.inputs) pins.push_back(values_[in.value]);
+        schedule(g.output, eval2(g.type, pins), t + nl_.delay(GateId{gi}), t);
+      }
+    }
+    if (pending_ && result.period == 0) {
+      const auto [it, inserted] = seen.try_emplace(state_hash_, t);
+      if (!inserted) result.period = static_cast<int>(t - it->second);
+    }
+    ++t;
+  }
+  if (pending_) {
+    result.oscillating = true;
+    // Drain the wheel so the next vector starts clean; values_ keeps the
+    // state at the bound.
+    for (auto& slot : wheel_) {
+      for (std::uint32_t n : slot) {
+        const auto span_begin = ring_time_.begin() + static_cast<std::ptrdiff_t>(
+                                                         n * ring_size_);
+        std::fill(span_begin, span_begin + static_cast<std::ptrdiff_t>(ring_size_), -1);
+      }
+      slot.clear();
+    }
+    pending_ = 0;
+  } else {
+    result.settled = true;
+    result.settle_time = static_cast<int>(last_event - base);
+  }
+  base_time_ = t + static_cast<std::int64_t>(wheel_.size());
+  return result;
+}
+
+}  // namespace udsim

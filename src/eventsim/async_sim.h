@@ -1,0 +1,65 @@
+// Asynchronous-circuit event-driven simulation: the paper's conclusion
+// names "extending these techniques to asynchronous sequential circuits" as
+// work in progress. Compiled straight-line code needs acyclic networks, but
+// event-driven simulation does not — this engine accepts combinational
+// cycles (latches built from cross-coupled gates, ring oscillators) and
+// runs each input vector to quiescence, with a time bound to catch
+// oscillation / metastability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct AsyncStepResult {
+  bool settled = false;      ///< reached quiescence within the bound
+  int settle_time = 0;       ///< time of the last applied event (if settled)
+  bool oscillating = false;  ///< events still pending at the bound
+  std::uint64_t events = 0;  ///< changes applied during this vector
+  /// Detected oscillation period in gate delays (0 = none detected): the
+  /// spacing of the first repeated value-state signature while events were
+  /// still pending. Heuristic (signature-based), exact for pure limit
+  /// cycles like ring oscillators and latch races.
+  int period = 0;
+};
+
+class AsyncEventSim {
+ public:
+  /// Takes a private lowered copy; cycles are allowed (validate_structure
+  /// only). Per-gate delays honoured; zero-delay resolvers run in waves.
+  explicit AsyncEventSim(const Netlist& nl);
+
+  /// Apply one input vector and simulate until quiescence or `max_time`.
+  AsyncStepResult step(std::span<const Bit> pi_values, int max_time = 4096);
+
+  [[nodiscard]] Bit value(NetId n) const { return values_.at(n.value); }
+
+  /// Force every gate to evaluate on the next step (used after reset()).
+  void reset(Bit v = 0);
+
+ private:
+  void schedule(NetId net, Bit value, std::int64_t target, std::int64_t now);
+  [[nodiscard]] std::size_t ring_slot(std::uint32_t net, std::int64_t t) const {
+    return net * ring_size_ +
+           static_cast<std::size_t>(t % static_cast<std::int64_t>(ring_size_));
+  }
+
+  Netlist nl_;
+  std::vector<Bit> values_;
+  std::vector<std::uint64_t> zobrist_;  ///< per-net random; XORed on toggle
+  std::uint64_t state_hash_ = 0;
+  std::size_t ring_size_ = 2;
+  std::vector<std::int64_t> ring_time_;
+  std::vector<Bit> ring_value_;
+  std::vector<std::int64_t> last_target_time_;
+  std::vector<Bit> last_target_value_;
+  std::vector<std::vector<std::uint32_t>> wheel_;  ///< ring of ring_size_+1 slots
+  std::size_t pending_ = 0;
+  std::int64_t base_time_ = 0;
+  bool first_step_ = true;
+};
+
+}  // namespace udsim

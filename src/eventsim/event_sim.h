@@ -1,0 +1,217 @@
+// Interpreted event-driven unit-delay simulation: the baseline the paper
+// compares against (Fig. 19, first two columns), in both a two-valued and a
+// three-valued logic model.
+//
+// Classic time-wheel organization: one event list per gate-delay slot;
+// applying the changes at time t triggers evaluation of the fanout gates,
+// whose output changes are scheduled at t + delay. Zero-delay wired
+// resolvers are processed in delta waves inside the same slot.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/levelize.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+/// One recorded value change (for equivalence checking against the oracle).
+template <class Value>
+struct ChangeRecord {
+  NetId net;
+  int time;
+  Value value;
+};
+
+struct EventSimStats {
+  std::uint64_t events = 0;      ///< net value changes applied
+  std::uint64_t gate_evals = 0;  ///< gate function evaluations
+  std::uint64_t vectors = 0;
+};
+
+namespace detail {
+
+struct TwoValuedTraits {
+  using Value = Bit;
+  static Value from_bit(Bit b) noexcept { return b & 1; }
+  static Value initial() noexcept { return 0; }
+  static Value eval(GateType t, std::span<const Value> pins) noexcept {
+    return eval2(t, pins);
+  }
+};
+
+struct ThreeValuedTraits {
+  using Value = Tri;
+  static Value from_bit(Bit b) noexcept { return (b & 1) ? Tri::One : Tri::Zero; }
+  static Value initial() noexcept { return Tri::X; }
+  static Value eval(GateType t, std::span<const Value> pins) noexcept {
+    return eval3(t, pins);
+  }
+};
+
+template <class Traits>
+class EventSimT {
+ public:
+  using Value = typename Traits::Value;
+
+  /// Takes a private lowered copy of `nl` (wired nets become zero-delay
+  /// resolver gates; original NetIds stay valid).
+  explicit EventSimT(const Netlist& nl) : nl_(nl) {
+    lower_wired_nets(nl_);
+    nl_.validate();
+    lv_ = levelize(nl_);
+    values_.assign(nl_.net_count(), Traits::initial());
+    // Transport-delay scheduling: a net whose driver has delay d can have up
+    // to d outstanding events (targets within (now, now+d]), so pending
+    // events live in a per-net ring of d_max+1 slots, keyed by a globally
+    // monotonic time that never repeats across vectors.
+    ring_size_ = static_cast<std::size_t>(std::max(nl_.max_delay(), 1)) + 1;
+    ring_time_.assign(nl_.net_count() * ring_size_, -1);
+    ring_value_.assign(nl_.net_count() * ring_size_, Traits::initial());
+    last_target_time_.assign(nl_.net_count(), -1);
+    last_target_value_.assign(nl_.net_count(), Traits::initial());
+    wheel_.resize(static_cast<std::size_t>(lv_.depth) + ring_size_ + 1);
+    // Constant nets never see events; pin their values up front.
+    for (const Gate& g : nl_.gates()) {
+      if (g.type == GateType::Const0) values_[g.output.value] = Traits::from_bit(0);
+      if (g.type == GateType::Const1) values_[g.output.value] = Traits::from_bit(1);
+    }
+  }
+
+  /// Simulate one input vector. Records changes when `record` is true.
+  void step(std::span<const Bit> pi_values, bool record = false) {
+    if (pi_values.size() != nl_.primary_inputs().size()) {
+      throw std::invalid_argument("EventSim::step: wrong primary-input count");
+    }
+    changes_.clear();
+    ++stats_.vectors;
+    const std::int64_t base = base_time_;
+    for (std::size_t i = 0; i < pi_values.size(); ++i) {
+      schedule(nl_.primary_inputs()[i], Traits::from_bit(pi_values[i]), base, base - 1);
+    }
+    // The construction/reset state may be inconsistent (a two-valued model
+    // has no X); evaluate every gate once on the first step so the circuit
+    // settles regardless of which inputs happened to change.
+    bool force_all = first_step_;
+    first_step_ = false;
+    std::vector<std::uint32_t> changed;
+    std::vector<std::uint32_t> eval_list;
+    std::vector<Value> pins;
+    const auto horizon = base + lv_.depth + static_cast<std::int64_t>(ring_size_);
+    for (std::int64_t t = base; t <= horizon; ++t) {
+      auto& slot = wheel_[static_cast<std::size_t>(t % static_cast<std::int64_t>(wheel_.size()))];
+      while (!slot.empty() || (t == base && force_all)) {
+        changed.clear();
+        for (std::uint32_t n : slot) {
+          const std::size_t rs = ring_slot(n, t);
+          assert(ring_time_[rs] == t && "pending event ring corrupted");
+          ring_time_[rs] = -1;
+          if (ring_value_[rs] == values_[n]) continue;  // cancelled
+          values_[n] = ring_value_[rs];
+          ++stats_.events;
+          changed.push_back(n);
+          if (record) changes_.push_back({NetId{n}, static_cast<int>(t - base), values_[n]});
+        }
+        slot.clear();
+        // Conventional interpreted simulation evaluates the fanout gate once
+        // per *pin* carrying a change (no cross-event dedup) — the cost
+        // structure the paper's baseline column embodies.
+        eval_list.clear();
+        if (t == base && force_all) {
+          force_all = false;
+          for (std::uint32_t gi = 0; gi < nl_.gate_count(); ++gi) {
+            eval_list.push_back(gi);
+          }
+        } else {
+          for (std::uint32_t n : changed) {
+            for (GateId g : nl_.net(NetId{n}).fanout) {
+              eval_list.push_back(g.value);
+            }
+          }
+        }
+        for (std::uint32_t gi : eval_list) {
+          const Gate& g = nl_.gate(GateId{gi});
+          pins.clear();
+          for (NetId in : g.inputs) pins.push_back(values_[in.value]);
+          ++stats_.gate_evals;
+          schedule(g.output, Traits::eval(g.type, pins), t + nl_.delay(GateId{gi}), t);
+        }
+      }
+    }
+    base_time_ += lv_.depth + static_cast<std::int64_t>(ring_size_) + 1;
+  }
+
+  [[nodiscard]] Value value(NetId n) const { return values_.at(n.value); }
+  [[nodiscard]] const std::vector<ChangeRecord<Value>>& last_changes() const noexcept {
+    return changes_;
+  }
+  [[nodiscard]] const EventSimStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] int depth() const noexcept { return lv_.depth; }
+
+  void reset(Value v) {
+    for (Value& x : values_) x = v;
+    for (const Gate& g : nl_.gates()) {
+      if (g.type == GateType::Const0) values_[g.output.value] = Traits::from_bit(0);
+      if (g.type == GateType::Const1) values_[g.output.value] = Traits::from_bit(1);
+    }
+    first_step_ = true;
+  }
+
+ private:
+  [[nodiscard]] std::size_t ring_slot(std::uint32_t net, std::int64_t t) const {
+    return net * ring_size_ +
+           static_cast<std::size_t>(t % static_cast<std::int64_t>(ring_size_));
+  }
+
+  /// Transport-delay scheduling. `now` is the time of the evaluation that
+  /// produced this event; a net's driver has a fixed delay, so new targets
+  /// never precede outstanding ones, and the newest pending value is the
+  /// correct basis for cancellation.
+  void schedule(NetId net, Value v, std::int64_t target, std::int64_t now) {
+    const std::uint32_t n = net.value;
+    const std::size_t rs = ring_slot(n, target);
+    if (ring_time_[rs] == target) {
+      // A later wave of the same step re-targets the same event.
+      ring_value_[rs] = v;
+      last_target_value_[n] = v;
+      return;
+    }
+    const Value projected =
+        last_target_time_[n] > now ? last_target_value_[n] : values_[n];
+    if (v == projected) return;  // no change relative to what will be current
+    ring_time_[rs] = target;
+    ring_value_[rs] = v;
+    last_target_time_[n] = target;
+    last_target_value_[n] = v;
+    wheel_[static_cast<std::size_t>(target % static_cast<std::int64_t>(wheel_.size()))]
+        .push_back(n);
+  }
+
+  Netlist nl_;  ///< lowered private copy
+  Levelization lv_;
+  std::vector<Value> values_;
+  std::size_t ring_size_ = 2;
+  std::vector<std::int64_t> ring_time_;
+  std::vector<Value> ring_value_;
+  std::vector<std::int64_t> last_target_time_;
+  std::vector<Value> last_target_value_;
+  std::vector<std::vector<std::uint32_t>> wheel_;
+  std::int64_t base_time_ = 0;
+  bool first_step_ = true;
+  std::vector<ChangeRecord<Value>> changes_;
+  EventSimStats stats_;
+};
+
+}  // namespace detail
+
+/// Two-valued interpreted event-driven unit-delay simulator.
+using EventSim2 = detail::EventSimT<detail::TwoValuedTraits>;
+/// Three-valued (0/1/X) interpreted event-driven unit-delay simulator —
+/// "the more natural model for event-driven simulation" per the paper.
+using EventSim3 = detail::EventSimT<detail::ThreeValuedTraits>;
+
+}  // namespace udsim

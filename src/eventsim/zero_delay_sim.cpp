@@ -1,0 +1,67 @@
+#include "eventsim/zero_delay_sim.h"
+
+namespace udsim {
+
+ZeroDelayEventSim::ZeroDelayEventSim(const Netlist& nl) : nl_(nl) {
+  lower_wired_nets(nl_);
+  nl_.validate();
+  order_ = topological_gate_order(nl_);
+  topo_pos_.assign(nl_.gate_count(), 0);
+  values_.assign(nl_.net_count(), 0);
+  dirty_.assign(nl_.gate_count(), false);
+  for (std::uint32_t i = 0; i < order_.size(); ++i) {
+    topo_pos_[order_[i].value] = i;
+  }
+  for (const Gate& g : nl_.gates()) {
+    if (g.type == GateType::Const1) values_[g.output.value] = 1;
+  }
+}
+
+void ZeroDelayEventSim::step(std::span<const Bit> pi_values) {
+  if (pi_values.size() != nl_.primary_inputs().size()) {
+    throw std::invalid_argument("ZeroDelayEventSim::step: wrong primary-input count");
+  }
+  const auto mark_fanout = [&](NetId n) {
+    for (GateId g : nl_.net(n).fanout) {
+      if (!dirty_[g.value]) {
+        dirty_[g.value] = true;
+        work_.push(topo_pos_[g.value]);
+      }
+    }
+  };
+  if (first_step_) {
+    // The all-zero construction state may be inconsistent; settle everything.
+    first_step_ = false;
+    for (std::uint32_t gi = 0; gi < nl_.gate_count(); ++gi) {
+      dirty_[gi] = true;
+      work_.push(topo_pos_[gi]);
+    }
+  }
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    const NetId pi = nl_.primary_inputs()[i];
+    const Bit v = pi_values[i] & 1;
+    if (values_[pi.value] != v) {
+      values_[pi.value] = v;
+      mark_fanout(pi);
+    }
+  }
+  std::vector<Bit> pins;
+  while (!work_.empty()) {
+    const std::uint32_t pos = work_.top();
+    work_.pop();
+    const GateId gid = order_[pos];
+    if (!dirty_[gid.value]) continue;
+    dirty_[gid.value] = false;
+    const Gate& g = nl_.gate(gid);
+    pins.clear();
+    for (NetId in : g.inputs) pins.push_back(values_[in.value]);
+    ++gate_evals_;
+    const Bit v = eval2(g.type, pins);
+    if (values_[g.output.value] != v) {
+      values_[g.output.value] = v;
+      mark_fanout(g.output);
+    }
+  }
+}
+
+}  // namespace udsim

@@ -1,0 +1,64 @@
+// Internal: forcing-op splicing shared by the stuck-at and transition fault
+// simulators. Forces net values per word lane by inserting masked copies
+// right after each net's defining op in a compiled LCC program.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "lcc/lcc.h"
+
+namespace udsim::detail {
+
+struct Forcing {
+  NetId net;
+  std::uint64_t mask;
+  std::uint64_t value;
+};
+
+/// Splice per-net forcing ops (var = (var & ~mask) | (value & mask)) into a
+/// copy of the good program, right after each net's defining op.
+inline Program build_forced(const LccCompiled& good, std::vector<Forcing> forcings) {
+  std::sort(forcings.begin(), forcings.end(), [&](const Forcing& a, const Forcing& b) {
+    return good.def_end[a.net.value] < good.def_end[b.net.value];
+  });
+  Program p;
+  p.word_bits = good.program.word_bits;
+  p.input_words = good.program.input_words;
+  p.arena_init = good.program.arena_init;
+  p.arena_words = good.program.arena_words;
+  p.ops.reserve(good.program.ops.size() + forcings.size());
+  std::size_t next = 0;
+  const auto splice = [&](std::size_t op_end) {
+    while (next < forcings.size() &&
+           good.def_end[forcings[next].net.value] == op_end) {
+      if (op_end == 0) {
+        throw std::logic_error("cannot force a constant-defined net");
+      }
+      const std::uint32_t value_word = p.arena_words++;
+      const std::uint32_t mask_word = p.arena_words++;
+      p.arena_init.push_back({value_word, forcings[next].value});
+      p.arena_init.push_back({mask_word, forcings[next].mask});
+      p.ops.push_back({OpCode::MaskedCopy, 0,
+                       good.net_var[forcings[next].net.value], value_word,
+                       mask_word});
+      ++next;
+    }
+  };
+  for (std::size_t i = 0; i < good.program.ops.size(); ++i) {
+    p.ops.push_back(good.program.ops[i]);
+    splice(i + 1);
+  }
+  if (next != forcings.size()) {
+    throw std::logic_error("forcing splice did not consume all faults");
+  }
+  return p;
+}
+
+/// The shared seeded pattern matrix (row-major, `inputs` per row) so every
+/// fault-simulation engine sees the identical workload.
+std::vector<Bit> fault_patterns(std::size_t patterns, std::size_t inputs,
+                                std::uint64_t seed);
+
+}  // namespace udsim::detail

@@ -1,0 +1,169 @@
+#include "gen/arithmetic.h"
+
+namespace udsim {
+
+namespace {
+
+struct FullAdderOut {
+  NetId sum;
+  NetId carry;
+};
+
+/// Standard 5-gate full adder (2 XOR, 2 AND, 1 OR).
+FullAdderOut full_adder(Netlist& nl, NetId a, NetId b, NetId c,
+                        const std::string& tag) {
+  const NetId x = nl.add_net(tag + "_x");
+  nl.add_gate(GateType::Xor, {a, b}, x);
+  const NetId s = nl.add_net(tag + "_s");
+  nl.add_gate(GateType::Xor, {x, c}, s);
+  const NetId g = nl.add_net(tag + "_g");
+  nl.add_gate(GateType::And, {a, b}, g);
+  const NetId pr = nl.add_net(tag + "_p");
+  nl.add_gate(GateType::And, {x, c}, pr);
+  const NetId co = nl.add_net(tag + "_c");
+  nl.add_gate(GateType::Or, {g, pr}, co);
+  return {s, co};
+}
+
+/// 9-NOR full adder in the style of c6288's adder cells.
+FullAdderOut nor_full_adder(Netlist& nl, NetId a, NetId b, NetId c,
+                            const std::string& tag) {
+  const auto nor2 = [&](NetId x, NetId y, const std::string& nm) {
+    const NetId o = nl.add_net(tag + nm);
+    nl.add_gate(GateType::Nor, {x, y}, o);
+    return o;
+  };
+  const NetId n1 = nor2(a, b, "_n1");
+  const NetId n2 = nor2(a, n1, "_n2");
+  const NetId n3 = nor2(b, n1, "_n3");
+  const NetId n4 = nor2(n2, n3, "_n4");  // XNOR(a, b)
+  const NetId n5 = nor2(n4, c, "_n5");
+  const NetId n6 = nor2(n4, n5, "_n6");
+  const NetId n7 = nor2(c, n5, "_n7");
+  const NetId sum = nor2(n6, n7, "_s");   // a ^ b ^ c
+  const NetId carry = nor2(n1, n5, "_c"); // majority(a, b, c)
+  return {sum, carry};
+}
+
+/// 3-gate half adder: carry = AND, sum = NOR(NOR(a,b), carry).
+FullAdderOut nor_half_adder(Netlist& nl, NetId a, NetId b, const std::string& tag) {
+  const NetId n1 = nl.add_net(tag + "_n1");
+  nl.add_gate(GateType::Nor, {a, b}, n1);
+  const NetId carry = nl.add_net(tag + "_c");
+  nl.add_gate(GateType::And, {a, b}, carry);
+  const NetId sum = nl.add_net(tag + "_s");
+  nl.add_gate(GateType::Nor, {n1, carry}, sum);
+  return {sum, carry};
+}
+
+}  // namespace
+
+Netlist ripple_carry_adder(int bits, const std::string& name) {
+  Netlist nl(name);
+  std::vector<NetId> a(static_cast<std::size_t>(bits)), b(a.size());
+  for (int i = 0; i < bits; ++i) {
+    a[static_cast<std::size_t>(i)] = nl.add_net("a" + std::to_string(i));
+    b[static_cast<std::size_t>(i)] = nl.add_net("b" + std::to_string(i));
+    nl.mark_primary_input(a[static_cast<std::size_t>(i)]);
+    nl.mark_primary_input(b[static_cast<std::size_t>(i)]);
+  }
+  const NetId cin = nl.add_net("cin");
+  nl.mark_primary_input(cin);
+  NetId carry = cin;
+  for (int i = 0; i < bits; ++i) {
+    const auto fa = full_adder(nl, a[static_cast<std::size_t>(i)],
+                               b[static_cast<std::size_t>(i)], carry,
+                               "fa" + std::to_string(i));
+    nl.mark_primary_output(fa.sum);
+    carry = fa.carry;
+  }
+  nl.mark_primary_output(carry);
+  nl.validate();
+  return nl;
+}
+
+Netlist array_multiplier(int n, int m, const std::string& name) {
+  if (n < 2 || m < 2) throw NetlistError("array_multiplier: need n, m >= 2");
+  Netlist nl(name);
+  std::vector<NetId> a(static_cast<std::size_t>(n)), b(static_cast<std::size_t>(m));
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = nl.add_net("a" + std::to_string(i));
+    nl.mark_primary_input(a[static_cast<std::size_t>(i)]);
+  }
+  for (int j = 0; j < m; ++j) {
+    b[static_cast<std::size_t>(j)] = nl.add_net("b" + std::to_string(j));
+    nl.mark_primary_input(b[static_cast<std::size_t>(j)]);
+  }
+  // Partial products.
+  const auto pp = [&](int i, int j) {
+    const NetId o = nl.add_net("pp" + std::to_string(i) + "_" + std::to_string(j));
+    nl.add_gate(GateType::And,
+                {a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(i)]}, o);
+    return o;
+  };
+  // Carry-save array, c6288's structure: each row absorbs one partial-
+  // product row into a (sum, carry) pair per weight without intra-row
+  // rippling; a final ripple row merges the saved carries. Cells adapt to
+  // the operands actually present (FA, HA, or wire at the array edges).
+  const auto cell = [&](std::vector<NetId> ops, const std::string& tag) {
+    if (ops.size() == 1) return FullAdderOut{ops[0], NetId{}};
+    if (ops.size() == 2) return nor_half_adder(nl, ops[0], ops[1], tag);
+    return nor_full_adder(nl, ops[0], ops[1], ops[2], tag);
+  };
+
+  std::vector<NetId> sums(static_cast<std::size_t>(n));   // weights i..i+n-1
+  std::vector<NetId> carries(static_cast<std::size_t>(n));// weights i..i+n-1
+  for (int j = 0; j < n; ++j) sums[static_cast<std::size_t>(j)] = pp(0, j);
+  std::vector<NetId> product;
+  for (int i = 1; i < m; ++i) {
+    product.push_back(sums[0]);  // weight i-1 is final
+    std::vector<NetId> next_s(static_cast<std::size_t>(n));
+    std::vector<NetId> next_c(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      std::vector<NetId> ops{pp(i, j)};
+      if (j + 1 < n && sums[static_cast<std::size_t>(j + 1)].valid()) {
+        ops.push_back(sums[static_cast<std::size_t>(j + 1)]);
+      }
+      if (carries[static_cast<std::size_t>(j)].valid()) {
+        ops.push_back(carries[static_cast<std::size_t>(j)]);
+      }
+      const auto c = cell(std::move(ops),
+                          "r" + std::to_string(i) + "c" + std::to_string(j));
+      next_s[static_cast<std::size_t>(j)] = c.sum;
+      next_c[static_cast<std::size_t>(j)] = c.carry;  // weight i+j+1
+    }
+    // carry(row i, pos j) has weight i+j+1, exactly what row i+1's position
+    // j consumes (its own weight is (i+1)+j): no re-indexing needed.
+    sums = std::move(next_s);
+    carries = std::move(next_c);
+  }
+  // Final vector-merge: ripple-add the surviving sums and carries.
+  NetId ripple{};
+  for (int j = 0; j < n; ++j) {
+    std::vector<NetId> ops;
+    if (sums[static_cast<std::size_t>(j)].valid()) ops.push_back(sums[static_cast<std::size_t>(j)]);
+    if (j > 0 && carries[static_cast<std::size_t>(j - 1)].valid()) {
+      ops.push_back(carries[static_cast<std::size_t>(j - 1)]);
+    }
+    if (ripple.valid()) ops.push_back(ripple);
+    const auto c = cell(std::move(ops), "f" + std::to_string(j));
+    product.push_back(c.sum);
+    ripple = c.carry;
+  }
+  // Top bit: surviving top-rail carry plus the ripple.
+  {
+    std::vector<NetId> ops;
+    if (carries[static_cast<std::size_t>(n - 1)].valid()) {
+      ops.push_back(carries[static_cast<std::size_t>(n - 1)]);
+    }
+    if (ripple.valid()) ops.push_back(ripple);
+    if (ops.empty()) throw NetlistError("array_multiplier: missing top bit");
+    const auto c = cell(std::move(ops), "ftop");
+    product.push_back(c.sum);
+  }
+  for (NetId w : product) nl.mark_primary_output(w);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace udsim

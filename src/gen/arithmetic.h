@@ -1,0 +1,24 @@
+// Structured arithmetic circuit generators.
+//
+// The ISCAS-85 evaluation circuit c6288 is a 16×16 array multiplier built
+// from NOR-implemented full/half adders (2406 gates, 125 logic levels); the
+// `array_multiplier` generator reproduces that structure. Ripple-carry
+// adders provide deep carry chains for directed tests.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+/// n-bit ripple-carry adder: inputs a0..a{n-1}, b0..b{n-1}, cin;
+/// outputs s0..s{n-1}, cout. 5 gates per full adder, depth ~2n+1.
+[[nodiscard]] Netlist ripple_carry_adder(int bits, const std::string& name = "rca");
+
+/// n×m array (carry-save) multiplier in the style of c6288: an AND partial-
+/// product matrix feeding rows of NOR-based full adders with a final ripple
+/// stage. Inputs a0..a{n-1}, b0..b{m-1}; outputs p0..p{n+m-1}.
+[[nodiscard]] Netlist array_multiplier(int n, int m, const std::string& name = "mult");
+
+}  // namespace udsim

@@ -1,0 +1,192 @@
+#include "gen/datapath.h"
+
+namespace udsim {
+
+namespace {
+
+/// 2:1 mux y = sel ? b : a (3 gates; sel_n supplied by the caller).
+NetId mux2(Netlist& nl, NetId a, NetId b, NetId sel, NetId sel_n,
+           const std::string& tag) {
+  const NetId lo = nl.add_net(tag + "_lo");
+  nl.add_gate(GateType::And, {a, sel_n}, lo);
+  const NetId hi = nl.add_net(tag + "_hi");
+  nl.add_gate(GateType::And, {b, sel}, hi);
+  const NetId y = nl.add_net(tag);
+  nl.add_gate(GateType::Or, {lo, hi}, y);
+  return y;
+}
+
+}  // namespace
+
+Netlist barrel_shifter(int stages, const std::string& name) {
+  if (stages < 1 || stages > 6) {
+    throw NetlistError("barrel_shifter: need 1 <= stages <= 6");
+  }
+  Netlist nl(name);
+  const int n = 1 << stages;
+  std::vector<NetId> data;
+  for (int i = 0; i < n; ++i) {
+    data.push_back(nl.add_net("d" + std::to_string(i)));
+    nl.mark_primary_input(data.back());
+  }
+  std::vector<NetId> sel, sel_n;
+  for (int s = 0; s < stages; ++s) {
+    sel.push_back(nl.add_net("s" + std::to_string(s)));
+    nl.mark_primary_input(sel.back());
+    const NetId inv = nl.add_net("sn" + std::to_string(s));
+    nl.add_gate(GateType::Not, {sel.back()}, inv);
+    sel_n.push_back(inv);
+  }
+  // Stage s rotates left by 2^s when its select bit is set.
+  std::vector<NetId> cur = data;
+  for (int s = 0; s < stages; ++s) {
+    const int rot = 1 << s;
+    std::vector<NetId> next(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // Rotated-left source of output bit i is input bit (i - rot) mod n.
+      const int src = ((i - rot) % n + n) % n;
+      next[static_cast<std::size_t>(i)] =
+          mux2(nl, cur[static_cast<std::size_t>(i)], cur[static_cast<std::size_t>(src)],
+               sel[static_cast<std::size_t>(s)], sel_n[static_cast<std::size_t>(s)],
+               "m" + std::to_string(s) + "_" + std::to_string(i));
+    }
+    cur = std::move(next);
+  }
+  for (int i = 0; i < n; ++i) {
+    const NetId y = nl.add_net("y" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {cur[static_cast<std::size_t>(i)]}, y);
+    nl.mark_primary_output(y);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist priority_encoder(int n, const std::string& name) {
+  if (n < 2 || n > 64) throw NetlistError("priority_encoder: need 2 <= n <= 64");
+  Netlist nl(name);
+  std::vector<NetId> in;
+  for (int i = 0; i < n; ++i) {
+    in.push_back(nl.add_net("i" + std::to_string(i)));
+    nl.mark_primary_input(in.back());
+  }
+  // higher[i] = OR of inputs above i; grant[i] = in[i] AND NOT higher[i].
+  std::vector<NetId> grant(static_cast<std::size_t>(n));
+  NetId higher{};  // OR of inputs processed so far (from the top)
+  for (int i = n - 1; i >= 0; --i) {
+    if (!higher.valid()) {
+      grant[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+      higher = in[static_cast<std::size_t>(i)];
+      continue;
+    }
+    const NetId hn = nl.add_net("hn" + std::to_string(i));
+    nl.add_gate(GateType::Not, {higher}, hn);
+    const NetId g = nl.add_net("g" + std::to_string(i));
+    nl.add_gate(GateType::And, {in[static_cast<std::size_t>(i)], hn}, g);
+    grant[static_cast<std::size_t>(i)] = g;
+    const NetId h = nl.add_net("h" + std::to_string(i));
+    nl.add_gate(GateType::Or, {higher, in[static_cast<std::size_t>(i)]}, h);
+    higher = h;
+  }
+  const NetId any = nl.add_net("any");
+  nl.add_gate(GateType::Buf, {higher}, any);
+  nl.mark_primary_output(any);
+  // Encoded index bit b = OR of grants whose index has bit b set.
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  for (int b = 0; b < bits; ++b) {
+    std::vector<NetId> pins;
+    for (int i = 0; i < n; ++i) {
+      if ((i >> b) & 1) pins.push_back(grant[static_cast<std::size_t>(i)]);
+    }
+    const NetId e = nl.add_net("e" + std::to_string(b));
+    if (pins.empty()) {
+      nl.add_gate(GateType::Const0, {}, e);
+    } else {
+      nl.add_gate(GateType::Or, std::move(pins), e);
+    }
+    nl.mark_primary_output(e);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist alu(int bits, const std::string& name) {
+  if (bits < 1 || bits > 64) throw NetlistError("alu: need 1 <= bits <= 64");
+  Netlist nl(name);
+  std::vector<NetId> a, b;
+  for (int i = 0; i < bits; ++i) {
+    a.push_back(nl.add_net("a" + std::to_string(i)));
+    b.push_back(nl.add_net("b" + std::to_string(i)));
+    nl.mark_primary_input(a.back());
+    nl.mark_primary_input(b.back());
+  }
+  const NetId op0 = nl.add_net("op0");
+  const NetId op1 = nl.add_net("op1");
+  nl.mark_primary_input(op0);
+  nl.mark_primary_input(op1);
+  const NetId op0n = nl.add_net("op0n");
+  nl.add_gate(GateType::Not, {op0}, op0n);
+  const NetId op1n = nl.add_net("op1n");
+  nl.add_gate(GateType::Not, {op1}, op1n);
+
+  // Adder chain (op 00).
+  std::vector<NetId> sum(static_cast<std::size_t>(bits));
+  NetId carry{};
+  for (int i = 0; i < bits; ++i) {
+    const std::string tag = "fa" + std::to_string(i);
+    const NetId x = nl.add_net(tag + "_x");
+    nl.add_gate(GateType::Xor, {a[static_cast<std::size_t>(i)],
+                                b[static_cast<std::size_t>(i)]}, x);
+    if (!carry.valid()) {
+      sum[static_cast<std::size_t>(i)] = x;
+      const NetId c = nl.add_net(tag + "_c");
+      nl.add_gate(GateType::And, {a[0], b[0]}, c);
+      carry = c;
+      continue;
+    }
+    const NetId s = nl.add_net(tag + "_s");
+    nl.add_gate(GateType::Xor, {x, carry}, s);
+    sum[static_cast<std::size_t>(i)] = s;
+    const NetId g = nl.add_net(tag + "_g");
+    nl.add_gate(GateType::And, {a[static_cast<std::size_t>(i)],
+                                b[static_cast<std::size_t>(i)]}, g);
+    const NetId pr = nl.add_net(tag + "_p");
+    nl.add_gate(GateType::And, {x, carry}, pr);
+    const NetId c = nl.add_net(tag + "_co");
+    nl.add_gate(GateType::Or, {g, pr}, c);
+    carry = c;
+  }
+  const NetId cout = nl.add_net("cout");
+  // cout is meaningful only for ADD; gate it with the opcode decode.
+  const NetId is_add = nl.add_net("is_add");
+  nl.add_gate(GateType::And, {op0n, op1n}, is_add);
+  nl.add_gate(GateType::And, {carry, is_add}, cout);
+  nl.mark_primary_output(cout);
+
+  // Per-bit result mux over {sum, and, or, xor}.
+  for (int i = 0; i < bits; ++i) {
+    const std::string tag = "r" + std::to_string(i);
+    const NetId andb = nl.add_net(tag + "_and");
+    nl.add_gate(GateType::And, {a[static_cast<std::size_t>(i)],
+                                b[static_cast<std::size_t>(i)]}, andb);
+    const NetId orb = nl.add_net(tag + "_or");
+    nl.add_gate(GateType::Or, {a[static_cast<std::size_t>(i)],
+                               b[static_cast<std::size_t>(i)]}, orb);
+    const NetId xorb = nl.add_net(tag + "_xor");
+    nl.add_gate(GateType::Xor, {a[static_cast<std::size_t>(i)],
+                                b[static_cast<std::size_t>(i)]}, xorb);
+    // First level: select by op0 (add/and) and (or/xor).
+    const NetId m0 = mux2(nl, sum[static_cast<std::size_t>(i)], andb, op0, op0n,
+                          tag + "_m0");
+    const NetId m1 = mux2(nl, orb, xorb, op0, op0n, tag + "_m1");
+    // Second level: select by op1.
+    const NetId y = mux2(nl, m0, m1, op1, op1n, tag + "_y");
+    const NetId out = nl.add_net("y" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {y}, out);
+    nl.mark_primary_output(out);
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace udsim

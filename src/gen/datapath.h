@@ -1,0 +1,24 @@
+// Wider datapath generators: barrel shifter, priority encoder, and a small
+// ALU — realistic structured workloads beyond the arithmetic/tree families.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+/// Logarithmic barrel shifter: rotates an n-bit word (n = 2^stages) left by
+/// the `stages`-bit amount. Inputs d0.., s0..; outputs y0..y{n-1}.
+[[nodiscard]] Netlist barrel_shifter(int stages, const std::string& name = "bsh");
+
+/// Priority encoder over n inputs (n >= 2): outputs the index of the
+/// highest-numbered asserted input (e0..) plus "any" (valid flag).
+[[nodiscard]] Netlist priority_encoder(int n, const std::string& name = "penc");
+
+/// Small ALU over two n-bit operands with a 2-bit opcode:
+///   op=00 ADD (with carry-out "cout"), op=01 AND, op=10 OR, op=11 XOR.
+/// Outputs y0..y{n-1}, cout.
+[[nodiscard]] Netlist alu(int bits, const std::string& name = "alu");
+
+}  // namespace udsim

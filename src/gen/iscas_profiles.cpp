@@ -1,0 +1,95 @@
+#include "gen/iscas_profiles.h"
+
+#include "gen/arithmetic.h"
+#include "gen/random_dag.h"
+#include "gen/sequential.h"
+
+namespace udsim {
+
+const std::vector<IscasProfile>& iscas85_profiles() {
+  // inputs/outputs/gates: published ISCAS-85 counts (gates matching the
+  // paper's Fig. 21 unoptimized-shift column); levels: paper Fig. 20.
+  // reach: tuned so PC-set sizes mirror the paper's PC-set-method anomalies
+  // (large for the expanded-parity and deep circuits c1355/c1908, small for
+  // c2670 — "the anomaly ... is due to the unusually small size of the
+  // PC-sets for this circuit").
+  static const std::vector<IscasProfile> profiles = {
+      {"c432", 36, 7, 160, 18, 0.8, 0.30, false},
+      {"c499", 41, 32, 202, 12, 0.8, 0.70, false},
+      {"c880", 60, 26, 383, 25, 0.4, 0.30, false},
+      {"c1355", 41, 32, 546, 25, 2.0, 0.60, false},
+      {"c1908", 33, 25, 880, 41, 2.2, 0.35, false},
+      {"c2670", 233, 140, 1269, 33, 0.2, 0.30, false},
+      {"c3540", 50, 22, 1669, 48, 0.7, 0.35, false},
+      {"c5315", 178, 123, 2307, 50, 0.5, 0.35, false},
+      {"c6288", 32, 32, 2416, 125, 0.0, 0.00, true},
+      {"c7552", 207, 108, 3513, 44, 0.5, 0.35, false},
+  };
+  return profiles;
+}
+
+const IscasProfile& iscas85_profile(const std::string& name) {
+  for (const IscasProfile& p : iscas85_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw NetlistError("unknown ISCAS-85 profile '" + name + "'");
+}
+
+Netlist make_iscas85_like(const std::string& name, std::uint64_t seed) {
+  const IscasProfile& p = iscas85_profile(name);
+  if (p.multiplier) {
+    // c6288 is a 16x16 array multiplier; generate the real structure.
+    Netlist nl = array_multiplier(16, 16, p.name);
+    return nl;
+  }
+  RandomDagParams params;
+  params.name = p.name;
+  params.inputs = p.inputs;
+  params.outputs = p.outputs;
+  params.gates = p.gates;
+  // Fig. 20's "Levels" column is the bit-field width n = depth + 1, so the
+  // logic depth to generate is levels - 1.
+  params.depth = p.levels - 1;
+  params.seed = seed * 0x9e3779b9u + 17;
+  params.reach = p.reach;
+  params.xor_fraction = p.xor_fraction;
+  return random_dag(params);
+}
+
+const std::vector<Iscas89Profile>& iscas89_profiles() {
+  // PI/PO/DFF/gate counts as published for the ISCAS-89 suite; depth chosen
+  // structurally (roughly gates^(1/2), matching the suite's shallow style).
+  static const std::vector<Iscas89Profile> profiles = {
+      {"s27", 4, 1, 3, 10, 4},
+      {"s298", 3, 6, 14, 119, 9},
+      {"s344", 9, 11, 15, 160, 14},
+      {"s386", 7, 7, 6, 159, 11},
+      {"s641", 35, 24, 19, 379, 23},
+      {"s1196", 14, 14, 18, 529, 24},
+      {"s1488", 8, 19, 6, 653, 17},
+      {"s5378", 35, 49, 164, 2779, 25},
+  };
+  return profiles;
+}
+
+const Iscas89Profile& iscas89_profile(const std::string& name) {
+  for (const Iscas89Profile& p : iscas89_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw NetlistError("unknown ISCAS-89 profile '" + name + "'");
+}
+
+Netlist make_iscas89_like(const std::string& name, std::uint64_t seed) {
+  const Iscas89Profile& p = iscas89_profile(name);
+  SequentialDagParams params;
+  params.name = p.name;
+  params.inputs = p.inputs;
+  params.outputs = p.outputs;
+  params.registers = p.registers;
+  params.gates = p.gates;
+  params.depth = p.depth;
+  params.seed = seed * 0x517cc1b7u + 3;
+  return sequential_dag(params);
+}
+
+}  // namespace udsim

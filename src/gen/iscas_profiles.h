@@ -1,0 +1,61 @@
+// ISCAS-85-like workload profiles.
+//
+// The paper evaluates on the ten ISCAS-85 combinational benchmarks. Those
+// netlists are not redistributable here, so each circuit gets a *profile*: a
+// seeded synthetic recipe matched to its published primary-input/output and
+// gate counts and to the level counts the paper reports in Fig. 20. The
+// techniques' costs are functions of exactly these structural quantities
+// (see DESIGN.md §2), so the profiles reproduce the shape of every table.
+// Real `.bench` files can be loaded with read_bench_file() instead and run
+// through the same harnesses unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct IscasProfile {
+  std::string name;      ///< "c432" ... "c7552"
+  std::size_t inputs;    ///< published PI count
+  std::size_t outputs;   ///< published PO count
+  std::size_t gates;     ///< published gate count (= paper Fig. 21 column 1)
+  int levels;            ///< paper Fig. 20 level count (depth + 1)
+  double reach;          ///< random-DAG reach-back tuning (PC-set width)
+  double xor_fraction;   ///< XOR-rich circuits: c499/c1355 parity family
+  bool multiplier;       ///< c6288: generated as a real array multiplier
+};
+
+/// The ten paper circuits, in paper order.
+[[nodiscard]] const std::vector<IscasProfile>& iscas85_profiles();
+
+/// Look up one profile by name; throws NetlistError if unknown.
+[[nodiscard]] const IscasProfile& iscas85_profile(const std::string& name);
+
+/// Build the synthetic stand-in for the named circuit. `seed` perturbs the
+/// random-DAG recipes (the multiplier is deterministic).
+[[nodiscard]] Netlist make_iscas85_like(const std::string& name,
+                                        std::uint64_t seed = 1);
+
+/// Sequential (ISCAS-89-style) profiles: published PI/PO/DFF/gate counts;
+/// logic depth is chosen structurally (not published in the paper).
+struct Iscas89Profile {
+  std::string name;  ///< "s27" ... "s5378"
+  std::size_t inputs;
+  std::size_t outputs;
+  std::size_t registers;
+  std::size_t gates;
+  int depth;
+};
+
+[[nodiscard]] const std::vector<Iscas89Profile>& iscas89_profiles();
+[[nodiscard]] const Iscas89Profile& iscas89_profile(const std::string& name);
+
+/// Synthetic stand-in Moore machine for the named ISCAS-89 circuit (cyclic
+/// through its flip-flops; break with break_flip_flops before simulating).
+[[nodiscard]] Netlist make_iscas89_like(const std::string& name,
+                                        std::uint64_t seed = 1);
+
+}  // namespace udsim

@@ -1,0 +1,178 @@
+#include "gen/random_dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/rng.h"
+
+namespace udsim {
+
+namespace {
+
+GateType pick_type(Rng& rng, const RandomDagParams& p, std::size_t fanin) {
+  if (fanin == 1) {
+    return rng.chance(0.7) ? GateType::Not : GateType::Buf;
+  }
+  if (rng.chance(p.xor_fraction)) {
+    return rng.chance(0.5) ? GateType::Xor : GateType::Xnor;
+  }
+  switch (rng.below(4)) {
+    case 0:
+      return GateType::And;
+    case 1:
+      return GateType::Nand;
+    case 2:
+      return GateType::Or;
+    default:
+      return GateType::Nor;
+  }
+}
+
+}  // namespace
+
+Netlist random_dag(const RandomDagParams& p) {
+  if (p.depth < 1 || p.gates < static_cast<std::size_t>(p.depth)) {
+    throw NetlistError("random_dag: need gates >= depth >= 1");
+  }
+  if (p.inputs == 0) throw NetlistError("random_dag: need at least one input");
+  Rng rng(p.seed);
+  Netlist nl(p.name);
+
+  // Level 0: primary inputs.
+  std::vector<std::vector<NetId>> by_level(static_cast<std::size_t>(p.depth) + 1);
+  for (std::size_t i = 0; i < p.inputs; ++i) {
+    const NetId n = nl.add_net("i" + std::to_string(i));
+    nl.mark_primary_input(n);
+    by_level[0].push_back(n);
+  }
+
+  // Distribute gates over levels 1..depth, at least one per level so the
+  // depth is exact. Level 1 is sized to absorb the primary inputs (real
+  // circuits front-load input logic); the rest go to random levels with a
+  // mild bias toward the middle of the circuit.
+  std::vector<std::size_t> level_gates(static_cast<std::size_t>(p.depth) + 1, 0);
+  for (int l = 1; l <= p.depth; ++l) level_gates[static_cast<std::size_t>(l)] = 1;
+  std::size_t placed = static_cast<std::size_t>(p.depth);
+  const std::size_t front = std::min(p.inputs / 2, (p.gates - placed) / 2);
+  level_gates[1] += front;
+  placed += front;
+  for (std::size_t g = placed; g < p.gates; ++g) {
+    const double u = (rng.uniform() + rng.uniform()) / 2.0;  // triangular
+    int l = 1 + static_cast<int>(u * p.depth);
+    l = std::clamp(l, 1, p.depth);
+    ++level_gates[static_cast<std::size_t>(l)];
+  }
+
+  // Primary inputs not yet consumed by any pin; drained preferentially so
+  // that (like ISCAS-85) every input observably drives logic.
+  std::vector<NetId> unused_pis = by_level[0];
+  const auto take_unused_pi = [&]() {
+    const std::size_t k = rng.below(unused_pis.size());
+    const NetId n = unused_pis[k];
+    unused_pis[k] = unused_pis.back();
+    unused_pis.pop_back();
+    return n;
+  };
+
+  // Per-level stacks of nets no pin has consumed yet (lazy-pruned). Drawing
+  // from these first grows fanout-free tree regions.
+  std::vector<std::vector<NetId>> fresh(static_cast<std::size_t>(p.depth) + 1);
+  fresh[0] = by_level[0];
+  const auto pick_from_level = [&](int level) {
+    auto& pool = by_level[static_cast<std::size_t>(level)];
+    auto& unconsumed = fresh[static_cast<std::size_t>(level)];
+    if (rng.chance(p.tree_bias)) {
+      while (!unconsumed.empty()) {
+        const NetId n = unconsumed.back();
+        unconsumed.pop_back();
+        if (nl.net(n).fanout.empty()) return n;
+      }
+    }
+    return pool[rng.below(pool.size())];
+  };
+
+  std::size_t gate_no = 0;
+  for (int l = 1; l <= p.depth; ++l) {
+    for (std::size_t k = 0; k < level_gates[static_cast<std::size_t>(l)]; ++k) {
+      std::size_t fanin =
+          1 + rng.below(static_cast<std::uint64_t>(p.max_fanin));
+      if (fanin > 1 && rng.chance(p.inv_fraction)) fanin = 1;
+      std::vector<NetId> ins;
+      ins.reserve(fanin);
+      // First pin from level l-1 so the gate's level is exactly l.
+      if (l == 1 && !unused_pis.empty()) {
+        ins.push_back(take_unused_pi());
+      } else {
+        ins.push_back(pick_from_level(l - 1));
+      }
+      for (std::size_t j = 1; j < fanin; ++j) {
+        // Drain unused primary inputs near the inputs only; a PI pin on a
+        // deep gate would crash that gate's minlevel and inflate PC-sets
+        // beyond anything the reach parameter models.
+        if (l <= 2 && !unused_pis.empty()) {
+          ins.push_back(take_unused_pi());
+          continue;
+        }
+        // Geometric reach-back controlled by p.reach.
+        int back = 1;
+        while (back < l && rng.chance(1.0 - 1.0 / (1.0 + p.reach))) ++back;
+        ins.push_back(pick_from_level(l - back));
+      }
+      const GateType t = pick_type(rng, p, ins.size());
+      const NetId out = nl.add_net("n" + std::to_string(l) + "_" + std::to_string(gate_no++));
+      const GateId gid = nl.add_gate(t, std::move(ins), out);
+      if (p.max_delay > 1) {
+        nl.set_delay(gid, 1 + static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(p.max_delay))));
+      }
+      by_level[static_cast<std::size_t>(l)].push_back(out);
+      fresh[static_cast<std::size_t>(l)].push_back(out);
+    }
+  }
+
+  // Every primary input must feed something: attach leftovers as extra pins
+  // on existing n-ary gates (a level-0 pin never changes a gate's level, so
+  // depth and gate count stay exact).
+  if (!unused_pis.empty()) {
+    // Prefer shallow gates: a PI pin on a deep gate would crash its
+    // minlevel and distort the PC-set profile.
+    std::vector<GateId> nary;
+    for (int l = 1; l <= p.depth && nary.size() < unused_pis.size(); ++l) {
+      for (NetId out : by_level[static_cast<std::size_t>(l)]) {
+        for (GateId g : nl.net(out).drivers) {
+          const GateType t = nl.gate(g).type;
+          if (!is_unary(t) && !is_constant(t)) nary.push_back(g);
+        }
+      }
+    }
+    if (nary.empty()) {
+      throw NetlistError("random_dag: no n-ary gate available to absorb inputs");
+    }
+    for (std::size_t i = 0; i < unused_pis.size(); ++i) {
+      nl.add_gate_input(nary[i % nary.size()], unused_pis[i]);
+    }
+  }
+
+  // Primary outputs: every sink (net without fanout) plus random deep nets
+  // until the requested count is reached.
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const Net& net = nl.net(NetId{n});
+    if (net.fanout.empty() && !net.is_primary_input) {
+      nl.mark_primary_output(NetId{n});
+    }
+  }
+  std::size_t guard = 0;
+  while (nl.primary_outputs().size() < p.outputs && guard < 10 * p.outputs) {
+    ++guard;
+    const int l = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(p.depth)));
+    const auto& pool = by_level[static_cast<std::size_t>(l)];
+    if (pool.empty()) continue;
+    const NetId n = pool[rng.below(pool.size())];
+    if (!nl.net(n).is_primary_output) nl.mark_primary_output(n);
+  }
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace udsim

@@ -1,0 +1,47 @@
+// Seeded leveled random-DAG circuit generator.
+//
+// Produces acyclic gate-level circuits with an exact logic depth, a target
+// gate count, and tunable structure: the `reach` parameter controls how far
+// back (in levels) a gate's extra inputs may connect, which directly shapes
+// PC-set sizes (small reach -> narrow PC-sets like c2670, large reach ->
+// wide PC-sets like c1355/c1908). This is what stands in for the ISCAS-85
+// netlists; see DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct RandomDagParams {
+  std::string name = "rand";
+  std::size_t inputs = 8;
+  std::size_t outputs = 4;
+  std::size_t gates = 64;
+  int depth = 8;             ///< exact logic depth (max level)
+  std::uint64_t seed = 1;
+  double reach = 1.5;        ///< mean extra-level reach-back of non-chain pins
+  double xor_fraction = 0.05;///< probability mass given to XOR/XNOR gates
+  double inv_fraction = 0.2; ///< probability mass given to NOT/BUF gates
+  int max_fanin = 3;
+  /// Probability that a pin consumes a not-yet-used net of its level rather
+  /// than a random one. High values produce the large fanout-free (tree)
+  /// regions real circuits have — the regions path-tracing simulates without
+  /// shifts — and keep the retained-shift fraction near ISCAS-85's ~40%.
+  double tree_bias = 0.7;
+  /// Maximum per-gate delay. 1 = the paper's strict unit-delay model;
+  /// larger values draw each gate's delay uniformly from [1, max_delay]
+  /// (the multi-delay timing-model extension). Note that `depth` then
+  /// counts topological layers, not time units.
+  int max_delay = 1;
+};
+
+/// Generate. Guarantees: acyclic; exact depth (requires gates >= depth);
+/// every primary input feeds at least one gate; every net without fanout is
+/// a primary output (so the whole circuit is observable, as in ISCAS-85);
+/// at least `outputs` primary outputs.
+[[nodiscard]] Netlist random_dag(const RandomDagParams& params);
+
+}  // namespace udsim

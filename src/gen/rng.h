@@ -1,0 +1,56 @@
+// Deterministic xoshiro256** PRNG (seeded via splitmix64) so that every
+// generated circuit and every benchmark vector stream is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace udsim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 state expansion.
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept { return n ? next() % n : 0; }
+
+  /// Uniform bit.
+  std::uint32_t bit() noexcept { return static_cast<std::uint32_t>(next() >> 63); }
+
+  /// True with probability p (0..1).
+  bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace udsim

@@ -1,0 +1,136 @@
+#include "gen/sequential.h"
+
+#include <algorithm>
+
+#include "gen/random_dag.h"
+#include "gen/rng.h"
+
+namespace udsim {
+
+BrokenCircuit break_flip_flops(const Netlist& seq) {
+  BrokenCircuit out;
+  out.comb = Netlist(seq.name() + "_comb");
+  for (const Net& n : seq.nets()) {
+    out.comb.add_net(n.name);
+  }
+  for (std::uint32_t gi = 0; gi < seq.gate_count(); ++gi) {
+    const Gate& g = seq.gate(GateId{gi});
+    if (g.type == GateType::Dff) continue;
+    const GateId ng = out.comb.add_gate(g.type, g.inputs, g.output);
+    out.comb.set_delay(ng, seq.delay(GateId{gi}));
+  }
+  for (NetId pi : seq.primary_inputs()) out.comb.mark_primary_input(pi);
+  for (NetId po : seq.primary_outputs()) out.comb.mark_primary_output(po);
+  for (std::uint32_t gi = 0; gi < seq.gate_count(); ++gi) {
+    const Gate& g = seq.gate(GateId{gi});
+    if (g.type != GateType::Dff) continue;
+    BrokenRegister reg;
+    reg.name = seq.net(g.output).name;
+    reg.d = g.inputs.front();
+    reg.q = g.output;
+    out.comb.mark_primary_input(reg.q);
+    out.comb.mark_primary_output(reg.d);
+    out.regs.push_back(std::move(reg));
+  }
+  out.comb.validate();
+  return out;
+}
+
+Netlist counter(int bits, const std::string& name) {
+  if (bits < 1) throw NetlistError("counter: need bits >= 1");
+  Netlist nl(name);
+  const NetId en = nl.add_net("en");
+  nl.mark_primary_input(en);
+  std::vector<NetId> q(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    q[static_cast<std::size_t>(i)] = nl.add_net("q" + std::to_string(i));
+    nl.mark_primary_output(q[static_cast<std::size_t>(i)]);
+  }
+  NetId carry = en;  // count-enable ripples up like a carry
+  for (int i = 0; i < bits; ++i) {
+    const std::string tag = "b" + std::to_string(i);
+    const NetId d = nl.add_net(tag + "_d");
+    nl.add_gate(GateType::Xor, {q[static_cast<std::size_t>(i)], carry}, d);
+    nl.add_gate(GateType::Dff, {d}, q[static_cast<std::size_t>(i)]);
+    if (i + 1 < bits) {
+      const NetId c = nl.add_net(tag + "_c");
+      nl.add_gate(GateType::And, {carry, q[static_cast<std::size_t>(i)]}, c);
+      carry = c;
+    }
+  }
+  return nl;  // cyclic through the DFFs: no validate() here
+}
+
+Netlist lfsr(int bits, std::vector<int> taps, const std::string& name) {
+  if (bits < 2) throw NetlistError("lfsr: need bits >= 2");
+  for (int t : taps) {
+    if (t < 1 || t > bits) throw NetlistError("lfsr: tap out of range");
+  }
+  Netlist nl(name);
+  const NetId seed_in = nl.add_net("seed");
+  nl.mark_primary_input(seed_in);
+  std::vector<NetId> q(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    q[static_cast<std::size_t>(i)] = nl.add_net("q" + std::to_string(i));
+  }
+  nl.mark_primary_output(q.back());
+  // Feedback: XOR of tap bits, XORed with the external seed input so the
+  // register can be perturbed from outside.
+  std::vector<NetId> fb_pins;
+  for (int t : taps) fb_pins.push_back(q[static_cast<std::size_t>(t - 1)]);
+  fb_pins.push_back(seed_in);
+  const NetId fb = nl.add_net("fb");
+  nl.add_gate(GateType::Xor, std::move(fb_pins), fb);
+  nl.add_gate(GateType::Dff, {fb}, q[0]);
+  for (int i = 1; i < bits; ++i) {
+    nl.add_gate(GateType::Dff, {q[static_cast<std::size_t>(i - 1)]},
+                q[static_cast<std::size_t>(i)]);
+  }
+  return nl;  // cyclic through the DFFs: no validate() here
+}
+
+Netlist sequential_dag(const SequentialDagParams& p) {
+  // Build the combinational core with state bits as extra inputs.
+  RandomDagParams cp;
+  cp.name = p.name + "_core";
+  cp.inputs = p.inputs + p.registers;
+  cp.outputs = p.outputs + p.registers;
+  cp.gates = p.gates;
+  cp.depth = p.depth;
+  cp.seed = p.seed;
+  cp.xor_fraction = p.xor_fraction;
+  const Netlist core = random_dag(cp);
+
+  // Re-emit as a sequential netlist: the last `registers` core inputs
+  // become DFF outputs (q nets), fed from `registers` distinct core outputs.
+  Netlist nl(p.name);
+  for (const Net& n : core.nets()) {
+    (void)nl.add_net(n.name);
+  }
+  for (std::uint32_t gi = 0; gi < core.gate_count(); ++gi) {
+    const Gate& g = core.gate(GateId{gi});
+    const GateId ng = nl.add_gate(g.type, g.inputs, g.output);
+    nl.set_delay(ng, core.delay(GateId{gi}));
+  }
+  for (std::size_t i = 0; i < p.inputs; ++i) {
+    nl.mark_primary_input(core.primary_inputs()[i]);
+  }
+  for (std::size_t i = 0; i < p.outputs && i < core.primary_outputs().size(); ++i) {
+    nl.mark_primary_output(core.primary_outputs()[i]);
+  }
+  // Feed each state input from a deep core output via a DFF. The generator
+  // guarantees at least outputs + registers POs; pick the last ones (they
+  // are the sink nets, typically deepest).
+  const auto& pos = core.primary_outputs();
+  if (pos.size() < p.outputs + p.registers) {
+    throw NetlistError("sequential_dag: core has too few outputs for the registers");
+  }
+  for (std::size_t r = 0; r < p.registers; ++r) {
+    const NetId d = pos[pos.size() - 1 - r];
+    const NetId q = core.primary_inputs()[p.inputs + r];
+    nl.add_gate(GateType::Dff, {d}, q);
+  }
+  return nl;  // cyclic through the DFFs
+}
+
+}  // namespace udsim

@@ -1,0 +1,55 @@
+// Sequential-circuit support (paper §1: "our algorithms can be applied to a
+// wide variety of synchronous sequential circuits by requiring that any
+// cycle in the network contain at least one flip-flop. The circuit could
+// then be broken at the flip-flops by treating the flip-flop inputs as
+// primary outputs and the outputs as primary inputs.")
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct BrokenRegister {
+  std::string name;     ///< flip-flop output net name in the original circuit
+  NetId d;              ///< data net in the *broken* netlist (a primary output)
+  NetId q;              ///< state net in the *broken* netlist (a primary input)
+};
+
+struct BrokenCircuit {
+  Netlist comb;                      ///< acyclic combinational core
+  std::vector<BrokenRegister> regs;  ///< q nets appended after original PIs
+};
+
+/// Break every Dff of a (possibly cyclic) synchronous netlist. The broken
+/// core's primary inputs are the original inputs followed by one q input per
+/// flip-flop (in gate order); the d nets are marked primary outputs.
+[[nodiscard]] BrokenCircuit break_flip_flops(const Netlist& sequential);
+
+/// n-bit synchronous binary counter with enable: DFFs + increment logic.
+[[nodiscard]] Netlist counter(int bits, const std::string& name = "ctr");
+
+/// Fibonacci LFSR over the given tap positions (e.g. {16,14,13,11}).
+[[nodiscard]] Netlist lfsr(int bits, std::vector<int> taps,
+                           const std::string& name = "lfsr");
+
+struct SequentialDagParams {
+  std::string name = "seq";
+  std::size_t inputs = 8;       ///< external primary inputs
+  std::size_t outputs = 4;      ///< observed outputs
+  std::size_t registers = 8;    ///< D flip-flops
+  std::size_t gates = 100;      ///< combinational gates
+  int depth = 8;                ///< combinational logic depth
+  std::uint64_t seed = 1;
+  double xor_fraction = 0.25;
+};
+
+/// Seeded synchronous Moore machine in the style of the ISCAS-89 circuits:
+/// a random combinational core whose inputs are the external inputs plus
+/// the register outputs, with `registers` of its nets fed back through
+/// DFFs. Cyclic through the flip-flops; use break_flip_flops() to simulate.
+[[nodiscard]] Netlist sequential_dag(const SequentialDagParams& params);
+
+}  // namespace udsim

@@ -1,0 +1,177 @@
+#include "gen/trees.h"
+
+#include <cmath>
+
+namespace udsim {
+
+namespace {
+
+/// Balanced binary XOR reduction of `leaves`; returns the root net.
+NetId xor_reduce(Netlist& nl, std::vector<NetId> leaves, const std::string& tag) {
+  int stage = 0;
+  while (leaves.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      const NetId o = nl.add_net(tag + "_x" + std::to_string(stage) + "_" +
+                                 std::to_string(i / 2));
+      nl.add_gate(GateType::Xor, {leaves[i], leaves[i + 1]}, o);
+      next.push_back(o);
+    }
+    if (leaves.size() % 2) next.push_back(leaves.back());
+    leaves = std::move(next);
+    ++stage;
+  }
+  return leaves.front();
+}
+
+}  // namespace
+
+Netlist parity_tree(int width, const std::string& name) {
+  if (width < 2) throw NetlistError("parity_tree: need width >= 2");
+  Netlist nl(name);
+  std::vector<NetId> ins;
+  for (int i = 0; i < width; ++i) {
+    const NetId n = nl.add_net("i" + std::to_string(i));
+    nl.mark_primary_input(n);
+    ins.push_back(n);
+  }
+  const NetId root = xor_reduce(nl, std::move(ins), "p");
+  nl.mark_primary_output(root);
+  nl.validate();
+  return nl;
+}
+
+Netlist ecc_corrector(int data_bits, const std::string& name) {
+  if (data_bits < 4) throw NetlistError("ecc_corrector: need data_bits >= 4");
+  Netlist nl(name);
+  const int sbits = static_cast<int>(std::ceil(std::log2(data_bits))) + 1;
+
+  std::vector<NetId> data, check;
+  for (int i = 0; i < data_bits; ++i) {
+    const NetId n = nl.add_net("d" + std::to_string(i));
+    nl.mark_primary_input(n);
+    data.push_back(n);
+  }
+  for (int s = 0; s < sbits; ++s) {
+    const NetId n = nl.add_net("c" + std::to_string(s));
+    nl.mark_primary_input(n);
+    check.push_back(n);
+  }
+
+  // Syndrome s: parity of check bit s with every data bit whose index has
+  // bit s set (syndrome 0 covers all: the overall-parity bit).
+  std::vector<NetId> syndrome, syndrome_n;
+  for (int s = 0; s < sbits; ++s) {
+    std::vector<NetId> leaves{check[static_cast<std::size_t>(s)]};
+    for (int i = 0; i < data_bits; ++i) {
+      const bool covered = s == 0 || ((i >> (s - 1)) & 1);
+      if (covered) leaves.push_back(data[static_cast<std::size_t>(i)]);
+    }
+    const NetId root = xor_reduce(nl, std::move(leaves), "s" + std::to_string(s));
+    syndrome.push_back(root);
+    const NetId inv = nl.add_net("sn" + std::to_string(s));
+    nl.add_gate(GateType::Not, {root}, inv);
+    syndrome_n.push_back(inv);
+  }
+
+  // Per data bit: decode its syndrome pattern and conditionally flip.
+  for (int i = 0; i < data_bits; ++i) {
+    std::vector<NetId> pins;
+    pins.push_back(syndrome[0]);  // an error occurred
+    for (int s = 1; s < sbits; ++s) {
+      const bool bit = (i >> (s - 1)) & 1;
+      pins.push_back(bit ? syndrome[static_cast<std::size_t>(s)]
+                         : syndrome_n[static_cast<std::size_t>(s)]);
+    }
+    const NetId flip = nl.add_net("f" + std::to_string(i));
+    nl.add_gate(GateType::And, std::move(pins), flip);
+    const NetId corrected = nl.add_net("o" + std::to_string(i));
+    nl.add_gate(GateType::Xor, {data[static_cast<std::size_t>(i)], flip}, corrected);
+    nl.mark_primary_output(corrected);
+  }
+  nl.validate();
+  return nl;
+}
+
+Netlist mux_tree(int select_bits, const std::string& name) {
+  if (select_bits < 1 || select_bits > 16) {
+    throw NetlistError("mux_tree: need 1 <= select_bits <= 16");
+  }
+  Netlist nl(name);
+  const int n = 1 << select_bits;
+  std::vector<NetId> layer;
+  for (int i = 0; i < n; ++i) {
+    const NetId d = nl.add_net("d" + std::to_string(i));
+    nl.mark_primary_input(d);
+    layer.push_back(d);
+  }
+  std::vector<NetId> sel, sel_n;
+  for (int s = 0; s < select_bits; ++s) {
+    const NetId sn = nl.add_net("s" + std::to_string(s));
+    nl.mark_primary_input(sn);
+    sel.push_back(sn);
+    const NetId inv = nl.add_net("sn" + std::to_string(s));
+    nl.add_gate(GateType::Not, {sn}, inv);
+    sel_n.push_back(inv);
+  }
+  for (int s = 0; s < select_bits; ++s) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const std::string tag = "m" + std::to_string(s) + "_" + std::to_string(i / 2);
+      const NetId lo = nl.add_net(tag + "_lo");
+      nl.add_gate(GateType::And, {layer[i], sel_n[static_cast<std::size_t>(s)]}, lo);
+      const NetId hi = nl.add_net(tag + "_hi");
+      nl.add_gate(GateType::And, {layer[i + 1], sel[static_cast<std::size_t>(s)]}, hi);
+      const NetId o = nl.add_net(tag);
+      nl.add_gate(GateType::Or, {lo, hi}, o);
+      next.push_back(o);
+    }
+    layer = std::move(next);
+  }
+  nl.mark_primary_output(layer.front());
+  nl.validate();
+  return nl;
+}
+
+Netlist comparator(int bits, const std::string& name) {
+  if (bits < 1) throw NetlistError("comparator: need bits >= 1");
+  Netlist nl(name);
+  std::vector<NetId> a, b;
+  for (int i = 0; i < bits; ++i) {
+    a.push_back(nl.add_net("a" + std::to_string(i)));
+    b.push_back(nl.add_net("b" + std::to_string(i)));
+    nl.mark_primary_input(a.back());
+    nl.mark_primary_input(b.back());
+  }
+  // Ripple from the most significant bit: eq_i, gt_i over bits i..n-1.
+  NetId eq{}, gt{};
+  for (int i = bits - 1; i >= 0; --i) {
+    const std::string tag = "c" + std::to_string(i);
+    const NetId e = nl.add_net(tag + "_e");
+    nl.add_gate(GateType::Xnor, {a[static_cast<std::size_t>(i)],
+                                 b[static_cast<std::size_t>(i)]}, e);
+    const NetId bn = nl.add_net(tag + "_bn");
+    nl.add_gate(GateType::Not, {b[static_cast<std::size_t>(i)]}, bn);
+    const NetId g = nl.add_net(tag + "_g");
+    nl.add_gate(GateType::And, {a[static_cast<std::size_t>(i)], bn}, g);
+    if (i == bits - 1) {
+      eq = e;
+      gt = g;
+    } else {
+      const NetId eq2 = nl.add_net(tag + "_eq");
+      nl.add_gate(GateType::And, {eq, e}, eq2);
+      const NetId g2 = nl.add_net(tag + "_g2");
+      nl.add_gate(GateType::And, {eq, g}, g2);
+      const NetId gt2 = nl.add_net(tag + "_gt");
+      nl.add_gate(GateType::Or, {gt, g2}, gt2);
+      eq = eq2;
+      gt = gt2;
+    }
+  }
+  nl.mark_primary_output(eq);
+  nl.mark_primary_output(gt);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace udsim

@@ -1,0 +1,28 @@
+// Tree-structured combinational generators: parity/ECC networks (the
+// c499/c1355 family is a 32-bit single-error-correcting circuit), mux trees
+// and comparators for the example programs and tests.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+/// Balanced XOR parity tree over `width` inputs; output "parity".
+[[nodiscard]] Netlist parity_tree(int width, const std::string& name = "parity");
+
+/// Single-error-correcting network in the style of c499: `data_bits` data
+/// inputs and ceil(log2(data_bits))+1 check-bit inputs feed balanced XOR
+/// syndrome trees; AND decoders flip the faulty bit; outputs are the
+/// corrected data word.
+[[nodiscard]] Netlist ecc_corrector(int data_bits, const std::string& name = "ecc");
+
+/// 2^select_bits : 1 multiplexer tree; data inputs d0.., selects s0..,
+/// output "y".
+[[nodiscard]] Netlist mux_tree(int select_bits, const std::string& name = "mux");
+
+/// n-bit magnitude comparator; outputs "eq" and "gt" (a > b).
+[[nodiscard]] Netlist comparator(int bits, const std::string& name = "cmp");
+
+}  // namespace udsim

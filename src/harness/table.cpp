@@ -1,0 +1,36 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace udsim {
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      os << (c ? "  " : "");
+      // Left-align the first column (names), right-align the numbers.
+      if (c == 0) {
+        os << s << std::string(widths[c] - s.size(), ' ');
+      } else {
+        os << std::string(widths[c] - s.size(), ' ') << s;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace udsim

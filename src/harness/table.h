@@ -1,0 +1,32 @@
+// Minimal aligned-column table printer for paper-style result tables.
+#pragma once
+
+#include <iomanip>
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace udsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Format helper: fixed-point double.
+  [[nodiscard]] static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace udsim

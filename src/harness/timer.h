@@ -1,0 +1,26 @@
+// Wall-clock timing helpers for the experiment harnesses: median of
+// repeated trials (the paper ran each experiment five times and averaged).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <vector>
+
+namespace udsim {
+
+/// Run `body` `trials` times; return the median wall-clock seconds.
+inline double median_seconds(const std::function<void()>& body, int trials = 5) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace udsim

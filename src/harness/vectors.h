@@ -1,0 +1,44 @@
+// Seeded random input-vector streams, scalar and lane-packed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gen/rng.h"
+#include "netlist/logic.h"
+
+namespace udsim {
+
+class RandomVectorSource {
+ public:
+  RandomVectorSource(std::size_t inputs, std::uint64_t seed)
+      : inputs_(inputs), rng_(seed) {}
+
+  /// Next scalar vector: one Bit per primary input.
+  void next(std::span<Bit> out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<Bit>(rng_.bit());
+    }
+  }
+
+  /// Next packed batch: one Word per primary input, `lanes` independent
+  /// vector streams in the low `lanes` bits of each word.
+  template <class Word>
+  void next_packed(std::span<Word> out, unsigned lanes) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      Word w = 0;
+      for (unsigned l = 0; l < lanes; ++l) {
+        w |= static_cast<Word>(rng_.bit() & 1u) << l;
+      }
+      out[i] = w;
+    }
+  }
+
+  [[nodiscard]] std::size_t inputs() const noexcept { return inputs_; }
+
+ private:
+  std::size_t inputs_;
+  Rng rng_;
+};
+
+}  // namespace udsim

@@ -1,0 +1,81 @@
+#include "hazard/hazard.h"
+
+#include <algorithm>
+
+namespace udsim {
+
+namespace {
+
+template <class Word>
+[[nodiscard]] int bit_at(std::span<const Word> field, int i) {
+  constexpr int W = static_cast<int>(sizeof(Word) * 8);
+  return static_cast<int>((field[static_cast<std::size_t>(i / W)] >> (i % W)) & 1u);
+}
+
+/// Verify bits [lo, hi) all equal `v` using whole-word mask comparisons
+/// (the "comparison fields" of the paper) rather than a bit loop.
+template <class Word>
+[[nodiscard]] bool range_is(std::span<const Word> field, int lo, int hi, int v) {
+  constexpr int W = static_cast<int>(sizeof(Word) * 8);
+  const Word expect = v ? static_cast<Word>(~Word{0}) : Word{0};
+  int i = lo;
+  while (i < hi) {
+    const int w = i / W;
+    const int first = i % W;
+    const int last = std::min(hi - w * W, W);  // one past, within word
+    Word mask = static_cast<Word>(~Word{0});
+    if (first != 0) mask &= static_cast<Word>(~Word{0}) << first;
+    if (last != W) mask &= static_cast<Word>((Word{1} << last) - 1);
+    if ((field[static_cast<std::size_t>(w)] & mask) != (expect & mask)) return false;
+    i = (w + 1) * W;
+  }
+  return true;
+}
+
+}  // namespace
+
+template <class Word>
+std::optional<TransitionShape> single_transition_shape(std::span<const Word> field,
+                                                       int width_bits) {
+  if (width_bits <= 1) return TransitionShape{true, 0, false};
+  const int v0 = bit_at(field, 0);
+  const int vt = bit_at(field, width_bits - 1);
+  if (v0 == vt) {
+    if (range_is(field, 0, width_bits, v0)) return TransitionShape{true, 0, false};
+    return std::nullopt;  // departs and returns: at least two transitions
+  }
+  // Binary search for the boundary: smallest index whose bit equals vt,
+  // assuming a single transition (verified afterwards).
+  int lo = 0;
+  int hi = width_bits - 1;
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (bit_at(field, mid) == v0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (!range_is(field, 0, hi, v0) || !range_is(field, hi, width_bits, vt)) {
+    return std::nullopt;
+  }
+  return TransitionShape{false, hi, vt == 1};
+}
+
+template <class Word>
+int count_transitions(std::span<const Word> field, int width_bits) {
+  int n = 0;
+  for (int i = 1; i < width_bits; ++i) {
+    if (bit_at(field, i) != bit_at(field, i - 1)) ++n;
+  }
+  return n;
+}
+
+template std::optional<TransitionShape> single_transition_shape<std::uint32_t>(
+    std::span<const std::uint32_t>, int);
+template std::optional<TransitionShape> single_transition_shape<std::uint64_t>(
+    std::span<const std::uint64_t>, int);
+template int count_transitions<std::uint32_t>(std::span<const std::uint32_t>, int);
+template int count_transitions<std::uint64_t>(std::span<const std::uint64_t>, int);
+
+}  // namespace udsim

@@ -1,0 +1,51 @@
+// Hazard analysis on parallel-technique bit-fields.
+//
+// Paper §3: "Although the current implementation of the parallel technique
+// does not perform hazard analysis, such analysis could be done quickly by
+// using a binary search technique and comparison fields of the form
+// 0...01...1 and 1...10...0." This module implements that idea: a net's
+// bit-field hazards on a vector iff it is not of single-transition form —
+// constant, 0^a 1^b, or 1^a 0^b over its significant bits. The binary
+// search probes the field against step masks to find the transition
+// boundary and verifies both halves are constant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace udsim {
+
+struct TransitionShape {
+  bool constant = false;  ///< no transition at all
+  int boundary = 0;       ///< first bit index of the settled region (when !constant)
+  bool rising = false;    ///< 0...01...1 (vs 1...10...0) when !constant
+};
+
+/// Analyze the low `width_bits` of a little-endian multi-word bit-field.
+/// Returns the single-transition shape, or nullopt if the field transitions
+/// more than once — i.e. the net glitched (a static hazard under a
+/// unit-delay model).
+template <class Word>
+[[nodiscard]] std::optional<TransitionShape> single_transition_shape(
+    std::span<const Word> field, int width_bits);
+
+/// True iff the field changes value more than once: a hazard.
+template <class Word>
+[[nodiscard]] bool has_hazard(std::span<const Word> field, int width_bits) {
+  return !single_transition_shape(field, width_bits).has_value();
+}
+
+/// Reference implementation (linear scan) used by tests to validate the
+/// binary-search version.
+template <class Word>
+[[nodiscard]] int count_transitions(std::span<const Word> field, int width_bits);
+
+extern template std::optional<TransitionShape> single_transition_shape<std::uint32_t>(
+    std::span<const std::uint32_t>, int);
+extern template std::optional<TransitionShape> single_transition_shape<std::uint64_t>(
+    std::span<const std::uint64_t>, int);
+extern template int count_transitions<std::uint32_t>(std::span<const std::uint32_t>, int);
+extern template int count_transitions<std::uint64_t>(std::span<const std::uint64_t>, int);
+
+}  // namespace udsim

@@ -1,0 +1,34 @@
+// C source emitter: prints a straight-line program as a self-contained C
+// translation unit, the textual form the paper's code generators produce
+// (compare Figs. 4, 6, 8, 10). Useful for inspection, for out-of-process
+// compilation (examples/export_c), and to validate the in-process executor
+// against a real C compiler (bench/ablation_emitted_c).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/program.h"
+
+namespace udsim {
+
+struct CEmitOptions {
+  std::string function_name = "udsim_step";
+  std::string arena_name = "udsim_arena";
+  /// Emit `/* name */` comments on ops whose dst has a symbolic name.
+  bool comments = true;
+};
+
+/// Emit:
+///   #include <stdint.h>
+///   uintN_t <arena>[arena_words] = { ...constant init... };
+///   void <fn>(const uintN_t *in) { ...one statement per op...; }
+/// where N = program.word_bits.
+void emit_c(std::ostream& os, const Program& p, const CEmitOptions& opts = {});
+
+/// The single C statement for one op (used by emit_c and by tests that
+/// check the generated-code shape against the paper's figures).
+[[nodiscard]] std::string op_to_c(const Program& p, const Op& op,
+                                  const CEmitOptions& opts = {});
+
+}  // namespace udsim

@@ -1,0 +1,100 @@
+// Shared op-emission helpers used by the LCC, PC-set and parallel compilers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "ir/program.h"
+
+namespace udsim {
+
+/// Append ops computing `dst = f(operands)` for one word of a gate
+/// evaluation, where `operands[i]` is the arena word holding input pin i.
+/// `dst` must be distinct from every operand word.
+inline void emit_gate_word(std::vector<Op>& ops, GateType t, std::uint32_t dst,
+                           std::span<const std::uint32_t> operands) {
+  switch (t) {
+    case GateType::Const0:
+      ops.push_back({OpCode::Const, 0, dst, 0, 0});
+      return;
+    case GateType::Const1:
+      ops.push_back({OpCode::Const, 1, dst, 0, 0});
+      return;
+    case GateType::Not:
+      ops.push_back({OpCode::Not, 0, dst, operands[0], 0});
+      return;
+    case GateType::Buf:
+    case GateType::Dff:
+      ops.push_back({OpCode::Copy, 0, dst, operands[0], 0});
+      return;
+    default:
+      break;
+  }
+  const bool inverted = t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor;
+  OpCode pair;   // two-operand op
+  OpCode acc;    // accumulate op for pins 2..n
+  switch (t) {
+    case GateType::And:
+    case GateType::WiredAnd:
+      pair = OpCode::And;
+      acc = OpCode::AccAnd;
+      break;
+    case GateType::Nand:
+      pair = OpCode::Nand;
+      acc = OpCode::AccAnd;
+      break;
+    case GateType::Or:
+    case GateType::WiredOr:
+      pair = OpCode::Or;
+      acc = OpCode::AccOr;
+      break;
+    case GateType::Nor:
+      pair = OpCode::Nor;
+      acc = OpCode::AccOr;
+      break;
+    case GateType::Xor:
+      pair = OpCode::Xor;
+      acc = OpCode::AccXor;
+      break;
+    case GateType::Xnor:
+      pair = OpCode::Xnor;
+      acc = OpCode::AccXor;
+      break;
+    default:
+      pair = OpCode::Copy;
+      acc = OpCode::Copy;
+      break;
+  }
+  if (operands.size() == 1) {
+    // Degenerate one-pin reduction: identity (or inversion).
+    ops.push_back({inverted ? OpCode::Not : OpCode::Copy, 0, dst, operands[0], 0});
+    return;
+  }
+  if (operands.size() == 2) {
+    ops.push_back({pair, 0, dst, operands[0], operands[1]});
+    return;
+  }
+  // 3+ pins: accumulate un-inverted, invert once at the end.
+  OpCode first;
+  switch (acc) {
+    case OpCode::AccAnd:
+      first = OpCode::And;
+      break;
+    case OpCode::AccOr:
+      first = OpCode::Or;
+      break;
+    default:
+      first = OpCode::Xor;
+      break;
+  }
+  ops.push_back({first, 0, dst, operands[0], operands[1]});
+  for (std::size_t i = 2; i < operands.size(); ++i) {
+    ops.push_back({acc, 0, dst, operands[i], 0});
+  }
+  if (inverted) {
+    ops.push_back({OpCode::Not, 0, dst, dst, 0});
+  }
+}
+
+}  // namespace udsim

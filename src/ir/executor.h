@@ -1,0 +1,231 @@
+// Executor for straight-line programs.
+//
+// `execute` runs one input vector through the program: a single pass over
+// the op vector with a tight dispatch switch — the in-process equivalent of
+// the paper's compiled C code (see ir/c_emitter.h for the out-of-process
+// equivalent, and bench/ablation_emitted_c for the comparison of the two).
+#pragma once
+
+#include <cassert>
+#include <span>
+
+#include "ir/program.h"
+
+namespace udsim {
+
+/// Fill the arena's constant words. Call once before the first vector and
+/// after any external reset of the arena.
+template <class Word>
+void initialize_arena(const Program& p, std::span<Word> arena) {
+  assert(arena.size() >= p.arena_words);
+  for (const Program::InitWord& iw : p.arena_init) {
+    arena[iw.index] = static_cast<Word>(iw.value);
+  }
+}
+
+/// Reference dispatch: one switch per op. Always available; the threaded
+/// `execute` is checked against it (tests/ir_test.cpp) and non-GNU builds
+/// fall back to it.
+template <class Word>
+void execute_switch(const Program& p, std::span<const Word> in, std::span<Word> arena) {
+  static_assert(sizeof(Word) == 4 || sizeof(Word) == 8);
+  assert(static_cast<int>(sizeof(Word) * 8) == p.word_bits);
+  assert(in.size() >= p.input_words);
+  assert(arena.size() >= p.arena_words);
+  constexpr unsigned W = sizeof(Word) * 8;
+  Word* const w = arena.data();
+  const Word* const iv = in.data();
+  for (const Op& op : p.ops) {
+    switch (op.code) {
+      case OpCode::Const:
+        w[op.dst] = op.imm ? static_cast<Word>(~Word{0}) : Word{0};
+        break;
+      case OpCode::Copy:
+        w[op.dst] = w[op.a];
+        break;
+      case OpCode::Not:
+        w[op.dst] = static_cast<Word>(~w[op.a]);
+        break;
+      case OpCode::And:
+        w[op.dst] = w[op.a] & w[op.b];
+        break;
+      case OpCode::Or:
+        w[op.dst] = w[op.a] | w[op.b];
+        break;
+      case OpCode::Xor:
+        w[op.dst] = w[op.a] ^ w[op.b];
+        break;
+      case OpCode::Nand:
+        w[op.dst] = static_cast<Word>(~(w[op.a] & w[op.b]));
+        break;
+      case OpCode::Nor:
+        w[op.dst] = static_cast<Word>(~(w[op.a] | w[op.b]));
+        break;
+      case OpCode::Xnor:
+        w[op.dst] = static_cast<Word>(~(w[op.a] ^ w[op.b]));
+        break;
+      case OpCode::AccAnd:
+        w[op.dst] &= w[op.a];
+        break;
+      case OpCode::AccOr:
+        w[op.dst] |= w[op.a];
+        break;
+      case OpCode::AccXor:
+        w[op.dst] ^= w[op.a];
+        break;
+      case OpCode::MaskedCopy:
+        w[op.dst] = static_cast<Word>((w[op.dst] & ~w[op.b]) | (w[op.a] & w[op.b]));
+        break;
+      case OpCode::LoadBit:
+        w[op.dst] = iv[op.a] & Word{1};
+        break;
+      case OpCode::LoadBcast:
+        w[op.dst] = static_cast<Word>(Word{0} - (iv[op.a] & Word{1}));
+        break;
+      case OpCode::LoadWord:
+        w[op.dst] = iv[op.a];
+        break;
+      case OpCode::ExtractBit:
+        w[op.dst] = (w[op.a] >> op.imm) & Word{1};
+        break;
+      case OpCode::BcastBit:
+        w[op.dst] = static_cast<Word>(Word{0} - ((w[op.a] >> op.imm) & Word{1}));
+        break;
+      case OpCode::Shl:
+        w[op.dst] = static_cast<Word>(w[op.a] << op.imm);
+        break;
+      case OpCode::Shr:
+        w[op.dst] = static_cast<Word>(w[op.a] >> op.imm);
+        break;
+      case OpCode::ShlOr:
+        w[op.dst] |= static_cast<Word>(w[op.a] << op.imm);
+        break;
+      case OpCode::MaskShlOr:
+        w[op.dst] = static_cast<Word>(
+            (w[op.dst] & ((Word{1} << op.imm) - 1)) | (w[op.a] << op.imm));
+        break;
+      case OpCode::FunnelL:
+        w[op.dst] = static_cast<Word>((w[op.a] << op.imm) | (w[op.b] >> (W - op.imm)));
+        break;
+      case OpCode::FunnelR:
+        w[op.dst] = static_cast<Word>((w[op.a] >> op.imm) | (w[op.b] << (W - op.imm)));
+        break;
+    }
+  }
+}
+
+template <class Word>
+void execute(const Program& p, std::span<const Word> in, std::span<Word> arena) {
+  static_assert(sizeof(Word) == 4 || sizeof(Word) == 8);
+  assert(static_cast<int>(sizeof(Word) * 8) == p.word_bits);
+  assert(in.size() >= p.input_words);
+  assert(arena.size() >= p.arena_words);
+  constexpr unsigned W = sizeof(Word) * 8;
+  Word* const w = arena.data();
+  const Word* const iv = in.data();
+
+#if defined(__GNUC__) && !defined(UDSIM_NO_COMPUTED_GOTO)
+  // Threaded-code dispatch (the technique of the paper's reference [8],
+  // used by the tortle.c simulator it cites): each handler jumps directly
+  // to the next op's handler, giving the branch predictor one indirect
+  // site per opcode instead of a single giant switch. On mixed-opcode
+  // straight-line programs this roughly halves dispatch cost.
+  static const void* const kLabels[] = {
+      &&l_Const,      &&l_Copy,    &&l_Not,     &&l_And,     &&l_Or,
+      &&l_Xor,        &&l_Nand,    &&l_Nor,     &&l_Xnor,    &&l_AccAnd,
+      &&l_AccOr,      &&l_AccXor,  &&l_MaskedCopy, &&l_LoadBit,
+      &&l_LoadBcast,  &&l_LoadWord, &&l_ExtractBit, &&l_BcastBit,
+      &&l_Shl,        &&l_Shr,     &&l_ShlOr,   &&l_MaskShlOr,
+      &&l_FunnelL,    &&l_FunnelR};
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                    static_cast<std::size_t>(OpCode::FunnelR) + 1,
+                "label table must cover every opcode in enum order");
+  const Op* op = p.ops.data();
+  const Op* const end = op + p.ops.size();
+  if (op == end) return;
+#define UDSIM_DISPATCH()                                     \
+  do {                                                       \
+    if (++op == end) return;                                 \
+    goto* kLabels[static_cast<std::uint8_t>(op->code)];      \
+  } while (0)
+  goto* kLabels[static_cast<std::uint8_t>(op->code)];
+l_Const:
+  w[op->dst] = op->imm ? static_cast<Word>(~Word{0}) : Word{0};
+  UDSIM_DISPATCH();
+l_Copy:
+  w[op->dst] = w[op->a];
+  UDSIM_DISPATCH();
+l_Not:
+  w[op->dst] = static_cast<Word>(~w[op->a]);
+  UDSIM_DISPATCH();
+l_And:
+  w[op->dst] = w[op->a] & w[op->b];
+  UDSIM_DISPATCH();
+l_Or:
+  w[op->dst] = w[op->a] | w[op->b];
+  UDSIM_DISPATCH();
+l_Xor:
+  w[op->dst] = w[op->a] ^ w[op->b];
+  UDSIM_DISPATCH();
+l_Nand:
+  w[op->dst] = static_cast<Word>(~(w[op->a] & w[op->b]));
+  UDSIM_DISPATCH();
+l_Nor:
+  w[op->dst] = static_cast<Word>(~(w[op->a] | w[op->b]));
+  UDSIM_DISPATCH();
+l_Xnor:
+  w[op->dst] = static_cast<Word>(~(w[op->a] ^ w[op->b]));
+  UDSIM_DISPATCH();
+l_AccAnd:
+  w[op->dst] &= w[op->a];
+  UDSIM_DISPATCH();
+l_AccOr:
+  w[op->dst] |= w[op->a];
+  UDSIM_DISPATCH();
+l_AccXor:
+  w[op->dst] ^= w[op->a];
+  UDSIM_DISPATCH();
+l_MaskedCopy:
+  w[op->dst] = static_cast<Word>((w[op->dst] & ~w[op->b]) | (w[op->a] & w[op->b]));
+  UDSIM_DISPATCH();
+l_LoadBit:
+  w[op->dst] = iv[op->a] & Word{1};
+  UDSIM_DISPATCH();
+l_LoadBcast:
+  w[op->dst] = static_cast<Word>(Word{0} - (iv[op->a] & Word{1}));
+  UDSIM_DISPATCH();
+l_LoadWord:
+  w[op->dst] = iv[op->a];
+  UDSIM_DISPATCH();
+l_ExtractBit:
+  w[op->dst] = (w[op->a] >> op->imm) & Word{1};
+  UDSIM_DISPATCH();
+l_BcastBit:
+  w[op->dst] = static_cast<Word>(Word{0} - ((w[op->a] >> op->imm) & Word{1}));
+  UDSIM_DISPATCH();
+l_Shl:
+  w[op->dst] = static_cast<Word>(w[op->a] << op->imm);
+  UDSIM_DISPATCH();
+l_Shr:
+  w[op->dst] = static_cast<Word>(w[op->a] >> op->imm);
+  UDSIM_DISPATCH();
+l_ShlOr:
+  w[op->dst] |= static_cast<Word>(w[op->a] << op->imm);
+  UDSIM_DISPATCH();
+l_MaskShlOr:
+  w[op->dst] = static_cast<Word>((w[op->dst] & ((Word{1} << op->imm) - 1)) |
+                                 (w[op->a] << op->imm));
+  UDSIM_DISPATCH();
+l_FunnelL:
+  w[op->dst] = static_cast<Word>((w[op->a] << op->imm) | (w[op->b] >> (W - op->imm)));
+  UDSIM_DISPATCH();
+l_FunnelR:
+  w[op->dst] = static_cast<Word>((w[op->a] >> op->imm) | (w[op->b] << (W - op->imm)));
+  UDSIM_DISPATCH();
+#undef UDSIM_DISPATCH
+#else
+  execute_switch<Word>(p, in, arena);
+#endif
+}
+
+}  // namespace udsim

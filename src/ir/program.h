@@ -1,0 +1,77 @@
+// Straight-line word-level programs: the "compiled code" of the paper.
+//
+// Each generated simulation is a flat vector of ops over a persistent word
+// arena (net variables / bit-fields survive from vector to vector, exactly
+// like the paper's C globals). One execution of the program simulates one
+// input vector; there are no branches or queues — the defining property of
+// Levelized Compiled Code simulation.
+//
+// The same program text runs at any word size (32-bit to match the paper's
+// word counts, 64-bit for the ablation); shift immediates are produced by
+// the compilers for a specific word size, recorded in `word_bits`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace udsim {
+
+enum class OpCode : std::uint8_t {
+  Const,       ///< dst = imm ? ~0 : 0
+  Copy,        ///< dst = w[a]
+  Not,         ///< dst = ~w[a]
+  And,         ///< dst = w[a] & w[b]
+  Or,          ///< dst = w[a] | w[b]
+  Xor,         ///< dst = w[a] ^ w[b]
+  Nand,        ///< dst = ~(w[a] & w[b])
+  Nor,         ///< dst = ~(w[a] | w[b])
+  Xnor,        ///< dst = ~(w[a] ^ w[b])
+  AccAnd,      ///< dst &= w[a]
+  AccOr,       ///< dst |= w[a]
+  AccXor,      ///< dst ^= w[a]
+  MaskedCopy,  ///< dst = (dst & ~w[b]) | (w[a] & w[b])
+  LoadBit,     ///< dst = in[a] & 1
+  LoadBcast,   ///< dst = all bits = (in[a] & 1)
+  LoadWord,    ///< dst = in[a]
+  ExtractBit,  ///< dst = (w[a] >> imm) & 1
+  BcastBit,    ///< dst = all bits = ((w[a] >> imm) & 1)
+  Shl,         ///< dst = w[a] << imm
+  Shr,         ///< dst = w[a] >> imm        (logical)
+  ShlOr,       ///< dst |= w[a] << imm
+  MaskShlOr,   ///< dst = (dst & low_mask(imm)) | (w[a] << imm)
+  FunnelL,     ///< dst = (w[a] << imm) | (w[b] >> (word_bits - imm)), 0<imm<word_bits
+  FunnelR,     ///< dst = (w[a] >> imm) | (w[b] << (word_bits - imm)), 0<imm<word_bits
+};
+
+struct Op {
+  OpCode code;
+  std::uint8_t imm = 0;   ///< shift amount / bit index / constant selector
+  std::uint32_t dst = 0;  ///< arena word index
+  std::uint32_t a = 0;    ///< arena word index, or input index for Load*
+  std::uint32_t b = 0;    ///< second arena word index where applicable
+};
+static_assert(sizeof(Op) == 16);
+
+struct Program {
+  std::vector<Op> ops;
+  std::uint32_t arena_words = 0;
+  std::uint32_t input_words = 0;  ///< size of the per-vector input span
+  int word_bits = 32;             ///< word size the shift immediates assume
+
+  /// Arena words with a fixed value established once before the first vector
+  /// (constant nets, mask words). `value_ones` = true means all-ones.
+  struct InitWord {
+    std::uint32_t index;
+    std::uint64_t value;  ///< truncated to the executor's word size
+  };
+  std::vector<InitWord> arena_init;
+
+  /// Optional symbolic names for arena words (used by the C emitter and for
+  /// debugging); may be empty or sparse.
+  std::vector<std::string> names;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+};
+
+}  // namespace udsim

@@ -1,0 +1,106 @@
+#include "ir/verify.h"
+
+#include <vector>
+
+namespace udsim {
+
+namespace {
+
+struct OpShape {
+  bool reads_a_arena;   ///< a is an arena index (vs an input index)
+  bool reads_b;
+  bool reads_dst;       ///< dst is read-modify-write
+  bool uses_imm_shift;  ///< imm must be a shift amount
+  bool imm_nonzero;     ///< funnel shifts exclude 0
+};
+
+OpShape shape_of(OpCode c) {
+  switch (c) {
+    case OpCode::Const:
+      return {false, false, false, false, false};
+    case OpCode::Copy:
+    case OpCode::Not:
+      return {true, false, false, false, false};
+    case OpCode::And:
+    case OpCode::Or:
+    case OpCode::Xor:
+    case OpCode::Nand:
+    case OpCode::Nor:
+    case OpCode::Xnor:
+      return {true, true, false, false, false};
+    case OpCode::AccAnd:
+    case OpCode::AccOr:
+    case OpCode::AccXor:
+      return {true, false, true, false, false};
+    case OpCode::MaskedCopy:
+      return {true, true, true, false, false};
+    case OpCode::LoadBit:
+    case OpCode::LoadBcast:
+    case OpCode::LoadWord:
+      return {false, false, false, false, false};
+    case OpCode::ExtractBit:
+    case OpCode::BcastBit:
+    case OpCode::Shl:
+    case OpCode::Shr:
+      return {true, false, false, true, false};
+    case OpCode::ShlOr:
+    case OpCode::MaskShlOr:
+      return {true, false, true, true, false};
+    case OpCode::FunnelL:
+    case OpCode::FunnelR:
+      return {true, true, false, true, true};
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string verify_program(const Program& p, const VerifyOptions& opts) {
+  const auto W = static_cast<unsigned>(p.word_bits);
+  if (W != 32 && W != 64) return "word_bits must be 32 or 64";
+
+  std::vector<bool> written(p.arena_words, false);
+  for (const Program::InitWord& iw : p.arena_init) {
+    if (iw.index >= p.arena_words) return "arena_init index out of bounds";
+    written[iw.index] = true;
+  }
+  for (std::uint32_t persistent : opts.persistent) {
+    if (persistent >= p.arena_words) return "persistent index out of bounds";
+    written[persistent] = true;
+  }
+  const bool track_scratch = !opts.persistent.empty();
+
+  for (std::size_t i = 0; i < p.ops.size(); ++i) {
+    const Op& op = p.ops[i];
+    const OpShape s = shape_of(op.code);
+    const auto where = [&] { return " at op " + std::to_string(i); };
+    if (op.dst >= p.arena_words) return "dst out of bounds" + where();
+    const bool is_load = op.code == OpCode::LoadBit || op.code == OpCode::LoadBcast ||
+                         op.code == OpCode::LoadWord;
+    if (is_load) {
+      if (op.a >= p.input_words) return "input index out of bounds" + where();
+    } else if (s.reads_a_arena) {
+      if (op.a >= p.arena_words) return "operand a out of bounds" + where();
+      if (track_scratch && !written[op.a]) {
+        return "read of unwritten scratch word (a)" + where();
+      }
+    }
+    if (s.reads_b) {
+      if (op.b >= p.arena_words) return "operand b out of bounds" + where();
+      if (track_scratch && !written[op.b]) {
+        return "read of unwritten scratch word (b)" + where();
+      }
+    }
+    if (s.reads_dst && track_scratch && !written[op.dst]) {
+      return "read-modify-write of unwritten scratch word" + where();
+    }
+    if (s.uses_imm_shift) {
+      if (op.imm >= W) return "shift immediate out of range" + where();
+      if (s.imm_nonzero && op.imm == 0) return "funnel shift of zero" + where();
+    }
+    written[op.dst] = true;
+  }
+  return {};
+}
+
+}  // namespace udsim

@@ -1,0 +1,25 @@
+// Structural verifier for generated programs: bounds, immediate ranges, and
+// scratch-read-before-write. Run by the compiler test suites over every
+// generated program; catches code-generator bugs at the IR level instead of
+// as silent wrong simulation results.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ir/program.h"
+
+namespace udsim {
+
+struct VerifyOptions {
+  /// Arena words that are legitimately live across vectors (net variables /
+  /// bit-fields / arena-init constants). Words outside this set are scratch:
+  /// reading one before this program writes it is an error.
+  std::span<const std::uint32_t> persistent;
+};
+
+/// Returns an empty string when the program is well-formed, otherwise a
+/// description of the first problem found.
+[[nodiscard]] std::string verify_program(const Program& p, const VerifyOptions& opts = {});
+
+}  // namespace udsim

@@ -1,0 +1,51 @@
+#include "lcc/lcc.h"
+
+#include "analysis/levelize.h"
+#include "ir/emit_util.h"
+
+namespace udsim {
+
+LccCompiled compile_lcc(const Netlist& nl, bool packed, int word_bits) {
+  nl.validate();
+  LccCompiled out;
+  out.packed = packed;
+  Program& p = out.program;
+  p.word_bits = word_bits;
+
+  out.net_var.resize(nl.net_count());
+  p.names.resize(nl.net_count());
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    out.net_var[n] = n;
+    p.names[n] = nl.net(NetId{n}).name;
+  }
+  p.arena_words = static_cast<std::uint32_t>(nl.net_count());
+  p.input_words = static_cast<std::uint32_t>(nl.primary_inputs().size());
+
+  // Constant nets: fixed arena words, no per-vector code.
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::Const0) p.arena_init.push_back({out.net_var[g.output.value], 0});
+    if (g.type == GateType::Const1) {
+      p.arena_init.push_back({out.net_var[g.output.value], ~std::uint64_t{0}});
+    }
+  }
+
+  out.def_end.assign(nl.net_count(), 0);
+  for (std::uint32_t i = 0; i < nl.primary_inputs().size(); ++i) {
+    const NetId pi = nl.primary_inputs()[i];
+    p.ops.push_back({packed ? OpCode::LoadWord : OpCode::LoadBit, 0,
+                     out.net_var[pi.value], i, 0});
+    out.def_end[pi.value] = static_cast<std::uint32_t>(p.ops.size());
+  }
+  std::vector<std::uint32_t> operands;
+  for (GateId gid : topological_gate_order(nl)) {
+    const Gate& g = nl.gate(gid);
+    if (is_constant(g.type)) continue;
+    operands.clear();
+    for (NetId in : g.inputs) operands.push_back(out.net_var[in.value]);
+    emit_gate_word(p.ops, g.type, out.net_var[g.output.value], operands);
+    out.def_end[g.output.value] = static_cast<std::uint32_t>(p.ops.size());
+  }
+  return out;
+}
+
+}  // namespace udsim

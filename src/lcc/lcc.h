@@ -1,0 +1,61 @@
+// Zero-delay Levelized Compiled Code simulation (paper §1, Fig. 1).
+//
+// One variable per net, one straight-line gate evaluation per gate in
+// levelized order, final values only. Supports packed mode: with one lane
+// per word bit, 32/64 independent input vectors are simulated per pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/kernel_runner.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct LccCompiled {
+  Program program;
+  std::vector<std::uint32_t> net_var;  ///< arena word of each net's value
+  /// Per net: one past the index of the op that finishes computing its
+  /// variable (0 when the value comes from arena_init, i.e. constants).
+  /// Fault simulation splices forcing ops at these points.
+  std::vector<std::uint32_t> def_end;
+  bool packed = false;
+};
+
+/// Generate the zero-delay LCC program. `packed` selects whole-word input
+/// loads (one lane per bit) instead of single-bit loads.
+[[nodiscard]] LccCompiled compile_lcc(const Netlist& nl, bool packed = false,
+                                      int word_bits = 32);
+
+/// Convenience runtime wrapper (scalar mode).
+template <class Word = std::uint32_t>
+class LccSim {
+ public:
+  explicit LccSim(const Netlist& nl)
+      : nl_(nl), compiled_(compile_lcc(nl, false, static_cast<int>(sizeof(Word) * 8))),
+        runner_(compiled_.program) {}
+
+  // runner_ references compiled_.program; relocation would dangle.
+  LccSim(const LccSim&) = delete;
+  LccSim& operator=(const LccSim&) = delete;
+
+  void step(std::span<const Bit> pi_values) {
+    in_.assign(nl_.primary_inputs().size(), 0);
+    for (std::size_t i = 0; i < in_.size(); ++i) in_[i] = pi_values[i] & 1;
+    runner_.run(in_);
+  }
+
+  [[nodiscard]] Bit value(NetId n) const {
+    return runner_.bit(compiled_.net_var[n.value], 0);
+  }
+  [[nodiscard]] const Program& program() const noexcept { return compiled_.program; }
+
+ private:
+  const Netlist& nl_;
+  LccCompiled compiled_;
+  KernelRunner<Word> runner_;
+  std::vector<Word> in_;
+};
+
+}  // namespace udsim

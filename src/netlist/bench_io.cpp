@@ -1,0 +1,170 @@
+#include "netlist/bench_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace udsim {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+struct PendingGate {
+  std::string output;
+  GateType type;
+  std::vector<std::string> args;
+  std::size_t line;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string name) {
+  Netlist nl(std::move(name));
+  std::vector<std::string> outputs;  // marked after all nets exist
+  std::vector<PendingGate> pending;
+  std::vector<std::pair<std::string, int>> delays;  // net name -> delay
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view s = line;
+    // Extension directive (ignored by other .bench tools): per-gate delay
+    // annotation "#!delay <output-net> <delay>".
+    if (trim(s).starts_with("#!delay")) {
+      std::istringstream ds{std::string(trim(s).substr(7))};
+      std::string net;
+      int d = 0;
+      if (!(ds >> net >> d) || d < 1) {
+        throw BenchParseError(lineno, "malformed #!delay directive");
+      }
+      delays.emplace_back(std::move(net), d);
+      continue;
+    }
+    if (auto hash = s.find('#'); hash != std::string_view::npos) {
+      s = s.substr(0, hash);
+    }
+    s = trim(s);
+    if (s.empty()) continue;
+
+    const auto lpar = s.find('(');
+    const auto rpar = s.rfind(')');
+    if (lpar == std::string_view::npos || rpar == std::string_view::npos ||
+        rpar < lpar) {
+      throw BenchParseError(lineno, "expected '(' ... ')'");
+    }
+    const std::string_view head = trim(s.substr(0, lpar));
+    const std::string_view body = trim(s.substr(lpar + 1, rpar - lpar - 1));
+
+    if (auto eq = head.find('='); eq != std::string_view::npos) {
+      PendingGate g;
+      g.output = std::string(trim(head.substr(0, eq)));
+      const std::string_view type_name = trim(head.substr(eq + 1));
+      if (!parse_gate_type(type_name, g.type)) {
+        throw BenchParseError(lineno,
+                              "unknown gate type '" + std::string(type_name) + "'");
+      }
+      g.line = lineno;
+      std::string arg;
+      std::istringstream args{std::string(body)};
+      while (std::getline(args, arg, ',')) {
+        const std::string_view a = trim(arg);
+        if (a.empty()) throw BenchParseError(lineno, "empty gate argument");
+        g.args.emplace_back(a);
+      }
+      if (g.output.empty()) throw BenchParseError(lineno, "missing output name");
+      pending.push_back(std::move(g));
+    } else if (head == "INPUT") {
+      nl.mark_primary_input(nl.get_or_add_net(std::string(body)));
+    } else if (head == "OUTPUT") {
+      outputs.emplace_back(body);
+    } else {
+      throw BenchParseError(lineno, "unrecognized statement '" + std::string(head) + "'");
+    }
+  }
+
+  for (const PendingGate& g : pending) {
+    std::vector<NetId> ins;
+    ins.reserve(g.args.size());
+    for (const std::string& a : g.args) {
+      ins.push_back(nl.get_or_add_net(a));
+    }
+    try {
+      nl.add_gate(g.type, std::move(ins), nl.get_or_add_net(g.output));
+    } catch (const NetlistError& e) {
+      throw BenchParseError(g.line, e.what());
+    }
+  }
+  for (const std::string& o : outputs) {
+    const auto id = nl.find_net(o);
+    if (!id) throw BenchParseError(0, "OUTPUT of unknown net '" + o + "'");
+    nl.mark_primary_output(*id);
+  }
+  for (const auto& [net_name, d] : delays) {
+    const auto id = nl.find_net(net_name);
+    if (!id || nl.net(*id).drivers.empty()) {
+      throw BenchParseError(0, "#!delay names undriven or unknown net '" +
+                                   net_name + "'");
+    }
+    for (GateId g : nl.net(*id).drivers) nl.set_delay(g, d);
+  }
+  return nl;
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw NetlistError("cannot open '" + path + "'");
+  std::string stem = path;
+  if (auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return read_bench(f, std::move(stem));
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " — written by udsim\n";
+  for (NetId pi : nl.primary_inputs()) {
+    out << "INPUT(" << nl.net(pi).name << ")\n";
+  }
+  for (NetId po : nl.primary_outputs()) {
+    out << "OUTPUT(" << nl.net(po).name << ")\n";
+  }
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::WiredAnd || g.type == GateType::WiredOr) {
+      throw NetlistError("wired pseudo-gates are not representable in .bench");
+    }
+    std::string type_name(gate_type_name(g.type));
+    for (char& c : type_name) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (type_name == "BUF") type_name = "BUFF";
+    out << nl.net(g.output).name << " = " << type_name << "(";
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.net(g.inputs[i]).name;
+    }
+    out << ")\n";
+  }
+  // Non-default delays as extension directives (harmless to other tools).
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& g = nl.gate(GateId{gi});
+    if (nl.delay(GateId{gi}) != gate_delay(g.type)) {
+      out << "#!delay " << nl.net(g.output).name << " " << nl.delay(GateId{gi})
+          << "\n";
+    }
+  }
+}
+
+}  // namespace udsim

@@ -1,0 +1,40 @@
+// Reader/writer for the ISCAS `.bench` netlist format used by the ISCAS-85
+// combinational benchmarks the paper evaluates on (c432 … c7552).
+//
+// Grammar accepted (comments start with '#'):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(arg, arg, ...)        GATE in {AND,OR,NAND,NOR,XOR,XNOR,
+//                                              NOT,BUF,BUFF,DFF,CONST0,CONST1}
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+class BenchParseError : public std::runtime_error {
+ public:
+  BenchParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a `.bench` stream. `name` becomes the netlist name.
+[[nodiscard]] Netlist read_bench(std::istream& in, std::string name = "bench");
+
+/// Parse a `.bench` file from disk (name defaults to the file stem).
+[[nodiscard]] Netlist read_bench_file(const std::string& path);
+
+/// Write `nl` in `.bench` syntax. Wired pseudo-gates are not representable;
+/// call lower_wired_nets + this only on netlists without them, otherwise a
+/// NetlistError is thrown.
+void write_bench(std::ostream& out, const Netlist& nl);
+
+}  // namespace udsim

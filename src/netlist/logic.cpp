@@ -1,0 +1,160 @@
+#include "netlist/logic.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace udsim {
+
+Bit eval2(GateType t, std::span<const Bit> inputs) noexcept {
+  switch (t) {
+    case GateType::Const0:
+      return 0;
+    case GateType::Const1:
+      return 1;
+    case GateType::Not:
+      return static_cast<Bit>(~inputs[0] & 1u);
+    case GateType::Buf:
+    case GateType::Dff:
+      return static_cast<Bit>(inputs[0] & 1u);
+    default:
+      break;
+  }
+  unsigned acc = inputs[0] & 1u;
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::WiredAnd:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc &= inputs[i];
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::WiredOr:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc |= inputs[i];
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc ^= inputs[i];
+      break;
+    default:
+      break;
+  }
+  if (t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor) {
+    acc = ~acc;
+  }
+  return static_cast<Bit>(acc & 1u);
+}
+
+namespace {
+
+[[nodiscard]] Tri tri_not(Tri a) noexcept {
+  if (a == Tri::X) return Tri::X;
+  return a == Tri::Zero ? Tri::One : Tri::Zero;
+}
+
+[[nodiscard]] Tri tri_and(Tri a, Tri b) noexcept {
+  if (a == Tri::Zero || b == Tri::Zero) return Tri::Zero;
+  if (a == Tri::X || b == Tri::X) return Tri::X;
+  return Tri::One;
+}
+
+[[nodiscard]] Tri tri_or(Tri a, Tri b) noexcept {
+  if (a == Tri::One || b == Tri::One) return Tri::One;
+  if (a == Tri::X || b == Tri::X) return Tri::X;
+  return Tri::Zero;
+}
+
+[[nodiscard]] Tri tri_xor(Tri a, Tri b) noexcept {
+  if (a == Tri::X || b == Tri::X) return Tri::X;
+  return a == b ? Tri::Zero : Tri::One;
+}
+
+}  // namespace
+
+Tri eval3(GateType t, std::span<const Tri> inputs) noexcept {
+  switch (t) {
+    case GateType::Const0:
+      return Tri::Zero;
+    case GateType::Const1:
+      return Tri::One;
+    case GateType::Not:
+      return tri_not(inputs[0]);
+    case GateType::Buf:
+    case GateType::Dff:
+      return inputs[0];
+    default:
+      break;
+  }
+  Tri acc = inputs[0];
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::WiredAnd:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc = tri_and(acc, inputs[i]);
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::WiredOr:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc = tri_or(acc, inputs[i]);
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc = tri_xor(acc, inputs[i]);
+      break;
+    default:
+      break;
+  }
+  if (t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor) {
+    acc = tri_not(acc);
+  }
+  return acc;
+}
+
+namespace {
+
+struct NameEntry {
+  std::string_view name;
+  GateType type;
+};
+
+constexpr std::array<NameEntry, 13> kNames = {{
+    {"and", GateType::And},
+    {"or", GateType::Or},
+    {"nand", GateType::Nand},
+    {"nor", GateType::Nor},
+    {"xor", GateType::Xor},
+    {"xnor", GateType::Xnor},
+    {"not", GateType::Not},
+    {"buf", GateType::Buf},
+    {"const0", GateType::Const0},
+    {"const1", GateType::Const1},
+    {"wired_and", GateType::WiredAnd},
+    {"wired_or", GateType::WiredOr},
+    {"dff", GateType::Dff},
+}};
+
+}  // namespace
+
+std::string_view gate_type_name(GateType t) noexcept {
+  for (const auto& e : kNames) {
+    if (e.type == t) return e.name;
+  }
+  return "?";
+}
+
+bool parse_gate_type(std::string_view name, GateType& out) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  // .bench files spell buffers "BUFF".
+  if (lower == "buff") lower = "buf";
+  for (const auto& e : kNames) {
+    if (e.name == lower) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace udsim

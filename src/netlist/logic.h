@@ -1,0 +1,116 @@
+// Two- and three-valued gate-level logic.
+//
+// The compiled techniques of Maurer (DAC 1990) use a two-valued model; the
+// interpreted event-driven baseline is provided in both a two-valued and a
+// three-valued variant, matching the paper's Fig. 19 columns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace udsim {
+
+/// A two-valued logic level. Only the low bit is meaningful.
+using Bit = std::uint8_t;
+
+/// Gate primitives. `WiredAnd`/`WiredOr` are zero-delay resolution
+/// pseudo-gates introduced when lowering multi-driver (wired) nets; all other
+/// gates have unit delay. `Dff` appears only in sequential netlists and must
+/// be broken (see gen/sequential.h) before any of the combinational engines
+/// see the circuit.
+enum class GateType : std::uint8_t {
+  And,
+  Or,
+  Nand,
+  Nor,
+  Xor,
+  Xnor,
+  Not,
+  Buf,
+  Const0,
+  Const1,
+  WiredAnd,
+  WiredOr,
+  Dff,
+};
+
+/// Three-valued logic level for the event-driven baseline: 0, 1, unknown.
+enum class Tri : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+/// Number of gate delays contributed by a gate of this type. Unit delay for
+/// all real gates, zero for wired-resolution pseudo-gates (a wired connection
+/// is a property of the net, not a level of logic).
+[[nodiscard]] constexpr int gate_delay(GateType t) noexcept {
+  return (t == GateType::WiredAnd || t == GateType::WiredOr) ? 0 : 1;
+}
+
+/// True for gate types whose evaluation ignores the input list.
+[[nodiscard]] constexpr bool is_constant(GateType t) noexcept {
+  return t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// True for the single-input gate types.
+[[nodiscard]] constexpr bool is_unary(GateType t) noexcept {
+  return t == GateType::Not || t == GateType::Buf || t == GateType::Dff;
+}
+
+/// Evaluate a gate in two-valued logic. `inputs` holds one Bit (0/1) per
+/// input pin; n-ary AND/OR/NAND/NOR reduce over all pins, XOR/XNOR are
+/// parity/its complement. Constants ignore `inputs`.
+[[nodiscard]] Bit eval2(GateType t, std::span<const Bit> inputs) noexcept;
+
+/// Evaluate a gate in three-valued logic (with the usual dominance rules:
+/// a 0 input forces AND to 0 regardless of X, etc.).
+[[nodiscard]] Tri eval3(GateType t, std::span<const Tri> inputs) noexcept;
+
+/// Word-parallel evaluation: applies the gate function bitwise to whole
+/// words, the primitive the parallel technique is built on.
+template <class Word>
+[[nodiscard]] Word eval_word(GateType t, std::span<const Word> inputs) noexcept {
+  const Word ones = ~Word{0};
+  switch (t) {
+    case GateType::Const0:
+      return 0;
+    case GateType::Const1:
+      return ones;
+    case GateType::Not:
+      return static_cast<Word>(~inputs[0]);
+    case GateType::Buf:
+    case GateType::Dff:
+      return inputs[0];
+    default:
+      break;
+  }
+  Word acc = inputs[0];
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::WiredAnd:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc &= inputs[i];
+      break;
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::WiredOr:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc |= inputs[i];
+      break;
+    case GateType::Xor:
+    case GateType::Xnor:
+      for (std::size_t i = 1; i < inputs.size(); ++i) acc ^= inputs[i];
+      break;
+    default:
+      break;
+  }
+  if (t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor) {
+    acc = static_cast<Word>(~acc);
+  }
+  return acc;
+}
+
+/// Canonical lower-case name used by the .bench reader/writer.
+[[nodiscard]] std::string_view gate_type_name(GateType t) noexcept;
+
+/// Parse a gate-type name (case-insensitive). Returns true on success.
+[[nodiscard]] bool parse_gate_type(std::string_view name, GateType& out) noexcept;
+
+}  // namespace udsim

@@ -1,0 +1,171 @@
+// Gate-level netlist model.
+//
+// A `Netlist` is a set of named nets and gates. Gates have one output net and
+// an ordered input-pin list (a net may appear on several pins of the same
+// gate — the PC-set worklist algorithm in the paper explicitly allows this).
+// A net may be driven by several gates ("wired AND/OR connections" in the
+// paper); such nets carry a resolution kind, and `lower_wired_nets` can
+// rewrite them into explicit zero-delay WiredAnd/WiredOr gates so that the
+// compiled-code generators only ever see single-driver nets.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/logic.h"
+
+namespace udsim {
+
+/// Strongly-typed index of a net within its Netlist.
+struct NetId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  friend constexpr bool operator==(NetId, NetId) = default;
+};
+
+/// Strongly-typed index of a gate within its Netlist.
+struct GateId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  friend constexpr bool operator==(GateId, GateId) = default;
+};
+
+/// How a multi-driver net resolves its drivers' values.
+enum class WiredKind : std::uint8_t { None, And, Or };
+
+struct Gate {
+  GateType type = GateType::And;
+  std::vector<NetId> inputs;  ///< ordered pins; duplicates allowed
+  NetId output;
+};
+
+struct Net {
+  std::string name;
+  std::vector<GateId> drivers;  ///< empty for primary inputs / dangling nets
+  std::vector<GateId> fanout;   ///< gates with this net on >=1 input pin
+                                ///  (listed once per *pin*, so duplicates)
+  WiredKind wired = WiredKind::None;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+};
+
+/// Error thrown by netlist construction and validation.
+class NetlistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction -------------------------------------------------------
+
+  /// Create a new net. Throws NetlistError if the name already exists.
+  NetId add_net(std::string name);
+
+  /// Find a net by name, or create it.
+  NetId get_or_add_net(const std::string& name);
+
+  /// Look up a net by name.
+  [[nodiscard]] std::optional<NetId> find_net(const std::string& name) const;
+
+  /// Add a gate driving `output` from `inputs`. Wires up driver/fanout lists.
+  /// A second driver on a net is only accepted once the net has been marked
+  /// wired via `set_wired`.
+  GateId add_gate(GateType type, std::vector<NetId> inputs, NetId output);
+
+  /// Append one more input pin to an existing n-ary gate (AND/OR/NAND/NOR/
+  /// XOR/XNOR). Throws for unary/constant gates or if it would create a
+  /// cycle through the gate's own output.
+  void add_gate_input(GateId gate, NetId net);
+
+  /// Per-gate propagation delay in time units. Defaults to gate_delay(type):
+  /// one for real gates (the paper's unit-delay model), zero for wired
+  /// resolvers. Arbitrary positive integers generalize every algorithm in
+  /// this library to a multi-delay timing model (the paper's future-work
+  /// direction); wired resolvers stay at zero.
+  [[nodiscard]] int delay(GateId g) const { return gate_delays_.at(g.value); }
+  void set_delay(GateId g, int delay);
+
+  /// Largest per-gate delay in the netlist (0 when there are no gates).
+  [[nodiscard]] int max_delay() const noexcept;
+
+  /// True when every real gate has delay 1 (the paper's strict model).
+  [[nodiscard]] bool is_unit_delay() const noexcept;
+
+  /// Declare a net a wired-AND or wired-OR connection point.
+  void set_wired(NetId net, WiredKind kind);
+
+  void mark_primary_input(NetId net);
+  void mark_primary_output(NetId net);
+
+  // ---- access --------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] std::size_t net_count() const noexcept { return nets_.size(); }
+  [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+
+  [[nodiscard]] const Net& net(NetId id) const { return nets_.at(id.value); }
+  [[nodiscard]] const Gate& gate(GateId id) const { return gates_.at(id.value); }
+
+  [[nodiscard]] const std::vector<Net>& nets() const noexcept { return nets_; }
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+
+  [[nodiscard]] const std::vector<NetId>& primary_inputs() const noexcept {
+    return primary_inputs_;
+  }
+  [[nodiscard]] const std::vector<NetId>& primary_outputs() const noexcept {
+    return primary_outputs_;
+  }
+
+  /// Count of *real* (unit-delay) gates, i.e. excluding wired-resolution
+  /// pseudo-gates. This is the paper's "number of gates" (= the unoptimized
+  /// shift count of Fig. 21).
+  [[nodiscard]] std::size_t real_gate_count() const noexcept;
+
+  // ---- invariants ----------------------------------------------------------
+
+  /// Full structural check: every non-PI net driven, no PI with drivers,
+  /// wired kinds consistent with driver counts, pin counts legal for gate
+  /// type, acyclicity, no Dff gates (combinational core only).
+  /// Throws NetlistError with a description on the first violation.
+  void validate() const;
+
+  /// The same checks minus acyclicity — for asynchronous (cyclic) circuits,
+  /// which only the event-driven engine simulates.
+  void validate_structure() const;
+
+  /// True if the gate/net graph (following input->gate->output direction,
+  /// Dff edges included) contains no cycle.
+  [[nodiscard]] bool is_acyclic() const;
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Gate> gates_;
+  std::vector<int> gate_delays_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+  std::unordered_map<std::string, std::uint32_t> net_by_name_;
+};
+
+/// Rewrite every multi-driver net D with resolution op R into:
+///   one fresh single-driver net per original driver, plus a zero-delay
+///   R-pseudo-gate combining them into D.
+/// Returns the number of nets lowered. After this, every net has <=1 driver.
+std::size_t lower_wired_nets(Netlist& nl);
+
+}  // namespace udsim

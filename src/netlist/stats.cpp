@@ -1,0 +1,38 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "analysis/levelize.h"
+
+namespace udsim {
+
+CircuitStats circuit_stats(const Netlist& nl) {
+  CircuitStats s;
+  s.primary_inputs = nl.primary_inputs().size();
+  s.primary_outputs = nl.primary_outputs().size();
+  s.gates = nl.real_gate_count();
+  s.nets = nl.net_count();
+  std::size_t fanout_sum = 0;
+  for (const Net& n : nl.nets()) {
+    fanout_sum += n.fanout.size();
+    s.max_fanout = std::max(s.max_fanout, n.fanout.size());
+  }
+  for (const Gate& g : nl.gates()) {
+    s.pins += g.inputs.size();
+  }
+  s.avg_fanin = s.gates ? static_cast<double>(s.pins) / static_cast<double>(s.gates) : 0.0;
+  s.avg_fanout = s.nets ? static_cast<double>(fanout_sum) / static_cast<double>(s.nets) : 0.0;
+  s.depth = levelize(nl).depth;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s) {
+  return os << "PI=" << s.primary_inputs << " PO=" << s.primary_outputs
+            << " gates=" << s.gates << " nets=" << s.nets << " pins=" << s.pins
+            << " depth=" << s.depth << " levels=" << (s.depth + 1)
+            << " avg_fanin=" << s.avg_fanin << " avg_fanout=" << s.avg_fanout
+            << " max_fanout=" << s.max_fanout;
+}
+
+}  // namespace udsim

@@ -1,0 +1,28 @@
+// Structural circuit statistics used by the experiment tables and the
+// synthetic-profile calibration (gate counts, depth, fanin/fanout shape).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct CircuitStats {
+  std::size_t primary_inputs = 0;
+  std::size_t primary_outputs = 0;
+  std::size_t gates = 0;          ///< real (unit-delay) gates
+  std::size_t nets = 0;
+  std::size_t pins = 0;           ///< total gate input pins
+  int depth = 0;                  ///< max net level (levels = depth + 1)
+  double avg_fanin = 0.0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+};
+
+[[nodiscard]] CircuitStats circuit_stats(const Netlist& nl);
+
+std::ostream& operator<<(std::ostream& os, const CircuitStats& s);
+
+}  // namespace udsim

@@ -1,0 +1,184 @@
+#include "netlist/transform.h"
+
+#include <optional>
+
+namespace udsim {
+
+SweepResult sweep_dead_logic(const Netlist& nl) {
+  // Mark nets/gates reaching a primary output, walking driver edges back.
+  std::vector<bool> net_live(nl.net_count(), false);
+  std::vector<bool> gate_live(nl.gate_count(), false);
+  std::vector<std::uint32_t> stack;
+  for (NetId po : nl.primary_outputs()) {
+    if (!net_live[po.value]) {
+      net_live[po.value] = true;
+      stack.push_back(po.value);
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    for (GateId g : nl.net(NetId{n}).drivers) {
+      if (gate_live[g.value]) continue;
+      gate_live[g.value] = true;
+      for (NetId in : nl.gate(g).inputs) {
+        if (!net_live[in.value]) {
+          net_live[in.value] = true;
+          stack.push_back(in.value);
+        }
+      }
+    }
+  }
+  // Primary inputs survive regardless.
+  for (NetId pi : nl.primary_inputs()) net_live[pi.value] = true;
+
+  SweepResult out;
+  out.netlist = Netlist(nl.name());
+  out.remap.assign(nl.net_count(), NetId{});
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (net_live[n]) {
+      out.remap[n] = out.netlist.add_net(nl.net(NetId{n}).name);
+      if (nl.net(NetId{n}).wired != WiredKind::None) {
+        out.netlist.set_wired(out.remap[n], nl.net(NetId{n}).wired);
+      }
+    } else {
+      ++out.removed_nets;
+    }
+  }
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    if (!gate_live[gi]) {
+      ++out.removed_gates;
+      continue;
+    }
+    const Gate& g = nl.gate(GateId{gi});
+    std::vector<NetId> ins;
+    ins.reserve(g.inputs.size());
+    for (NetId in : g.inputs) ins.push_back(out.remap[in.value]);
+    const GateId ng =
+        out.netlist.add_gate(g.type, std::move(ins), out.remap[g.output.value]);
+    out.netlist.set_delay(ng, nl.delay(GateId{gi}));
+  }
+  for (NetId pi : nl.primary_inputs()) {
+    out.netlist.mark_primary_input(out.remap[pi.value]);
+  }
+  for (NetId po : nl.primary_outputs()) {
+    out.netlist.mark_primary_output(out.remap[po.value]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Constant value of a net if decidable locally, given known constants.
+std::optional<Bit> fold_gate(const Gate& g,
+                             const std::vector<std::optional<Bit>>& known) {
+  if (g.type == GateType::Const0) return Bit{0};
+  if (g.type == GateType::Const1) return Bit{1};
+  // Controlling values.
+  bool all_known = true;
+  for (NetId in : g.inputs) {
+    const auto v = known[in.value];
+    if (!v.has_value()) {
+      all_known = false;
+      continue;
+    }
+    switch (g.type) {
+      case GateType::And:
+      case GateType::WiredAnd:
+        if (*v == 0) return Bit{0};
+        break;
+      case GateType::Nand:
+        if (*v == 0) return Bit{1};
+        break;
+      case GateType::Or:
+      case GateType::WiredOr:
+        if (*v == 1) return Bit{1};
+        break;
+      case GateType::Nor:
+        if (*v == 1) return Bit{0};
+        break;
+      default:
+        break;
+    }
+  }
+  if (!all_known) return std::nullopt;
+  std::vector<Bit> pins;
+  pins.reserve(g.inputs.size());
+  for (NetId in : g.inputs) pins.push_back(*known[in.value]);
+  return eval2(g.type, pins);
+}
+
+}  // namespace
+
+ConstPropResult propagate_constants(const Netlist& nl) {
+  std::vector<std::optional<Bit>> known(nl.net_count());
+  // Seed: nets driven only by constant generators.
+  bool changed = true;
+  std::vector<bool> folded(nl.gate_count(), false);
+  while (changed) {
+    changed = false;
+    for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+      const Gate& g = nl.gate(GateId{gi});
+      if (known[g.output.value].has_value()) continue;
+      if (nl.net(g.output).drivers.size() != 1) continue;  // wired: skip
+      const auto v = fold_gate(g, known);
+      if (v.has_value()) {
+        known[g.output.value] = v;
+        folded[gi] = !is_constant(g.type);
+        changed = true;
+      }
+    }
+  }
+
+  ConstPropResult out;
+  out.netlist = Netlist(nl.name());
+  for (const Net& n : nl.nets()) {
+    out.netlist.add_net(n.name);
+  }
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(NetId{n}).wired != WiredKind::None) {
+      out.netlist.set_wired(NetId{n}, nl.net(NetId{n}).wired);
+    }
+  }
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& g = nl.gate(GateId{gi});
+    if (folded[gi]) {
+      ++out.folded_gates;
+      out.netlist.add_gate(*known[g.output.value] ? GateType::Const1 : GateType::Const0,
+                           {}, g.output);
+    } else {
+      const GateId ng = out.netlist.add_gate(g.type, g.inputs, g.output);
+      out.netlist.set_delay(ng, nl.delay(GateId{gi}));
+    }
+  }
+  for (NetId pi : nl.primary_inputs()) out.netlist.mark_primary_input(pi);
+  for (NetId po : nl.primary_outputs()) out.netlist.mark_primary_output(po);
+  return out;
+}
+
+Netlist inject_stuck_at(const Netlist& nl, NetId net, Bit value) {
+  Netlist out(nl.name() + (value ? "_sa1_" : "_sa0_") + nl.net(net).name);
+  for (const Net& n : nl.nets()) {
+    out.add_net(n.name);
+  }
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(NetId{n}).wired != WiredKind::None && NetId{n} != net) {
+      out.set_wired(NetId{n}, nl.net(NetId{n}).wired);
+    }
+  }
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& g = nl.gate(GateId{gi});
+    if (g.output == net) continue;  // drivers of the faulty net are cut
+    const GateId ng = out.add_gate(g.type, g.inputs, g.output);
+    out.set_delay(ng, nl.delay(GateId{gi}));
+  }
+  out.add_gate(value ? GateType::Const1 : GateType::Const0, {}, net);
+  for (NetId pi : nl.primary_inputs()) {
+    if (pi == net) continue;  // a stuck PI is no longer an input
+    out.mark_primary_input(pi);
+  }
+  for (NetId po : nl.primary_outputs()) out.mark_primary_output(po);
+  return out;
+}
+
+}  // namespace udsim

@@ -1,0 +1,48 @@
+// Netlist transformations: dead-logic sweep, constant propagation, and
+// stuck-at fault injection (the substrate for serial fault simulation).
+//
+// All transforms return a fresh netlist; `sweep_dead_logic` preserves
+// NetIds of surviving nets via a remap table, the others preserve ids
+// outright.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct SweepResult {
+  Netlist netlist;
+  std::size_t removed_gates = 0;
+  std::size_t removed_nets = 0;
+  /// old NetId -> new NetId (invalid for removed nets).
+  std::vector<NetId> remap;
+};
+
+/// Remove every gate and net that cannot reach a primary output. Primary
+/// inputs are kept even when dangling (the interface is part of the
+/// contract).
+[[nodiscard]] SweepResult sweep_dead_logic(const Netlist& nl);
+
+struct ConstPropResult {
+  Netlist netlist;
+  std::size_t folded_gates = 0;  ///< gates replaced by constant generators
+};
+
+/// Fold gates whose output is decidable from constant inputs: a gate with
+/// all-constant inputs evaluates; a controlling constant (0 on AND/NAND,
+/// 1 on OR/NOR) decides inverted/plain AND/OR families outright. Iterates to
+/// a fixed point. NetIds are preserved; folded gates become Const0/Const1.
+///
+/// NOTE: folding changes unit-delay *timing* (a folded net no longer
+/// glitches); it preserves settled values only. Intended for zero-delay
+/// applications such as fault simulation.
+[[nodiscard]] ConstPropResult propagate_constants(const Netlist& nl);
+
+/// Replace the drivers of `net` so it is stuck at `value` (a single stuck-at
+/// fault). For primary inputs the net is converted into a constant-driven
+/// internal net. NetIds are preserved.
+[[nodiscard]] Netlist inject_stuck_at(const Netlist& nl, NetId net, Bit value);
+
+}  // namespace udsim

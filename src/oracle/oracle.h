@@ -1,0 +1,48 @@
+// Oblivious time-stepped unit-delay reference simulator.
+//
+// Semantics (shared by every engine in this library):
+//   - the circuit carries state: the final value of every net from the
+//     previous input vector (initially all zero, or as set by reset());
+//   - at time 0 the primary inputs take the new vector's values; every other
+//     net holds its previous final value;
+//   - for t = 1..depth, each unit-delay gate's output at t is its function
+//     applied to its input values at t-1; zero-delay wired resolvers react
+//     within the same time step.
+//
+// This engine recomputes every gate at every time step — O(depth × gates) —
+// so it is only a correctness oracle, not a performance baseline.
+#pragma once
+
+#include <span>
+
+#include "analysis/levelize.h"
+#include "core/waveform.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+class OracleSim {
+ public:
+  /// Takes a private lowered copy of `nl` (wired nets become zero-delay
+  /// resolver gates; original NetIds stay valid).
+  explicit OracleSim(const Netlist& nl);
+
+  /// Simulate one input vector (one Bit per primary input, in
+  /// primary_inputs() order) and return the full waveform.
+  Waveform step(std::span<const Bit> pi_values);
+
+  /// Reset all net state to `value` (default 0).
+  void reset(Bit value = 0);
+
+  [[nodiscard]] int depth() const noexcept { return lv_.depth; }
+  [[nodiscard]] const Levelization& levelization() const noexcept { return lv_; }
+  [[nodiscard]] Bit state(NetId n) const { return state_.at(n.value); }
+
+ private:
+  Netlist nl_;  ///< lowered private copy
+  Levelization lv_;
+  std::vector<GateId> order_;
+  std::vector<Bit> state_;  ///< final values from the previous vector
+};
+
+}  // namespace udsim

@@ -1,0 +1,135 @@
+// The parallel technique of compiled unit-delay simulation (paper §3) and
+// its optimizations (paper §4).
+//
+// Every net owns a bit-field in which bit p is the net's value at time
+// p + alignment(net). Gates are simulated with word-parallel logical ops;
+// the unit delay becomes a one-bit left shift (unoptimized), a right shift
+// at the gate inputs (shift elimination), or no shift at all where the
+// alignments line up. Bit-field trimming skips whole words that carry no
+// PC-set representative.
+//
+// Invariant maintained by all generated code: every word of every field is
+// valid at every bit position — bit p holds the value at time
+// min(p + alignment, level) — so word-granular fills (broadcasts of a
+// stable bit) compose with funnel shifts without masking.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/alignment.h"
+#include "analysis/levelize.h"
+#include "analysis/trimming.h"
+#include "core/kernel_runner.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+enum class ShiftElim : std::uint8_t {
+  None,          ///< unoptimized: one left shift after every gate (Fig. 6)
+  PathTracing,   ///< paper Fig. 17: right shifts at gate inputs only
+  CycleBreaking, ///< spanning-forest alignments; may expand fields
+};
+
+struct ParallelOptions {
+  bool trimming = false;
+  ShiftElim shift_elim = ShiftElim::None;
+  int word_bits = 32;
+};
+
+struct ParallelCodeStats {
+  std::size_t shift_sites = 0;       ///< realignment sites with non-zero shift
+  std::size_t shift_ops = 0;         ///< funnel/shift ops emitted
+  std::size_t suppressed_stores = 0; ///< per-word stores skipped by trimming
+  std::size_t gate_eval_ops = 0;
+  std::size_t total_ops = 0;
+  int field_words_max = 0;           ///< words per field (uniform in unopt mode)
+  int field_bits_max = 0;
+  std::size_t arena_words = 0;
+};
+
+struct ParallelCompiled {
+  Program program;
+  ParallelOptions options;
+  AlignmentPlan plan;
+  Levelization lv;
+  std::vector<int> widths;                ///< field width in bits per net
+  std::vector<std::uint32_t> net_base;    ///< first arena word of each field
+  std::vector<std::uint32_t> net_words;   ///< words per field
+  TrimPlan trim;
+  ParallelCodeStats stats;
+
+  [[nodiscard]] const std::vector<WordClass>& trim_classes(std::uint32_t n) const {
+    return trim.net_words[n];
+  }
+
+  struct Probe {
+    std::uint32_t word;
+    std::uint8_t bit;
+    bool in_field;  ///< false: t precedes the field (previous-vector value)
+  };
+  /// Locate the bit holding net n's value at time t (0 <= t <= depth).
+  /// Times beyond the net's level clamp to the final-value bit.
+  [[nodiscard]] Probe probe(NetId n, int t) const;
+  /// The bit holding the net's final (settled) value.
+  [[nodiscard]] Probe final_probe(NetId n) const;
+};
+
+[[nodiscard]] ParallelCompiled compile_parallel(const Netlist& nl,
+                                                const ParallelOptions& options = {});
+
+/// Runtime wrapper: steps vectors and exposes full waveform access.
+/// Previous-vector finals are captured before each step so that `value_at`
+/// is defined even for times preceding a net's alignment.
+template <class Word = std::uint32_t>
+class ParallelSim {
+ public:
+  explicit ParallelSim(const Netlist& nl, const ParallelOptions& options = {})
+      : nl_(nl), compiled_(make(nl, options)), runner_(compiled_.program),
+        prev_final_(nl.net_count(), 0) {}
+
+  // runner_ references compiled_.program; relocation would dangle.
+  ParallelSim(const ParallelSim&) = delete;
+  ParallelSim& operator=(const ParallelSim&) = delete;
+
+  void step(std::span<const Bit> pi_values) {
+    for (std::uint32_t n = 0; n < nl_.net_count(); ++n) {
+      const auto pr = compiled_.final_probe(NetId{n});
+      prev_final_[n] = runner_.bit(pr.word, pr.bit);
+    }
+    in_.assign(nl_.primary_inputs().size(), 0);
+    for (std::size_t i = 0; i < in_.size(); ++i) in_[i] = pi_values[i] & 1;
+    runner_.run(in_);
+  }
+
+  /// Value of any net at any time 0..depth for the last vector.
+  [[nodiscard]] Bit value_at(NetId n, int t) const {
+    const auto pr = compiled_.probe(n, t);
+    if (!pr.in_field) return prev_final_[n.value];
+    return runner_.bit(pr.word, pr.bit);
+  }
+  [[nodiscard]] Bit final_value(NetId n) const {
+    const auto pr = compiled_.final_probe(n);
+    return runner_.bit(pr.word, pr.bit);
+  }
+  /// Raw field words of a net (for hazard analysis).
+  [[nodiscard]] std::span<const Word> field(NetId n) const {
+    return runner_.arena().subspan(compiled_.net_base[n.value],
+                                   compiled_.net_words[n.value]);
+  }
+  [[nodiscard]] const ParallelCompiled& compiled() const noexcept { return compiled_; }
+
+ private:
+  static ParallelCompiled make(const Netlist& nl, ParallelOptions options) {
+    options.word_bits = static_cast<int>(sizeof(Word) * 8);
+    return compile_parallel(nl, options);
+  }
+
+  const Netlist& nl_;
+  ParallelCompiled compiled_;
+  KernelRunner<Word> runner_;
+  std::vector<Bit> prev_final_;
+  std::vector<Word> in_;
+};
+
+}  // namespace udsim

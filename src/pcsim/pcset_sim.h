@@ -1,0 +1,93 @@
+// The PC-set method of compiled unit-delay simulation (paper §2).
+//
+// One variable per (net, PC-set element); one straight-line gate evaluation
+// per element of each gate's PC-set; operands chosen as "the largest element
+// strictly smaller than the element being generated" (<= for zero-delay
+// wired resolvers). Inserted zeros become `X_0 = X_max;` initializations,
+// exactly as in paper Fig. 4. The output routine is the PRINT pseudo-gate:
+// one output vector per element of the union of the monitored nets' PC-sets.
+//
+// Because every op is bitwise, the same program simulates 32 (or 64)
+// *independent vector streams* at once when inputs are packed one stream per
+// bit-lane — the data-parallel extension the paper notes the PC-set method
+// is amenable to (and the parallel technique is not).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/levelize.h"
+#include "analysis/pcset.h"
+#include "core/kernel_runner.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+struct PCSetCompiled {
+  Program program;
+  bool packed = false;
+  std::vector<NetId> monitored;
+
+  /// Per net: (time, arena word) pairs sorted by time — its variables.
+  std::vector<std::vector<std::pair<int, std::uint32_t>>> net_vars;
+
+  /// PRINT-gate PC-set: the times at which an output vector is produced.
+  std::vector<int> print_times;
+  /// print_vars[i][j]: arena word giving monitored[j]'s value at
+  /// print_times[i].
+  std::vector<std::vector<std::uint32_t>> print_vars;
+
+  std::size_t variable_count = 0;
+
+  /// Arena word of the net's variable for time t' = largest PC element <= t;
+  /// throws std::out_of_range if the net has no element <= t.
+  [[nodiscard]] std::uint32_t var_at_or_before(NetId n, int t) const;
+  /// Arena word of the net's final-value variable (largest PC element).
+  [[nodiscard]] std::uint32_t final_var(NetId n) const;
+};
+
+/// Compile. `monitored` defaults (empty span) to the primary outputs.
+/// `packed` selects whole-word input loads: one independent vector stream
+/// per bit lane.
+[[nodiscard]] PCSetCompiled compile_pcset(const Netlist& nl,
+                                          std::span<const NetId> monitored = {},
+                                          bool packed = false, int word_bits = 32);
+
+/// Runtime wrapper (scalar mode): steps vectors, exposes the value history
+/// of monitored nets.
+template <class Word = std::uint32_t>
+class PCSetSim {
+ public:
+  PCSetSim(const Netlist& nl, std::span<const NetId> monitored = {})
+      : nl_(nl),
+        compiled_(compile_pcset(nl, monitored, false, static_cast<int>(sizeof(Word) * 8))),
+        runner_(compiled_.program) {}
+
+  // runner_ references compiled_.program; relocation would dangle.
+  PCSetSim(const PCSetSim&) = delete;
+  PCSetSim& operator=(const PCSetSim&) = delete;
+
+  void step(std::span<const Bit> pi_values) {
+    in_.assign(nl_.primary_inputs().size(), 0);
+    for (std::size_t i = 0; i < in_.size(); ++i) in_[i] = pi_values[i] & 1;
+    runner_.run(in_);
+  }
+
+  /// Value of a monitored net at time t for the last vector (valid for any
+  /// t in [0, depth]; between PC elements the value holds).
+  [[nodiscard]] Bit value_at(NetId n, int t) const {
+    return runner_.bit(compiled_.var_at_or_before(n, t), 0);
+  }
+  [[nodiscard]] Bit final_value(NetId n) const {
+    return runner_.bit(compiled_.final_var(n), 0);
+  }
+  [[nodiscard]] const PCSetCompiled& compiled() const noexcept { return compiled_; }
+
+ private:
+  const Netlist& nl_;
+  PCSetCompiled compiled_;
+  KernelRunner<Word> runner_;
+  std::vector<Word> in_;
+};
+
+}  // namespace udsim

@@ -1,0 +1,158 @@
+// Shift-elimination alignment tests (paper §4, Figs. 10-18).
+#include <gtest/gtest.h>
+
+#include "analysis/alignment.h"
+#include "gen/iscas_profiles.h"
+#include "gen/random_dag.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(Alignment, UnoptimizedRetainsOneShiftPerGate) {
+  const Netlist nl = test::fig4_network();
+  const Levelization lv = levelize(nl);
+  const AlignmentPlan plan = align_unoptimized(nl, lv);
+  const AlignmentStats st = alignment_stats(nl, lv, plan, 32);
+  EXPECT_EQ(st.retained_shift_sites, nl.real_gate_count());
+  EXPECT_EQ(st.left_shift_sites, nl.real_gate_count());
+  check_alignment_plan(nl, lv, plan);
+}
+
+TEST(Alignment, Fig10PathTracingEliminatesAllShifts) {
+  // Paper Fig. 10: E aligned to 1, C/D to 0, A/B to -1; zero shifts; width 2.
+  const Netlist nl = test::fig4_network();
+  const Levelization lv = levelize(nl);
+  const AlignmentPlan plan = align_path_tracing(nl, lv);
+  check_alignment_plan(nl, lv, plan);
+  EXPECT_EQ(plan.net_align[nl.find_net("E")->value], 1);
+  EXPECT_EQ(plan.net_align[nl.find_net("D")->value], 0);
+  EXPECT_EQ(plan.net_align[nl.find_net("C")->value], 0);
+  EXPECT_EQ(plan.net_align[nl.find_net("A")->value], -1);
+  EXPECT_EQ(plan.net_align[nl.find_net("B")->value], -1);
+  const AlignmentStats st = alignment_stats(nl, lv, plan, 32);
+  EXPECT_EQ(st.retained_shift_sites, 0u);
+  // "it is also possible to reduce the width of the bit-fields from 3 to 2"
+  EXPECT_EQ(st.max_width_bits, 2);
+}
+
+TEST(Alignment, Fig11RequiresExactlyOneShift) {
+  const Netlist nl = test::fig11_network();
+  const Levelization lv = levelize(nl);
+  for (const AlignmentPlan& plan :
+       {align_path_tracing(nl, lv), align_cycle_breaking(nl, lv)}) {
+    check_alignment_plan(nl, lv, plan);
+    const AlignmentStats st = alignment_stats(nl, lv, plan, 32);
+    EXPECT_EQ(st.retained_shift_sites, 1u);
+  }
+}
+
+TEST(Alignment, UnbalancedReconvergenceMultiBitShift) {
+  // Paths of length k+1 and 2 reconverge: the undirected cycle has weight
+  // k-1, so k-1 bits of shift must survive somewhere (paper §4: "shifts are
+  // no longer restricted to one bit").
+  for (int k : {2, 3, 5}) {
+    const Netlist nl = test::unbalanced_reconvergence(k);
+    const Levelization lv = levelize(nl);
+    for (auto [plan, label] :
+         {std::pair{align_path_tracing(nl, lv), "pt"},
+          std::pair{align_cycle_breaking(nl, lv), "cb"}}) {
+      check_alignment_plan(nl, lv, plan);
+      int total_input_shift = 0;
+      for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+        const Gate& g = nl.gate(GateId{gi});
+        for (NetId in : g.inputs) {
+          total_input_shift += std::abs(plan.input_shift(nl, GateId{gi}, in));
+        }
+        total_input_shift += std::abs(plan.output_shift(nl, GateId{gi}));
+      }
+      // The cycle weight is conserved: total retained shift magnitude along
+      // the cycle equals the path-length difference k - 1.
+      EXPECT_EQ(total_input_shift, k - 1) << label << " k=" << k;
+      const AlignmentStats st = alignment_stats(nl, lv, plan, 32);
+      EXPECT_GE(st.retained_shift_sites, 1u) << label << " k=" << k;
+    }
+  }
+}
+
+TEST(Alignment, PathTracingNeverExpandsBitField) {
+  for (const char* name : {"c432", "c880", "c1908"}) {
+    const Netlist nl = make_iscas85_like(name);
+    const Levelization lv = levelize(nl);
+    const AlignmentPlan plan = align_path_tracing(nl, lv);
+    check_alignment_plan(nl, lv, plan);
+    const AlignmentStats st = alignment_stats(nl, lv, plan, 32);
+    EXPECT_LE(st.max_width_bits, lv.depth + 1) << name;
+    // Only right shifts.
+    EXPECT_EQ(st.left_shift_sites, 0u) << name;
+  }
+}
+
+TEST(Alignment, PathTracingFanoutFreeRegionsShiftFree) {
+  // "any fanout-free region of the circuit will be simulated without
+  // shifts": a pure tree retains no shifts at all.
+  Netlist nl("tree");
+  std::vector<NetId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    const NetId n = nl.add_net("i" + std::to_string(i));
+    nl.mark_primary_input(n);
+    leaves.push_back(n);
+  }
+  int id = 0;
+  while (leaves.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      const NetId o = nl.add_net("t" + std::to_string(id++));
+      nl.add_gate(GateType::Nand, {leaves[i], leaves[i + 1]}, o);
+      next.push_back(o);
+    }
+    leaves = std::move(next);
+  }
+  nl.mark_primary_output(leaves[0]);
+  const Levelization lv = levelize(nl);
+  const AlignmentPlan plan = align_path_tracing(nl, lv);
+  const AlignmentStats st = alignment_stats(nl, lv, plan, 32);
+  EXPECT_EQ(st.retained_shift_sites, 0u);
+}
+
+TEST(Alignment, CycleBreakingLegalOnProfiles) {
+  for (const char* name : {"c432", "c499", "c880"}) {
+    const Netlist nl = make_iscas85_like(name);
+    const Levelization lv = levelize(nl);
+    const AlignmentPlan plan = align_cycle_breaking(nl, lv);
+    EXPECT_NO_THROW(check_alignment_plan(nl, lv, plan)) << name;
+  }
+}
+
+TEST(Alignment, PathTracingRetainsFewerShiftsThanUnoptimized) {
+  for (const char* name : {"c432", "c880", "c2670"}) {
+    const Netlist nl = make_iscas85_like(name);
+    const Levelization lv = levelize(nl);
+    const AlignmentStats unopt =
+        alignment_stats(nl, lv, align_unoptimized(nl, lv), 32);
+    const AlignmentStats pt =
+        alignment_stats(nl, lv, align_path_tracing(nl, lv), 32);
+    EXPECT_LT(pt.retained_shift_sites, unopt.retained_shift_sites) << name;
+  }
+}
+
+TEST(Alignment, DeadLogicStillGetsLegalAlignments) {
+  // A net that reaches no primary output must still be aligned legally.
+  Netlist nl("dead");
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId live = nl.add_net("live");
+  nl.add_gate(GateType::Not, {a}, live);
+  nl.mark_primary_output(live);
+  const NetId dead1 = nl.add_net("dead1");
+  nl.add_gate(GateType::Buf, {a}, dead1);
+  const NetId dead2 = nl.add_net("dead2");
+  nl.add_gate(GateType::And, {dead1, a}, dead2);  // no fanout, not a PO
+  const Levelization lv = levelize(nl);
+  const AlignmentPlan plan = align_path_tracing(nl, lv);
+  EXPECT_NO_THROW(check_alignment_plan(nl, lv, plan));
+  EXPECT_LE(plan.net_align[dead2.value], lv.minlevel(dead2));
+}
+
+}  // namespace
+}  // namespace udsim

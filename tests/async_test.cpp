@@ -1,0 +1,190 @@
+// Asynchronous (cyclic) event-driven simulation tests: latches built from
+// cross-coupled gates, oscillation detection, and agreement with the
+// synchronous engine on acyclic circuits.
+#include <gtest/gtest.h>
+
+#include "eventsim/async_sim.h"
+#include "eventsim/event_sim.h"
+#include "gen/random_dag.h"
+#include "harness/vectors.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+/// Cross-coupled NOR SR latch: Q = NOR(R, QB), QB = NOR(S, Q).
+Netlist sr_latch() {
+  Netlist nl("sr");
+  const NetId s = nl.add_net("S");
+  const NetId r = nl.add_net("R");
+  nl.mark_primary_input(s);
+  nl.mark_primary_input(r);
+  const NetId q = nl.add_net("Q");
+  const NetId qb = nl.add_net("QB");
+  nl.add_gate(GateType::Nor, {r, qb}, q);
+  nl.add_gate(GateType::Nor, {s, q}, qb);
+  nl.mark_primary_output(q);
+  nl.mark_primary_output(qb);
+  return nl;
+}
+
+TEST(Async, SrLatchSetHoldResetHold) {
+  const Netlist nl = sr_latch();
+  EXPECT_FALSE(nl.is_acyclic());
+  AsyncEventSim sim(nl);
+  const NetId q = *nl.find_net("Q");
+  const NetId qb = *nl.find_net("QB");
+
+  const Bit set[] = {1, 0};
+  auto r = sim.step(set);
+  EXPECT_TRUE(r.settled);
+  EXPECT_EQ(sim.value(q), 1);
+  EXPECT_EQ(sim.value(qb), 0);
+
+  const Bit hold[] = {0, 0};
+  r = sim.step(hold);
+  EXPECT_TRUE(r.settled);
+  EXPECT_EQ(sim.value(q), 1);  // state retained through the feedback loop
+  EXPECT_EQ(sim.value(qb), 0);
+
+  const Bit reset[] = {0, 1};
+  r = sim.step(reset);
+  EXPECT_TRUE(r.settled);
+  EXPECT_EQ(sim.value(q), 0);
+  EXPECT_EQ(sim.value(qb), 1);
+
+  r = sim.step(hold);
+  EXPECT_TRUE(r.settled);
+  EXPECT_EQ(sim.value(q), 0);
+  EXPECT_EQ(sim.value(qb), 1);
+}
+
+TEST(Async, SrLatchForbiddenRelease) {
+  // S=R=1 drives Q=QB=0; releasing both simultaneously makes the
+  // equal-delay latch oscillate (the classic metastability model).
+  const Netlist nl = sr_latch();
+  AsyncEventSim sim(nl);
+  const Bit both[] = {1, 1};
+  auto r = sim.step(both);
+  EXPECT_TRUE(r.settled);
+  EXPECT_EQ(sim.value(*nl.find_net("Q")), 0);
+  EXPECT_EQ(sim.value(*nl.find_net("QB")), 0);
+  const Bit release[] = {0, 0};
+  r = sim.step(release, 200);
+  EXPECT_FALSE(r.settled);
+  EXPECT_TRUE(r.oscillating);
+}
+
+TEST(Async, RingOscillatorDetected) {
+  // NOT gate feeding itself through two buffers: period 6, never settles.
+  Netlist nl("ring");
+  const NetId en = nl.add_net("en");
+  nl.mark_primary_input(en);
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  nl.add_gate(GateType::Nand, {en, c}, a);  // enable gate
+  nl.add_gate(GateType::Buf, {a}, b);
+  nl.add_gate(GateType::Buf, {b}, c);
+  nl.mark_primary_output(c);
+  AsyncEventSim sim(nl);
+  const Bit off[] = {0};
+  auto r = sim.step(off);
+  EXPECT_TRUE(r.settled);  // disabled: a = 1, stable
+  const Bit on[] = {1};
+  r = sim.step(on, 500);
+  EXPECT_TRUE(r.oscillating);
+  EXPECT_FALSE(r.settled);
+  EXPECT_GT(r.events, 100u);  // kept toggling until the bound
+  // The 3-stage loop has a 6-gate-delay limit cycle.
+  EXPECT_EQ(r.period, 6);
+}
+
+TEST(Async, SrRacePeriodDetected) {
+  // The forbidden-release race toggles Q and QB in lockstep every delay:
+  // a period-2 limit cycle.
+  const Netlist nl = sr_latch();
+  AsyncEventSim sim(nl);
+  const Bit both[] = {1, 1};
+  (void)sim.step(both);
+  const Bit release[] = {0, 0};
+  const auto r = sim.step(release, 100);
+  EXPECT_TRUE(r.oscillating);
+  EXPECT_EQ(r.period, 2);
+}
+
+TEST(Async, GateLevelDLatch) {
+  // Transparent latch: Q = NOR(R', QB), QB = NOR(S', Q) with
+  // S' = AND(D, EN), R' = AND(NOT D, EN).
+  Netlist nl("dlatch");
+  const NetId d = nl.add_net("D");
+  const NetId en = nl.add_net("EN");
+  nl.mark_primary_input(d);
+  nl.mark_primary_input(en);
+  const NetId dn = nl.add_net("DN");
+  nl.add_gate(GateType::Not, {d}, dn);
+  const NetId s = nl.add_net("S");
+  nl.add_gate(GateType::And, {d, en}, s);
+  const NetId r = nl.add_net("R");
+  nl.add_gate(GateType::And, {dn, en}, r);
+  const NetId q = nl.add_net("Q");
+  const NetId qb = nl.add_net("QB");
+  nl.add_gate(GateType::Nor, {r, qb}, q);
+  nl.add_gate(GateType::Nor, {s, q}, qb);
+  nl.mark_primary_output(q);
+
+  AsyncEventSim sim(nl);
+  // Load a 1, close the latch, change D: Q must hold.
+  const Bit load1[] = {1, 1};
+  EXPECT_TRUE(sim.step(load1).settled);
+  EXPECT_EQ(sim.value(q), 1);
+  const Bit close_d0[] = {0, 0};
+  EXPECT_TRUE(sim.step(close_d0).settled);
+  EXPECT_EQ(sim.value(q), 1);  // held
+  const Bit load0[] = {0, 1};
+  EXPECT_TRUE(sim.step(load0).settled);
+  EXPECT_EQ(sim.value(q), 0);
+  const Bit close_d1[] = {1, 0};
+  EXPECT_TRUE(sim.step(close_d1).settled);
+  EXPECT_EQ(sim.value(q), 0);  // held
+}
+
+TEST(Async, MatchesSynchronousEngineOnAcyclicCircuits) {
+  RandomDagParams p;
+  p.inputs = 10;
+  p.outputs = 5;
+  p.gates = 120;
+  p.depth = 10;
+  p.seed = 64;
+  p.max_delay = 3;
+  const Netlist nl = random_dag(p);
+  AsyncEventSim async_sim(nl);
+  EventSim2 sync_sim(nl);
+  RandomVectorSource src(nl.primary_inputs().size(), 12);
+  std::vector<Bit> v(nl.primary_inputs().size());
+  for (int i = 0; i < 20; ++i) {
+    src.next(v);
+    const auto r = async_sim.step(v);
+    ASSERT_TRUE(r.settled);
+    sync_sim.step(v);
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      ASSERT_EQ(async_sim.value(NetId{n}), sync_sim.value(NetId{n}))
+          << nl.net(NetId{n}).name;
+    }
+  }
+}
+
+TEST(Async, SettleTimeIsBoundedByCriticalPath) {
+  const Netlist nl = test::xor_chain(20);
+  AsyncEventSim sim(nl);
+  const Bit v1[] = {1, 0};
+  (void)sim.step(v1);
+  const Bit v2[] = {1, 1};
+  const auto r = sim.step(v2);
+  EXPECT_TRUE(r.settled);
+  EXPECT_LE(r.settle_time, 20);
+  EXPECT_GT(r.settle_time, 0);
+}
+
+}  // namespace
+}  // namespace udsim

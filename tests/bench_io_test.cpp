@@ -1,0 +1,113 @@
+// Unit tests for the .bench reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/bench_io.h"
+#include "netlist/stats.h"
+
+namespace udsim {
+namespace {
+
+constexpr const char* kC17 = R"(# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+TEST(BenchIo, ParsesC17) {
+  std::istringstream in(kC17);
+  const Netlist nl = read_bench(in, "c17");
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.gate_count(), 6u);
+  const CircuitStats st = circuit_stats(nl);
+  EXPECT_EQ(st.depth, 3);  // c17 has 3 logic levels
+  for (const Gate& g : nl.gates()) {
+    EXPECT_EQ(g.type, GateType::Nand);
+    EXPECT_EQ(g.inputs.size(), 2u);
+  }
+}
+
+TEST(BenchIo, RoundTrip) {
+  std::istringstream in(kC17);
+  const Netlist nl = read_bench(in, "c17");
+  std::ostringstream out;
+  write_bench(out, nl);
+  std::istringstream in2(out.str());
+  const Netlist nl2 = read_bench(in2, "c17rt");
+  EXPECT_EQ(nl2.gate_count(), nl.gate_count());
+  EXPECT_EQ(nl2.net_count(), nl.net_count());
+  EXPECT_EQ(nl2.primary_inputs().size(), nl.primary_inputs().size());
+  EXPECT_EQ(nl2.primary_outputs().size(), nl.primary_outputs().size());
+  for (std::uint32_t g = 0; g < nl.gate_count(); ++g) {
+    EXPECT_EQ(nl2.gate(GateId{g}).type, nl.gate(GateId{g}).type);
+  }
+}
+
+TEST(BenchIo, AcceptsCommentsAndBlanks) {
+  std::istringstream in("# hi\n\nINPUT(a)\n  OUTPUT( b )  # trail\nb = NOT(a)\n");
+  const Netlist nl = read_bench(in);
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.net(*nl.find_net("b")).is_primary_output, true);
+}
+
+TEST(BenchIo, AcceptsBuffAndCaseInsensitivity) {
+  std::istringstream in("INPUT(a)\nOUTPUT(b)\nb = buff(a)\n");
+  const Netlist nl = read_bench(in);
+  EXPECT_EQ(nl.gate(GateId{0}).type, GateType::Buf);
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  std::istringstream in("INPUT(a)\nb = FLUX(a)\n");
+  EXPECT_THROW((void)read_bench(in), BenchParseError);
+}
+
+TEST(BenchIo, RejectsMalformedLine) {
+  std::istringstream in("INPUT a\n");
+  EXPECT_THROW((void)read_bench(in), BenchParseError);
+}
+
+TEST(BenchIo, RejectsUnknownOutput) {
+  std::istringstream in("INPUT(a)\nOUTPUT(zz)\nb = NOT(a)\n");
+  EXPECT_THROW((void)read_bench(in), BenchParseError);
+}
+
+TEST(BenchIo, ReportsLineNumbers) {
+  std::istringstream in("INPUT(a)\n\nb = FLUX(a)\n");
+  try {
+    (void)read_bench(in);
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(BenchIo, GateUseBeforeDefinition) {
+  // Gates may reference nets defined later in the file.
+  std::istringstream in("INPUT(a)\nOUTPUT(c)\nc = NOT(b)\nb = NOT(a)\n");
+  const Netlist nl = read_bench(in);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.gate_count(), 2u);
+}
+
+TEST(BenchIo, ReadsShippedC17File) {
+  const Netlist nl = read_bench_file(std::string(UDSIM_DATA_DIR) + "/c17.bench");
+  EXPECT_EQ(nl.name(), "c17");
+  EXPECT_EQ(nl.gate_count(), 6u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+}  // namespace
+}  // namespace udsim

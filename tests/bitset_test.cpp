@@ -1,0 +1,102 @@
+// Unit + property tests for DynBitset, the PC-set representation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/bitset.h"
+#include "gen/rng.h"
+
+namespace udsim {
+namespace {
+
+TEST(DynBitset, SetTestCount) {
+  DynBitset s(130);
+  EXPECT_FALSE(s.any());
+  s.set(0);
+  s.set(64);
+  s.set(129);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.test(129));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_FALSE(s.test(500));  // out of range reads as false
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.min_bit(), 0);
+  EXPECT_EQ(s.max_bit(), 129);
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{0, 64, 129}));
+}
+
+TEST(DynBitset, EmptySet) {
+  DynBitset s(40);
+  EXPECT_EQ(s.min_bit(), -1);
+  EXPECT_EQ(s.max_bit(), -1);
+  EXPECT_EQ(s.max_bit_below(10), -1);
+  EXPECT_TRUE(s.to_vector().empty());
+}
+
+TEST(DynBitset, MaxBitBelow) {
+  DynBitset s(200);
+  s.set(3);
+  s.set(70);
+  s.set(150);
+  EXPECT_EQ(s.max_bit_below(0), -1);
+  EXPECT_EQ(s.max_bit_below(3), -1);
+  EXPECT_EQ(s.max_bit_below(4), 3);
+  EXPECT_EQ(s.max_bit_below(70), 3);
+  EXPECT_EQ(s.max_bit_below(71), 70);
+  EXPECT_EQ(s.max_bit_below(150), 70);
+  EXPECT_EQ(s.max_bit_below(151), 150);
+  EXPECT_EQ(s.max_bit_below(10000), 150);
+}
+
+TEST(DynBitset, OrWithShifted) {
+  DynBitset a(100), b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  a.or_with_shifted(b, 1);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{1, 64, 65}));
+  a.or_with_shifted(b, 0);
+  EXPECT_EQ(a.to_vector(), (std::vector<int>{0, 1, 63, 64, 65}));
+  DynBitset c(100);
+  c.or_with_shifted(b, 35);  // cross-word shift
+  EXPECT_EQ(c.to_vector(), (std::vector<int>{35, 98, 99}));
+}
+
+TEST(DynBitsetProperty, MatchesStdSetModel) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t bits = 1 + rng.below(300);
+    DynBitset s(bits);
+    std::set<int> model;
+    for (int i = 0; i < 40; ++i) {
+      const auto v = static_cast<int>(rng.below(bits));
+      s.set(static_cast<std::size_t>(v));
+      model.insert(v);
+    }
+    EXPECT_EQ(s.count(), model.size());
+    EXPECT_EQ(s.min_bit(), *model.begin());
+    EXPECT_EQ(s.max_bit(), *model.rbegin());
+    const std::vector<int> expect(model.begin(), model.end());
+    EXPECT_EQ(s.to_vector(), expect);
+    // max_bit_below agrees with the model at random probes.
+    for (int probe = 0; probe < 20; ++probe) {
+      const auto limit = rng.below(bits + 10);
+      auto it = model.lower_bound(static_cast<int>(limit));
+      const int expect_bit = it == model.begin() ? -1 : *std::prev(it);
+      EXPECT_EQ(s.max_bit_below(limit), expect_bit) << "limit " << limit;
+    }
+    // Shifted union agrees with the shifted model.
+    const std::size_t shift = rng.below(bits);
+    DynBitset t(bits + 512);
+    DynBitset s2(bits + 512);
+    for (int v : model) s2.set(static_cast<std::size_t>(v));
+    t.or_with_shifted(s2, shift);
+    std::vector<int> expect2;
+    for (int v : model) expect2.push_back(v + static_cast<int>(shift));
+    EXPECT_EQ(t.to_vector(), expect2);
+  }
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,195 @@
+// Equivalence-checker and pattern-file tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/equivalence.h"
+#include "core/pattern_io.h"
+#include "gen/random_dag.h"
+#include "gen/trees.h"
+#include "lcc/lcc.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(Equivalence, IdenticalCircuitsAreEquivalentExhaustively) {
+  const Netlist a = test::fig4_network();
+  const Netlist b = test::fig4_network();
+  const EquivalenceResult r = check_equivalence(a, b);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.vectors_checked, 8u);  // 2^3
+}
+
+TEST(Equivalence, DeMorganPairsAreEquivalent) {
+  // NAND(a,b) == OR(NOT a, NOT b).
+  Netlist x("x");
+  const NetId xa = x.add_net("a"), xb = x.add_net("b"), xo = x.add_net("o");
+  x.mark_primary_input(xa);
+  x.mark_primary_input(xb);
+  x.add_gate(GateType::Nand, {xa, xb}, xo);
+  x.mark_primary_output(xo);
+  Netlist y("y");
+  const NetId ya = y.add_net("a"), yb = y.add_net("b");
+  const NetId na = y.add_net("na"), nb = y.add_net("nb"), yo = y.add_net("o");
+  y.mark_primary_input(ya);
+  y.mark_primary_input(yb);
+  y.add_gate(GateType::Not, {ya}, na);
+  y.add_gate(GateType::Not, {yb}, nb);
+  y.add_gate(GateType::Or, {na, nb}, yo);
+  y.mark_primary_output(yo);
+  const EquivalenceResult r = check_equivalence(x, y);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(Equivalence, FindsCounterexample) {
+  Netlist x("x");
+  const NetId xa = x.add_net("a"), xb = x.add_net("b"), xo = x.add_net("o");
+  x.mark_primary_input(xa);
+  x.mark_primary_input(xb);
+  x.add_gate(GateType::And, {xa, xb}, xo);
+  x.mark_primary_output(xo);
+  Netlist y("y");
+  const NetId ya = y.add_net("a"), yb = y.add_net("b"), yo = y.add_net("o");
+  y.mark_primary_input(ya);
+  y.mark_primary_input(yb);
+  y.add_gate(GateType::Or, {ya, yb}, yo);
+  y.mark_primary_output(yo);
+  const EquivalenceResult r = check_equivalence(x, y);
+  EXPECT_FALSE(r.equivalent);
+  ASSERT_TRUE(r.counterexample.has_value());
+  const auto& cex = *r.counterexample;
+  EXPECT_EQ(cex.output, "o");
+  // The counterexample must actually distinguish them.
+  LccSim<> sx(x), sy(y);
+  sx.step(cex.inputs);
+  sy.step(cex.inputs);
+  EXPECT_NE(sx.value(xo), sy.value(yo));
+  EXPECT_EQ(sx.value(xo), cex.value_a);
+  EXPECT_EQ(sy.value(yo), cex.value_b);
+}
+
+TEST(Equivalence, InterfaceMismatchReported) {
+  const Netlist a = test::fig4_network();
+  const Netlist b = parity_tree(4);
+  const EquivalenceResult r = check_equivalence(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Equivalence, TransformsPreserveEquivalence) {
+  RandomDagParams p;
+  p.inputs = 10;
+  p.outputs = 5;
+  p.gates = 120;
+  p.depth = 9;
+  p.seed = 77;
+  const Netlist nl = random_dag(p);
+  const SweepResult swept = sweep_dead_logic(nl);
+  EquivalenceOptions opts;
+  opts.exhaustive_limit = 10;
+  const EquivalenceResult r1 = check_equivalence(nl, swept.netlist, opts);
+  EXPECT_TRUE(r1.equivalent) << r1.error;
+  const ConstPropResult cp = propagate_constants(nl);
+  const EquivalenceResult r2 = check_equivalence(nl, cp.netlist, opts);
+  EXPECT_TRUE(r2.equivalent) << r2.error;
+}
+
+TEST(Equivalence, RandomizedPathForWideCircuits) {
+  const Netlist a = parity_tree(20);
+  const Netlist b = parity_tree(20);
+  EquivalenceOptions opts;
+  opts.exhaustive_limit = 16;  // 20 inputs -> randomized
+  opts.random_vectors = 512;
+  const EquivalenceResult r = check_equivalence(a, b, opts);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_FALSE(r.exhaustive);
+  EXPECT_EQ(r.vectors_checked, 512u);
+}
+
+TEST(PatternIo, RoundTrip) {
+  const Netlist nl = test::fig4_network();
+  PatternSet ps;
+  ps.inputs = 3;
+  ps.bits = {1, 0, 1, 0, 1, 1};
+  std::ostringstream os;
+  write_patterns(os, nl, ps);
+  std::istringstream is(os.str());
+  const PatternSet back = read_patterns(is, nl);
+  EXPECT_EQ(back.bits, ps.bits);
+  EXPECT_EQ(back.count(), 2u);
+}
+
+TEST(PatternIo, HeaderReordersColumns) {
+  const Netlist nl = test::fig4_network();  // inputs A, B, C
+  std::istringstream is("inputs C A B\n101\n");
+  const PatternSet ps = read_patterns(is, nl);
+  ASSERT_EQ(ps.count(), 1u);
+  // Column 0 -> C=1, column 1 -> A=0, column 2 -> B=1.
+  EXPECT_EQ(ps.row(0)[0], 0);  // A
+  EXPECT_EQ(ps.row(0)[1], 1);  // B
+  EXPECT_EQ(ps.row(0)[2], 1);  // C
+}
+
+TEST(PatternIo, Errors) {
+  const Netlist nl = test::fig4_network();
+  {
+    std::istringstream is("10\n");  // wrong width
+    EXPECT_THROW((void)read_patterns(is, nl), PatternParseError);
+  }
+  {
+    std::istringstream is("1x1\n");
+    EXPECT_THROW((void)read_patterns(is, nl), PatternParseError);
+  }
+  {
+    std::istringstream is("inputs A B\n11\n");  // header incomplete
+    EXPECT_THROW((void)read_patterns(is, nl), PatternParseError);
+  }
+  {
+    std::istringstream is("111\ninputs A B C\n");  // header after vectors
+    EXPECT_THROW((void)read_patterns(is, nl), PatternParseError);
+  }
+}
+
+TEST(PatternIo, CommentsAndBlanksIgnored) {
+  const Netlist nl = test::fig4_network();
+  std::istringstream is("# hi\n\n111 # trailing\n000\n");
+  const PatternSet ps = read_patterns(is, nl);
+  EXPECT_EQ(ps.count(), 2u);
+}
+
+TEST(PatternIo, ResponsesFormat) {
+  const Netlist nl = test::fig4_network();
+  const Bit resp[] = {1, 0};
+  std::ostringstream os;
+  write_responses(os, nl, resp);
+  EXPECT_EQ(os.str(), "outputs E\n1\n0\n");
+}
+
+TEST(BenchIo, DelayDirectiveRoundTrip) {
+  Netlist nl("md");
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId x = nl.add_net("x");
+  nl.set_delay(nl.add_gate(GateType::Not, {a}, x), 3);
+  const NetId y = nl.add_net("y");
+  nl.add_gate(GateType::Buf, {x}, y);
+  nl.mark_primary_output(y);
+
+  std::ostringstream os;
+  write_bench(os, nl);
+  EXPECT_NE(os.str().find("#!delay x 3"), std::string::npos);
+  std::istringstream is(os.str());
+  const Netlist back = read_bench(is, "md");
+  const GateId not_gate = back.net(*back.find_net("x")).drivers.front();
+  EXPECT_EQ(back.delay(not_gate), 3);
+  const GateId buf_gate = back.net(*back.find_net("y")).drivers.front();
+  EXPECT_EQ(back.delay(buf_gate), 1);
+}
+
+}  // namespace
+}  // namespace udsim

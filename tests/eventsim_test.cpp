@@ -1,0 +1,169 @@
+// Event-driven baseline tests: exact change-history equivalence with the
+// oracle, three-valued settling, zero-delay selective trace.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "eventsim/event_sim.h"
+#include "eventsim/zero_delay_sim.h"
+#include "gen/random_dag.h"
+#include "harness/vectors.h"
+#include "oracle/oracle.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(EventSim, ChangeHistoryMatchesOracleExactly) {
+  RandomDagParams p;
+  p.inputs = 12;
+  p.gates = 160;
+  p.depth = 12;
+  p.seed = 31;
+  p.reach = 1.8;
+  const Netlist nl = random_dag(p);
+  OracleSim oracle(nl);
+  EventSim2 ev(nl);
+  RandomVectorSource src(nl.primary_inputs().size(), 4);
+  std::vector<Bit> v(nl.primary_inputs().size());
+  for (int i = 0; i < 25; ++i) {
+    src.next(v);
+    const Waveform wf = oracle.step(v);
+    ev.step(v, /*record=*/true);
+    // Collect oracle changes (net, time) -> value; t=0 changes are PI edges.
+    std::map<std::pair<std::uint32_t, int>, Bit> expect;
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      for (int t : wf.change_times(NetId{n})) {
+        expect[{n, t}] = wf.at(NetId{n}, t);
+      }
+    }
+    std::map<std::pair<std::uint32_t, int>, Bit> got;
+    for (const auto& c : ev.last_changes()) {
+      if (c.time == 0) continue;  // PI application, not a gate change
+      got[{c.net.value, c.time}] = c.value;
+    }
+    ASSERT_EQ(got, expect) << "vector " << i;
+  }
+}
+
+TEST(EventSim, ThreeValuedSettlesToTwoValued) {
+  RandomDagParams p;
+  p.inputs = 8;
+  p.gates = 90;
+  p.depth = 9;
+  p.seed = 13;
+  const Netlist nl = random_dag(p);
+  OracleSim oracle(nl);
+  EventSim3 ev(nl);
+  RandomVectorSource src(nl.primary_inputs().size(), 4);
+  std::vector<Bit> v(nl.primary_inputs().size());
+  for (int i = 0; i < 10; ++i) {
+    src.next(v);
+    const Waveform wf = oracle.step(v);
+    ev.step(v);
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      ASSERT_NE(ev.value(NetId{n}), Tri::X) << nl.net(NetId{n}).name;
+      EXPECT_EQ(ev.value(NetId{n}) == Tri::One ? 1 : 0, wf.final_value(NetId{n}));
+    }
+  }
+}
+
+TEST(EventSim, NoEventsWhenInputsRepeat) {
+  const Netlist nl = test::fig4_network();
+  EventSim2 ev(nl);
+  const Bit v[] = {1, 0, 1};
+  ev.step(v);
+  const auto before = ev.stats().events;
+  ev.step(v, true);
+  EXPECT_EQ(ev.stats().events, before);
+  EXPECT_TRUE(ev.last_changes().empty());
+}
+
+TEST(EventSim, CancellationOnGlitchFreeReconvergence) {
+  // F = A XOR A is constantly 0; but the two pins see the same change, so
+  // the evaluation is a single event that produces no output change.
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Xor, {a, a}, o);
+  nl.mark_primary_output(o);
+  EventSim2 ev(nl);
+  const Bit v0[] = {0};
+  ev.step(v0);
+  const Bit v1[] = {1};
+  ev.step(v1, true);
+  for (const auto& c : ev.last_changes()) {
+    EXPECT_NE(c.net, o);  // o never actually changes
+  }
+  EXPECT_EQ(ev.value(o), 0);
+}
+
+TEST(EventSim, WiredZeroDelayWaves) {
+  Netlist nl = test::wired_network(WiredKind::Or);
+  lower_wired_nets(nl);
+  OracleSim oracle(nl);
+  EventSim2 ev(nl);
+  RandomVectorSource src(3, 99);
+  std::vector<Bit> v(3);
+  for (int i = 0; i < 16; ++i) {
+    src.next(v);
+    const Waveform wf = oracle.step(v);
+    ev.step(v);
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      EXPECT_EQ(ev.value(NetId{n}), wf.final_value(NetId{n}));
+    }
+  }
+}
+
+TEST(EventSim, StatsCountWork) {
+  const Netlist nl = test::fig4_network();
+  EventSim2 ev(nl);
+  const Bit v[] = {1, 1, 1};
+  ev.step(v);
+  EXPECT_GT(ev.stats().gate_evals, 0u);
+  EXPECT_EQ(ev.stats().vectors, 1u);
+}
+
+TEST(ZeroDelaySim, MatchesOracleFinals) {
+  RandomDagParams p;
+  p.inputs = 10;
+  p.gates = 120;
+  p.depth = 10;
+  p.seed = 55;
+  const Netlist nl = random_dag(p);
+  OracleSim oracle(nl);
+  ZeroDelayEventSim zd(nl);
+  RandomVectorSource src(nl.primary_inputs().size(), 6);
+  std::vector<Bit> v(nl.primary_inputs().size());
+  for (int i = 0; i < 20; ++i) {
+    src.next(v);
+    const Waveform wf = oracle.step(v);
+    zd.step(v);
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      ASSERT_EQ(zd.value(NetId{n}), wf.final_value(NetId{n}))
+          << nl.net(NetId{n}).name << " vector " << i;
+    }
+  }
+}
+
+TEST(ZeroDelaySim, SelectiveTraceSkipsQuietLogic) {
+  // Flipping one input of a wide circuit must evaluate far fewer gates than
+  // the whole netlist (after the initial settling pass).
+  RandomDagParams p;
+  p.inputs = 32;
+  p.gates = 400;
+  p.depth = 10;
+  p.seed = 8;
+  const Netlist nl = random_dag(p);
+  ZeroDelayEventSim zd(nl);
+  std::vector<Bit> v(nl.primary_inputs().size(), 0);
+  zd.step(v);  // settle
+  const auto base = zd.gate_evals();
+  v[0] = 1;
+  zd.step(v);
+  EXPECT_LT(zd.gate_evals() - base, nl.gate_count() / 2);
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,184 @@
+// Fault-simulation tests: the two bit-parallel organizations against the
+// serial reference, plus known-coverage circuits.
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.h"
+#include "gen/random_dag.h"
+#include "gen/trees.h"
+#include "netlist/bench_io.h"
+#include "netlist/transform.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(FaultSim, EnumerateSkipsConstants) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId k = nl.add_net("k");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Const1, {}, k);
+  nl.add_gate(GateType::And, {a, k}, o);
+  nl.mark_primary_output(o);
+  const auto faults = enumerate_faults(nl);
+  EXPECT_EQ(faults.size(), 4u);  // a and o, two polarities each
+  for (const Fault& f : faults) EXPECT_NE(f.net, k);
+}
+
+TEST(FaultSim, XorChainFullyTestable) {
+  // Every stuck fault on an odd-length XOR chain propagates to the output
+  // (even length would make the shared B input's faults cancel: B enters
+  // the parity an even number of times). Random 64 patterns suffice.
+  const Netlist nl = test::xor_chain(11);
+  const auto faults = enumerate_faults(nl);
+  FaultSimulator<> sim(nl);
+  const auto r = sim.run_ppsfp(faults, 64, 5);
+  EXPECT_EQ(r.detected_count(), faults.size());
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(FaultSim, RedundantLogicUndetectable) {
+  // o = a AND (NOT a) is constant 0: stuck-at-0 on o is undetectable.
+  const Netlist nl = test::fig11_network();
+  const NetId c = *nl.find_net("C");
+  const Fault sa0{c, 0};
+  const Fault sa1{c, 1};
+  FaultSimulator<> sim(nl);
+  const std::vector<Fault> faults = {sa0, sa1};
+  const auto r = sim.run_ppsfp(faults, 128, 9);
+  EXPECT_FALSE(r.detected[0]);  // C is always 0; sticking it at 0 is invisible
+  EXPECT_TRUE(r.detected[1]);
+}
+
+class FaultEngineAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultEngineAgreement, AllThreeEnginesDetectTheSameFaults) {
+  RandomDagParams p;
+  p.inputs = 8;
+  p.outputs = 5;
+  p.gates = 60;
+  p.depth = 7;
+  p.seed = static_cast<std::uint64_t>(GetParam());
+  const Netlist nl = random_dag(p);
+  const auto faults = enumerate_faults(nl);
+  constexpr std::size_t kPatterns = 64;  // multiple of the lane count
+  constexpr std::uint64_t kSeed = 17;
+
+  const auto serial = run_serial_fault_sim(nl, faults, kPatterns, kSeed);
+  FaultSimulator<> sim(nl);
+  const auto ppsfp = sim.run_ppsfp(faults, kPatterns, kSeed);
+  const auto pfsp = sim.run_pfsp(faults, kPatterns, kSeed);
+  ASSERT_EQ(serial.detected.size(), faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    EXPECT_EQ(ppsfp.detected[f], serial.detected[f])
+        << "ppsfp fault " << nl.net(faults[f].net).name << " sa"
+        << int{faults[f].stuck_at};
+    EXPECT_EQ(pfsp.detected[f], serial.detected[f])
+        << "pfsp fault " << nl.net(faults[f].net).name << " sa"
+        << int{faults[f].stuck_at};
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultEngineAgreement, ::testing::Values(1, 2, 3, 4));
+
+TEST(FaultSim, SixtyFourBitLanes) {
+  const Netlist nl = test::xor_chain(10);
+  const auto faults = enumerate_faults(nl);
+  FaultSimulator<std::uint64_t> sim64(nl);
+  FaultSimulator<std::uint32_t> sim32(nl);
+  const auto r64 = sim64.run_pfsp(faults, 64, 3);
+  const auto r32 = sim32.run_pfsp(faults, 64, 3);
+  EXPECT_EQ(r64.detected, r32.detected);
+}
+
+TEST(FaultSim, CoverageGrowsWithPatterns) {
+  RandomDagParams p;
+  p.inputs = 12;
+  p.outputs = 6;
+  p.gates = 150;
+  p.depth = 10;
+  p.seed = 77;
+  const Netlist nl = random_dag(p);
+  const auto faults = enumerate_faults(nl);
+  FaultSimulator<> sim(nl);
+  const auto r32 = sim.run_ppsfp(faults, 32, 4);
+  const auto r256 = sim.run_ppsfp(faults, 256, 4);
+  EXPECT_GE(r256.detected_count(), r32.detected_count());
+  // Every fault detected at 32 patterns stays detected at 256 (same stream).
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (r32.detected[f]) {
+      EXPECT_TRUE(r256.detected[f]);
+    }
+  }
+}
+
+TEST(FaultSim, C17KnownCoverage) {
+  // c17 is fully testable: 100% single-stuck-at coverage is reachable with
+  // modest random patterns.
+  const Netlist nl = read_bench_file(std::string(UDSIM_DATA_DIR) + "/c17.bench");
+  const auto faults = enumerate_faults(nl);
+  FaultSimulator<> sim(nl);
+  const auto r = sim.run_ppsfp(faults, 32, 1);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(FaultSim, CompactionPreservesCoverage) {
+  RandomDagParams p;
+  p.inputs = 10;
+  p.outputs = 5;
+  p.gates = 100;
+  p.depth = 9;
+  p.seed = 5;
+  const Netlist nl = random_dag(p);
+  const auto faults = enumerate_faults(nl);
+  FaultSimulator<> sim(nl);
+  const auto full = sim.run_ppsfp(faults, 256, 77);
+  const auto kept = compact_patterns(full);
+  EXPECT_LE(kept.size(), full.patterns);
+  EXPECT_LE(kept.size(), full.detected_count());
+  // Re-simulating only the kept patterns detects the same fault set: build
+  // the reduced pattern stream by replaying the generator is internal, so
+  // check the defining property instead: every detected fault's first
+  // detector is in the kept set.
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (full.detected[f]) {
+      EXPECT_NE(std::find(kept.begin(), kept.end(), full.first_detection[f]),
+                kept.end());
+    } else {
+      EXPECT_EQ(full.first_detection[f], FaultSimResult::kUndetected);
+    }
+  }
+}
+
+TEST(FaultSim, FirstDetectionAgreesAcrossEngines) {
+  RandomDagParams p;
+  p.inputs = 8;
+  p.outputs = 4;
+  p.gates = 60;
+  p.depth = 7;
+  p.seed = 6;
+  const Netlist nl = random_dag(p);
+  const auto faults = enumerate_faults(nl);
+  FaultSimulator<> sim(nl);
+  const auto serial = run_serial_fault_sim(nl, faults, 64, 3);
+  const auto ppsfp = sim.run_ppsfp(faults, 64, 3);
+  const auto pfsp = sim.run_pfsp(faults, 64, 3);
+  EXPECT_EQ(ppsfp.first_detection, serial.first_detection);
+  EXPECT_EQ(pfsp.first_detection, serial.first_detection);
+}
+
+TEST(Transform, InjectStuckAtForcesValue) {
+  const Netlist nl = test::fig4_network();
+  const NetId d = *nl.find_net("D");
+  const Netlist faulty = inject_stuck_at(nl, d, 1);
+  EXPECT_NO_THROW(faulty.validate());
+  LccSim<> sim(faulty);
+  const Bit v[] = {0, 0, 1};  // A&B = 0, but D stuck at 1 -> E = 1
+  sim.step(v);
+  EXPECT_EQ(sim.value(*faulty.find_net("D")), 1);
+  EXPECT_EQ(sim.value(*faulty.find_net("E")), 1);
+}
+
+}  // namespace
+}  // namespace udsim

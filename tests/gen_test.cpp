@@ -1,0 +1,234 @@
+// Generator tests: arithmetic circuits verified against integer arithmetic,
+// parity/ECC against software models, random-DAG structural invariants, and
+// the ISCAS-85 profile calibration.
+#include <gtest/gtest.h>
+
+#include "analysis/pcset.h"
+#include "gen/arithmetic.h"
+#include "gen/iscas_profiles.h"
+#include "gen/random_dag.h"
+#include "gen/rng.h"
+#include "gen/trees.h"
+#include "lcc/lcc.h"
+#include "netlist/stats.h"
+
+namespace udsim {
+namespace {
+
+TEST(Gen, RippleCarryAdderAddsCorrectly) {
+  const int bits = 8;
+  const Netlist nl = ripple_carry_adder(bits);
+  LccSim<> sim(nl);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned a = static_cast<unsigned>(rng.below(256));
+    const unsigned b = static_cast<unsigned>(rng.below(256));
+    const unsigned cin = static_cast<unsigned>(rng.bit());
+    std::vector<Bit> v;
+    for (int i = 0; i < bits; ++i) {
+      v.push_back((a >> i) & 1u);
+      v.push_back((b >> i) & 1u);
+    }
+    v.push_back(static_cast<Bit>(cin));
+    sim.step(v);
+    const unsigned expect = a + b + cin;
+    unsigned got = 0;
+    for (int i = 0; i < bits; ++i) {
+      got |= static_cast<unsigned>(sim.value(*nl.find_net("fa" + std::to_string(i) + "_s")))
+             << i;
+    }
+    got |= static_cast<unsigned>(
+               sim.value(*nl.find_net("fa" + std::to_string(bits - 1) + "_c")))
+           << bits;
+    ASSERT_EQ(got, expect) << a << "+" << b << "+" << cin;
+  }
+}
+
+TEST(Gen, ArrayMultiplierMultipliesCorrectly) {
+  const Netlist nl = array_multiplier(8, 8);
+  LccSim<> sim(nl);
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned a = static_cast<unsigned>(rng.below(256));
+    const unsigned b = static_cast<unsigned>(rng.below(256));
+    std::vector<Bit> v;
+    for (int i = 0; i < 8; ++i) v.push_back((a >> i) & 1u);
+    for (int i = 0; i < 8; ++i) v.push_back((b >> i) & 1u);
+    sim.step(v);
+    unsigned got = 0;
+    const auto& pos = nl.primary_outputs();
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      got |= static_cast<unsigned>(sim.value(pos[i])) << i;
+    }
+    ASSERT_EQ(got, a * b) << a << "*" << b;
+  }
+}
+
+TEST(Gen, ParityTreeComputesParity) {
+  const Netlist nl = parity_tree(13);
+  LccSim<> sim(nl);
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Bit> v;
+    int parity = 0;
+    for (int i = 0; i < 13; ++i) {
+      v.push_back(static_cast<Bit>(rng.bit()));
+      parity ^= v.back();
+    }
+    sim.step(v);
+    ASSERT_EQ(sim.value(nl.primary_outputs()[0]), parity);
+  }
+}
+
+TEST(Gen, EccCorrectorFixesSingleBitErrors) {
+  const int data_bits = 16;
+  const Netlist nl = ecc_corrector(data_bits);
+  const int sbits = static_cast<int>(nl.primary_inputs().size()) - data_bits;
+  LccSim<> sim(nl);
+  Rng rng(8);
+  // Software model of the syndrome encoding used by the generator.
+  const auto check_bits_for = [&](unsigned data) {
+    std::vector<Bit> c(static_cast<std::size_t>(sbits), 0);
+    for (int s = 0; s < sbits; ++s) {
+      int par = 0;
+      for (int i = 0; i < data_bits; ++i) {
+        const bool covered = s == 0 || ((i >> (s - 1)) & 1);
+        if (covered) par ^= (data >> i) & 1u;
+      }
+      c[static_cast<std::size_t>(s)] = static_cast<Bit>(par);
+    }
+    return c;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto data = static_cast<unsigned>(rng.below(1u << data_bits));
+    auto check = check_bits_for(data);
+    // Flip one data bit (or none).
+    unsigned corrupted = data;
+    if (trial % 4 != 0) {
+      const int flip = static_cast<int>(rng.below(data_bits));
+      corrupted ^= 1u << flip;
+    }
+    std::vector<Bit> v;
+    for (int i = 0; i < data_bits; ++i) v.push_back((corrupted >> i) & 1u);
+    for (Bit c : check) v.push_back(c);
+    sim.step(v);
+    unsigned got = 0;
+    for (int i = 0; i < data_bits; ++i) {
+      got |= static_cast<unsigned>(sim.value(*nl.find_net("o" + std::to_string(i)))) << i;
+    }
+    ASSERT_EQ(got, data) << "trial " << trial;
+  }
+}
+
+TEST(Gen, MuxTreeSelects) {
+  const Netlist nl = mux_tree(3);
+  LccSim<> sim(nl);
+  for (unsigned sel = 0; sel < 8; ++sel) {
+    for (unsigned pattern : {0x5au, 0xa5u, 0xffu, 0x01u}) {
+      std::vector<Bit> v;
+      for (int i = 0; i < 8; ++i) v.push_back((pattern >> i) & 1u);
+      for (int s = 0; s < 3; ++s) v.push_back((sel >> s) & 1u);
+      sim.step(v);
+      ASSERT_EQ(sim.value(nl.primary_outputs()[0]), (pattern >> sel) & 1u);
+    }
+  }
+}
+
+TEST(Gen, ComparatorComparesCorrectly) {
+  const Netlist nl = comparator(6);
+  LccSim<> sim(nl);
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned a = static_cast<unsigned>(rng.below(64));
+    const unsigned b = static_cast<unsigned>(rng.below(64));
+    std::vector<Bit> v;
+    for (int i = 0; i < 6; ++i) {
+      v.push_back((a >> i) & 1u);
+      v.push_back((b >> i) & 1u);
+    }
+    sim.step(v);
+    ASSERT_EQ(sim.value(nl.primary_outputs()[0]), a == b ? 1 : 0);
+    ASSERT_EQ(sim.value(nl.primary_outputs()[1]), a > b ? 1 : 0);
+  }
+}
+
+TEST(Gen, RandomDagMeetsStructuralContract) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 99ull}) {
+    RandomDagParams p;
+    p.inputs = 20;
+    p.outputs = 10;
+    p.gates = 250;
+    p.depth = 17;
+    p.seed = seed;
+    const Netlist nl = random_dag(p);
+    EXPECT_NO_THROW(nl.validate());
+    EXPECT_EQ(nl.real_gate_count(), p.gates + 0u);  // exact when PIs drain
+    const Levelization lv = levelize(nl);
+    EXPECT_EQ(lv.depth, p.depth);
+    // Every PI feeds something; every sink is a PO.
+    for (NetId pi : nl.primary_inputs()) {
+      EXPECT_FALSE(nl.net(pi).fanout.empty());
+    }
+    for (const Net& n : nl.nets()) {
+      if (n.fanout.empty() && !n.is_primary_input) {
+        EXPECT_TRUE(n.is_primary_output);
+      }
+    }
+    EXPECT_GE(nl.primary_outputs().size(), p.outputs);
+  }
+}
+
+TEST(Gen, RandomDagIsDeterministicPerSeed) {
+  RandomDagParams p;
+  p.inputs = 10;
+  p.gates = 80;
+  p.depth = 8;
+  p.seed = 1234;
+  const Netlist a = random_dag(p);
+  const Netlist b = random_dag(p);
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (std::uint32_t g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.gate(GateId{g}).type, b.gate(GateId{g}).type);
+    EXPECT_EQ(a.gate(GateId{g}).inputs.size(), b.gate(GateId{g}).inputs.size());
+  }
+}
+
+TEST(Gen, ReachControlsPCSetWidth) {
+  RandomDagParams p;
+  p.inputs = 12;
+  p.gates = 200;
+  p.depth = 15;
+  p.seed = 4;
+  p.reach = 0.2;
+  const Netlist narrow = random_dag(p);
+  p.reach = 3.0;
+  const Netlist wide = random_dag(p);
+  const auto total_pc = [](const Netlist& nl) {
+    const Levelization lv = levelize(nl);
+    return compute_pc_sets(nl, lv).total_net_pc_size();
+  };
+  EXPECT_GT(total_pc(wide), total_pc(narrow));
+}
+
+TEST(Gen, Iscas85ProfilesMatchPublishedShape) {
+  for (const IscasProfile& p : iscas85_profiles()) {
+    const Netlist nl = make_iscas85_like(p.name);
+    const CircuitStats st = circuit_stats(nl);
+    EXPECT_EQ(st.primary_inputs, p.inputs) << p.name;
+    if (!p.multiplier) {
+      EXPECT_EQ(st.gates, p.gates) << p.name;
+      EXPECT_EQ(st.depth + 1, p.levels) << p.name;
+      EXPECT_GE(st.primary_outputs, p.outputs) << p.name;
+    } else {
+      // The multiplier is structural, not fitted: ~4% of the published gate
+      // count and within one 32-bit word of the published level count.
+      EXPECT_NEAR(static_cast<double>(st.gates), static_cast<double>(p.gates),
+                  0.05 * static_cast<double>(p.gates))
+          << p.name;
+      EXPECT_EQ((st.depth + 1 + 31) / 32, (p.levels + 31) / 32) << p.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,93 @@
+// Harness-layer tests: RNG determinism, vector sources, table formatting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/rng.h"
+#include "harness/table.h"
+#include "harness/timer.h"
+#include "harness/vectors.h"
+
+namespace udsim {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BitsAreRoughlyBalanced) {
+  Rng rng(11);
+  int ones = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) ones += static_cast<int>(rng.bit());
+  EXPECT_GT(ones, kN * 45 / 100);
+  EXPECT_LT(ones, kN * 55 / 100);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Vectors, ScalarStreamIsDeterministic) {
+  RandomVectorSource a(8, 5), b(8, 5);
+  std::vector<Bit> va(8), vb(8);
+  for (int i = 0; i < 20; ++i) {
+    a.next(va);
+    b.next(vb);
+    EXPECT_EQ(va, vb);
+  }
+}
+
+TEST(Vectors, PackedLanesAreIndependentStreams) {
+  RandomVectorSource src(4, 9);
+  std::vector<std::uint32_t> w(4);
+  src.next_packed<std::uint32_t>(w, 8);
+  for (std::uint32_t x : w) {
+    EXPECT_EQ(x >> 8, 0u);  // only the requested lanes are populated
+  }
+}
+
+TEST(Table, AlignsAndFormats) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Numbers are right-aligned: "    1" under "value".
+  EXPECT_NE(s.find("     1\n"), std::string::npos);
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Timer, MedianOfTrialsRuns) {
+  int calls = 0;
+  const double s = median_seconds([&] { ++calls; }, 5);
+  EXPECT_EQ(calls, 5);
+  EXPECT_GE(s, 0.0);
+}
+
+}  // namespace
+}  // namespace udsim

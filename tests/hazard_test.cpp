@@ -1,0 +1,127 @@
+// Hazard-analysis tests: the binary-search single-transition detector
+// against a linear-scan model, plus end-to-end glitch hunting on circuits.
+#include <gtest/gtest.h>
+
+#include "gen/rng.h"
+#include "hazard/hazard.h"
+#include "oracle/oracle.h"
+#include "parsim/parallel_sim.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+std::vector<std::uint32_t> make_field(std::uint64_t bits, int width) {
+  std::vector<std::uint32_t> f((static_cast<std::size_t>(width) + 31) / 32, 0);
+  for (int i = 0; i < width; ++i) {
+    if ((bits >> i) & 1u) f[static_cast<std::size_t>(i) / 32] |= 1u << (i % 32);
+  }
+  return f;
+}
+
+TEST(Hazard, ConstantFields) {
+  for (int width : {1, 5, 32, 40}) {
+    const auto zeros = make_field(0, width);
+    const auto shape0 = single_transition_shape<std::uint32_t>(zeros, width);
+    ASSERT_TRUE(shape0.has_value());
+    EXPECT_TRUE(shape0->constant);
+    const auto ones = make_field(~0ull, width);
+    const auto shape1 = single_transition_shape<std::uint32_t>(ones, width);
+    ASSERT_TRUE(shape1.has_value());
+    EXPECT_TRUE(shape1->constant);
+  }
+}
+
+TEST(Hazard, SingleRisingAndFalling) {
+  // 0...01...1 with the boundary at each position.
+  for (int width : {8, 32, 48}) {
+    for (int b = 1; b < width; ++b) {
+      const std::uint64_t rising = ~((1ull << b) - 1);
+      auto f = make_field(rising, width);
+      auto shape = single_transition_shape<std::uint32_t>(f, width);
+      ASSERT_TRUE(shape.has_value()) << width << " " << b;
+      EXPECT_FALSE(shape->constant);
+      EXPECT_TRUE(shape->rising);
+      EXPECT_EQ(shape->boundary, b);
+      const std::uint64_t falling = (1ull << b) - 1;
+      f = make_field(falling, width);
+      shape = single_transition_shape<std::uint32_t>(f, width);
+      ASSERT_TRUE(shape.has_value());
+      EXPECT_FALSE(shape->constant);
+      EXPECT_FALSE(shape->rising);
+      EXPECT_EQ(shape->boundary, b);
+    }
+  }
+}
+
+TEST(Hazard, GlitchesDetected) {
+  EXPECT_TRUE(has_hazard<std::uint32_t>(make_field(0b010, 3), 3));
+  EXPECT_TRUE(has_hazard<std::uint32_t>(make_field(0b101, 3), 3));
+  EXPECT_TRUE(has_hazard<std::uint32_t>(make_field(0b0110, 4), 4));
+  EXPECT_FALSE(has_hazard<std::uint32_t>(make_field(0b110, 3), 3));
+  // Glitch far from the ends, across a word boundary.
+  std::uint64_t v = ~0ull;
+  v &= ~(1ull << 33);
+  EXPECT_TRUE(has_hazard<std::uint32_t>(make_field(v, 40), 40));
+}
+
+TEST(HazardProperty, BinarySearchAgreesWithLinearScan) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int width = 2 + static_cast<int>(rng.below(62));
+    std::uint64_t bits;
+    // Mix random fields with biased single-transition shapes so both
+    // branches are exercised.
+    if (rng.chance(0.5)) {
+      const int b = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+      bits = rng.chance(0.5) ? ~((1ull << b) - 1) : ((1ull << b) - 1);
+    } else {
+      bits = rng.next();
+    }
+    const auto f = make_field(bits, width);
+    const int transitions = count_transitions<std::uint32_t>(f, width);
+    EXPECT_EQ(has_hazard<std::uint32_t>(f, width), transitions > 1)
+        << "width " << width << " bits " << std::hex << bits;
+    const auto shape = single_transition_shape<std::uint32_t>(f, width);
+    if (transitions == 0) {
+      ASSERT_TRUE(shape.has_value());
+      EXPECT_TRUE(shape->constant);
+    } else if (transitions == 1) {
+      ASSERT_TRUE(shape.has_value());
+      EXPECT_FALSE(shape->constant);
+    } else {
+      EXPECT_FALSE(shape.has_value());
+    }
+  }
+}
+
+TEST(Hazard, SixtyFourBitWords) {
+  std::vector<std::uint64_t> f = {0xffffffffffff0000ull, 0x1ull};
+  EXPECT_FALSE(has_hazard<std::uint64_t>(f, 65));
+  f[1] = 0;  // now 1-bits end at 63: 0^16 1^48 0^1 -> hazard
+  EXPECT_TRUE(has_hazard<std::uint64_t>(f, 65));
+}
+
+TEST(Hazard, EndToEndGlitchHuntOnFig11) {
+  // A AND NOT(A): rising A produces a hazard on C (oracle-confirmed), and
+  // the parallel technique's bit-field shows it.
+  const Netlist nl = test::fig11_network();
+  const NetId c = *nl.find_net("C");
+  ParallelSim<> sim(nl);
+  OracleSim oracle(nl);
+  const Bit v0[] = {0};
+  sim.step(v0);
+  (void)oracle.step(v0);
+  const Bit v1[] = {1};
+  sim.step(v1);
+  const Waveform wf = oracle.step(v1);
+  const int width = sim.compiled().widths[c.value];
+  EXPECT_TRUE(has_hazard<std::uint32_t>(sim.field(c), width));
+  EXPECT_GT(wf.transition_count(c), 1u);
+  // Falling A: no glitch.
+  sim.step(v0);
+  EXPECT_FALSE(has_hazard<std::uint32_t>(sim.field(c), width));
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,137 @@
+// Unit tests for levelization and minlevel (paper §1-2).
+#include <gtest/gtest.h>
+
+#include "analysis/levelize.h"
+#include "gen/random_dag.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(Levelize, Fig4Levels) {
+  const Netlist nl = test::fig4_network();
+  const Levelization lv = levelize(nl);
+  EXPECT_EQ(lv.level(*nl.find_net("A")), 0);
+  EXPECT_EQ(lv.level(*nl.find_net("B")), 0);
+  EXPECT_EQ(lv.level(*nl.find_net("C")), 0);
+  EXPECT_EQ(lv.level(*nl.find_net("D")), 1);
+  EXPECT_EQ(lv.level(*nl.find_net("E")), 2);
+  EXPECT_EQ(lv.depth, 2);
+  // E's minlevel is 1: the shortest path is C -> E.
+  EXPECT_EQ(lv.minlevel(*nl.find_net("E")), 1);
+  EXPECT_EQ(lv.minlevel(*nl.find_net("D")), 1);
+}
+
+TEST(Levelize, UnbalancedReconvergence) {
+  const Netlist nl = test::unbalanced_reconvergence(3);
+  const Levelization lv = levelize(nl);
+  const NetId out = *nl.find_net("OUT");
+  EXPECT_EQ(lv.level(out), 4);     // through the 3-buffer chain + AND
+  EXPECT_EQ(lv.minlevel(out), 2);  // through the inverter + AND
+}
+
+TEST(Levelize, ConstantsAreLevelZero) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId k = nl.add_net("k");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Const1, {}, k);
+  nl.add_gate(GateType::And, {a, k}, o);
+  nl.mark_primary_output(o);
+  const Levelization lv = levelize(nl);
+  EXPECT_EQ(lv.level(k), 0);
+  EXPECT_EQ(lv.minlevel(k), 0);
+  EXPECT_EQ(lv.level(o), 1);
+}
+
+TEST(Levelize, WiredNetTakesMaxAndMinOfDrivers) {
+  const Netlist nl = test::wired_network();
+  const Levelization lv = levelize(nl);
+  const NetId w = *nl.find_net("W");
+  EXPECT_EQ(lv.level(w), 1);
+  EXPECT_EQ(lv.minlevel(w), 1);
+  // After lowering, levels of original nets are unchanged (resolvers are
+  // zero-delay).
+  Netlist lowered = test::wired_network();
+  lower_wired_nets(lowered);
+  const Levelization lv2 = levelize(lowered);
+  EXPECT_EQ(lv2.level(*lowered.find_net("W")), 1);
+  EXPECT_EQ(lv2.level(*lowered.find_net("O")), 2);
+}
+
+TEST(Levelize, DeepWiredChainWithDifferingDriverLevels) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  NetId cur = a;
+  for (int i = 0; i < 4; ++i) {
+    const NetId n = nl.add_net("c" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {cur}, n);
+    cur = n;
+  }
+  const NetId w = nl.add_net("w");
+  nl.set_wired(w, WiredKind::Or);
+  nl.add_gate(GateType::Buf, {a}, w);    // level 1 driver
+  nl.add_gate(GateType::Buf, {cur}, w);  // level 5 driver
+  nl.mark_primary_output(w);
+  const Levelization lv = levelize(nl);
+  EXPECT_EQ(lv.level(w), 5);
+  EXPECT_EQ(lv.minlevel(w), 1);
+}
+
+TEST(Levelize, TopologicalGateOrderRespectsDependencies) {
+  RandomDagParams p;
+  p.inputs = 12;
+  p.gates = 150;
+  p.depth = 12;
+  p.seed = 9;
+  const Netlist nl = random_dag(p);
+  const std::vector<GateId> order = topological_gate_order(nl);
+  ASSERT_EQ(order.size(), nl.gate_count());
+  std::vector<int> pos(nl.gate_count(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[order[i].value] = static_cast<int>(i);
+  }
+  for (GateId g : order) {
+    for (NetId in : nl.gate(g).inputs) {
+      for (GateId drv : nl.net(in).drivers) {
+        EXPECT_LT(pos[drv.value], pos[g.value]);
+      }
+    }
+  }
+}
+
+TEST(Levelize, LevelIsLongestPathProperty) {
+  // level(gate output) == 1 + max(level(inputs)) for unit-delay gates.
+  RandomDagParams p;
+  p.inputs = 10;
+  p.gates = 120;
+  p.depth = 10;
+  p.seed = 11;
+  const Netlist nl = random_dag(p);
+  const Levelization lv = levelize(nl);
+  for (const Gate& g : nl.gates()) {
+    int hi = 0, lo = 1 << 30;
+    for (NetId in : g.inputs) {
+      hi = std::max(hi, lv.level(in));
+      lo = std::min(lo, lv.minlevel(in));
+    }
+    EXPECT_EQ(lv.level(g.output), hi + 1);
+    EXPECT_EQ(lv.minlevel(g.output), lo + 1);
+  }
+}
+
+TEST(Levelize, ThrowsOnCycle) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::And, {a, y}, x);
+  nl.add_gate(GateType::Buf, {x}, y);
+  EXPECT_THROW((void)levelize(nl), NetlistError);
+}
+
+}  // namespace
+}  // namespace udsim

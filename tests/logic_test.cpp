@@ -1,0 +1,131 @@
+// Unit tests for two-/three-valued gate evaluation and type names.
+#include <gtest/gtest.h>
+
+#include "netlist/logic.h"
+
+namespace udsim {
+namespace {
+
+std::vector<Bit> bits(std::initializer_list<int> v) {
+  std::vector<Bit> out;
+  for (int x : v) out.push_back(static_cast<Bit>(x));
+  return out;
+}
+
+TEST(Logic, TwoValuedBasicGates) {
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      const auto in = bits({a, b});
+      EXPECT_EQ(eval2(GateType::And, in), a & b);
+      EXPECT_EQ(eval2(GateType::Or, in), a | b);
+      EXPECT_EQ(eval2(GateType::Xor, in), a ^ b);
+      EXPECT_EQ(eval2(GateType::Nand, in), 1 - (a & b));
+      EXPECT_EQ(eval2(GateType::Nor, in), 1 - (a | b));
+      EXPECT_EQ(eval2(GateType::Xnor, in), 1 - (a ^ b));
+      EXPECT_EQ(eval2(GateType::WiredAnd, in), a & b);
+      EXPECT_EQ(eval2(GateType::WiredOr, in), a | b);
+    }
+    EXPECT_EQ(eval2(GateType::Not, bits({a})), 1 - a);
+    EXPECT_EQ(eval2(GateType::Buf, bits({a})), a);
+  }
+  EXPECT_EQ(eval2(GateType::Const0, {}), 0);
+  EXPECT_EQ(eval2(GateType::Const1, {}), 1);
+}
+
+TEST(Logic, TwoValuedNary) {
+  EXPECT_EQ(eval2(GateType::And, bits({1, 1, 1, 1})), 1);
+  EXPECT_EQ(eval2(GateType::And, bits({1, 1, 0, 1})), 0);
+  EXPECT_EQ(eval2(GateType::Nand, bits({1, 1, 1})), 0);
+  EXPECT_EQ(eval2(GateType::Or, bits({0, 0, 0})), 0);
+  EXPECT_EQ(eval2(GateType::Nor, bits({0, 0, 1})), 0);
+  // XOR over n pins is parity.
+  EXPECT_EQ(eval2(GateType::Xor, bits({1, 1, 1})), 1);
+  EXPECT_EQ(eval2(GateType::Xor, bits({1, 1, 1, 1})), 0);
+  EXPECT_EQ(eval2(GateType::Xnor, bits({1, 1, 1, 1})), 1);
+  // Degenerate single-pin reductions.
+  EXPECT_EQ(eval2(GateType::And, bits({1})), 1);
+  EXPECT_EQ(eval2(GateType::Nand, bits({1})), 0);
+}
+
+TEST(Logic, ThreeValuedDominance) {
+  const Tri x = Tri::X;
+  const Tri z = Tri::Zero;
+  const Tri o = Tri::One;
+  // A controlling value beats X.
+  EXPECT_EQ(eval3(GateType::And, std::vector<Tri>{z, x}), z);
+  EXPECT_EQ(eval3(GateType::Or, std::vector<Tri>{o, x}), o);
+  EXPECT_EQ(eval3(GateType::Nand, std::vector<Tri>{z, x}), o);
+  EXPECT_EQ(eval3(GateType::Nor, std::vector<Tri>{o, x}), z);
+  // Otherwise X propagates.
+  EXPECT_EQ(eval3(GateType::And, std::vector<Tri>{o, x}), x);
+  EXPECT_EQ(eval3(GateType::Or, std::vector<Tri>{z, x}), x);
+  EXPECT_EQ(eval3(GateType::Xor, std::vector<Tri>{o, x}), x);
+  EXPECT_EQ(eval3(GateType::Not, std::vector<Tri>{x}), x);
+  EXPECT_EQ(eval3(GateType::Not, std::vector<Tri>{z}), o);
+}
+
+TEST(Logic, ThreeValuedAgreesWithTwoValuedOnBinary) {
+  const GateType types[] = {GateType::And,  GateType::Or,   GateType::Nand,
+                            GateType::Nor,  GateType::Xor,  GateType::Xnor};
+  for (GateType t : types) {
+    for (int a = 0; a <= 1; ++a) {
+      for (int b = 0; b <= 1; ++b) {
+        for (int c = 0; c <= 1; ++c) {
+          const auto in2 = bits({a, b, c});
+          const std::vector<Tri> in3 = {static_cast<Tri>(a), static_cast<Tri>(b),
+                                        static_cast<Tri>(c)};
+          EXPECT_EQ(static_cast<int>(eval3(t, in3)), eval2(t, in2))
+              << gate_type_name(t) << " " << a << b << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(Logic, WordParallelMatchesScalar) {
+  const GateType types[] = {GateType::And, GateType::Or,  GateType::Nand,
+                            GateType::Nor, GateType::Xor, GateType::Xnor};
+  for (GateType t : types) {
+    // Pack the 4 two-input combinations into one word, lanes 0..3.
+    const std::uint32_t a = 0b0101;
+    const std::uint32_t b = 0b0011;
+    const std::uint32_t w = eval_word<std::uint32_t>(t, std::vector<std::uint32_t>{a, b});
+    for (int lane = 0; lane < 4; ++lane) {
+      const auto in = bits({(a >> lane) & 1, (b >> lane) & 1});
+      EXPECT_EQ((w >> lane) & 1u, eval2(t, in)) << gate_type_name(t) << lane;
+    }
+  }
+  EXPECT_EQ(eval_word<std::uint32_t>(GateType::Const1, {}), ~0u);
+  EXPECT_EQ(eval_word<std::uint32_t>(GateType::Not, std::vector<std::uint32_t>{0x0f0fu}),
+            ~0x0f0fu);
+}
+
+TEST(Logic, GateDelays) {
+  EXPECT_EQ(gate_delay(GateType::And), 1);
+  EXPECT_EQ(gate_delay(GateType::Not), 1);
+  EXPECT_EQ(gate_delay(GateType::Buf), 1);
+  EXPECT_EQ(gate_delay(GateType::WiredAnd), 0);
+  EXPECT_EQ(gate_delay(GateType::WiredOr), 0);
+}
+
+TEST(Logic, TypeNamesRoundTrip) {
+  const GateType all[] = {GateType::And,    GateType::Or,     GateType::Nand,
+                          GateType::Nor,    GateType::Xor,    GateType::Xnor,
+                          GateType::Not,    GateType::Buf,    GateType::Const0,
+                          GateType::Const1, GateType::WiredAnd, GateType::WiredOr,
+                          GateType::Dff};
+  for (GateType t : all) {
+    GateType back{};
+    ASSERT_TRUE(parse_gate_type(gate_type_name(t), back));
+    EXPECT_EQ(back, t);
+  }
+  GateType g{};
+  EXPECT_TRUE(parse_gate_type("NAND", g));
+  EXPECT_EQ(g, GateType::Nand);
+  EXPECT_TRUE(parse_gate_type("BUFF", g));  // .bench spelling
+  EXPECT_EQ(g, GateType::Buf);
+  EXPECT_FALSE(parse_gate_type("tristate", g));
+}
+
+}  // namespace
+}  // namespace udsim

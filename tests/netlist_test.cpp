@@ -1,0 +1,137 @@
+// Unit tests for the netlist data model, validation, and wired-net lowering.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "netlist/stats.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(Netlist, BasicConstruction) {
+  Netlist nl = test::fig4_network();
+  EXPECT_EQ(nl.net_count(), 5u);
+  EXPECT_EQ(nl.gate_count(), 2u);
+  EXPECT_EQ(nl.primary_inputs().size(), 3u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+  const NetId d = *nl.find_net("D");
+  EXPECT_EQ(nl.net(d).drivers.size(), 1u);
+  EXPECT_EQ(nl.net(d).fanout.size(), 1u);
+}
+
+TEST(Netlist, DuplicateNamesRejected) {
+  Netlist nl;
+  (void)nl.add_net("x");
+  EXPECT_THROW((void)nl.add_net("x"), NetlistError);
+  EXPECT_EQ(nl.get_or_add_net("x").value, 0u);
+}
+
+TEST(Netlist, DoubleDriverRequiresWired) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Not, {a}, o);
+  EXPECT_THROW(nl.add_gate(GateType::Buf, {a}, o), NetlistError);
+  nl.set_wired(o, WiredKind::Or);
+  EXPECT_NO_THROW(nl.add_gate(GateType::Buf, {a}, o));
+}
+
+TEST(Netlist, CannotDrivePrimaryInput) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  EXPECT_THROW(nl.add_gate(GateType::Not, {b}, a), NetlistError);
+}
+
+TEST(Netlist, ValidateCatchesUndrivenNet) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");  // never driven, not a PI
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::And, {a, b}, o);
+  EXPECT_THROW(nl.validate(), NetlistError);
+}
+
+TEST(Netlist, ValidateCatchesPinCount) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_gate(GateType::Not, {a, b}, o);  // NOT with two pins
+  EXPECT_THROW(nl.validate(), NetlistError);
+}
+
+TEST(Netlist, ValidateCatchesDff) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId q = nl.add_net("q");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Dff, {a}, q);
+  EXPECT_THROW(nl.validate(), NetlistError);
+}
+
+TEST(Netlist, AcyclicityCheck) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::And, {a, y}, x);
+  nl.add_gate(GateType::Buf, {x}, y);
+  EXPECT_FALSE(nl.is_acyclic());
+  EXPECT_THROW(nl.validate(), NetlistError);
+}
+
+TEST(Netlist, DuplicatePinsAllowed) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Xor, {a, a}, o);  // always 0
+  nl.mark_primary_output(o);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_TRUE(nl.is_acyclic());
+  EXPECT_EQ(nl.net(a).fanout.size(), 2u);  // one entry per pin
+}
+
+TEST(Netlist, LowerWiredNets) {
+  Netlist nl = test::wired_network(WiredKind::And);
+  EXPECT_NO_THROW(nl.validate());
+  const std::size_t lowered = lower_wired_nets(nl);
+  EXPECT_EQ(lowered, 1u);
+  EXPECT_NO_THROW(nl.validate());
+  // Every net now has at most one driver; a WiredAnd resolver exists.
+  std::size_t resolvers = 0;
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::WiredAnd) ++resolvers;
+  }
+  EXPECT_EQ(resolvers, 1u);
+  for (const Net& n : nl.nets()) {
+    EXPECT_LE(n.drivers.size(), 1u);
+  }
+  // The resolver is a zero-delay pseudo-gate, excluded from real_gate_count.
+  EXPECT_EQ(nl.real_gate_count(), nl.gate_count() - 1);
+  // Idempotent.
+  EXPECT_EQ(lower_wired_nets(nl), 0u);
+}
+
+TEST(Netlist, StatsBasics) {
+  const Netlist nl = test::fig4_network();
+  const CircuitStats st = circuit_stats(nl);
+  EXPECT_EQ(st.primary_inputs, 3u);
+  EXPECT_EQ(st.primary_outputs, 1u);
+  EXPECT_EQ(st.gates, 2u);
+  EXPECT_EQ(st.depth, 2);
+  EXPECT_EQ(st.pins, 4u);
+  EXPECT_EQ(st.max_fanout, 1u);
+}
+
+}  // namespace
+}  // namespace udsim

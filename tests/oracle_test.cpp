@@ -1,0 +1,127 @@
+// Reference-simulator tests, including the paper's Fig. 7 bit-field values.
+#include <gtest/gtest.h>
+
+#include "oracle/oracle.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(Oracle, Fig7History) {
+  // Paper Figs. 6/7 simulate the Fig. 4 network. With all-zero state and the
+  // vector A=B=C=1, D rises at t=1 and E at t=2.
+  const Netlist nl = test::fig4_network();
+  OracleSim sim(nl);
+  const NetId d = *nl.find_net("D");
+  const NetId e = *nl.find_net("E");
+  const Bit v1[] = {1, 1, 1};
+  Waveform wf = sim.step(v1);
+  EXPECT_EQ(wf.at(d, 0), 0);
+  EXPECT_EQ(wf.at(d, 1), 1);
+  EXPECT_EQ(wf.at(d, 2), 1);
+  EXPECT_EQ(wf.at(e, 0), 0);
+  EXPECT_EQ(wf.at(e, 1), 0);
+  EXPECT_EQ(wf.at(e, 2), 1);
+  // Drop A: D falls at 1, E falls at 2; E's time-1 value is recomputed from
+  // D(0)=1, C(0)=1 so it holds at 1 briefly — the unit-delay glitch world.
+  const Bit v2[] = {0, 1, 1};
+  wf = sim.step(v2);
+  EXPECT_EQ(wf.at(d, 0), 1);
+  EXPECT_EQ(wf.at(d, 1), 0);
+  EXPECT_EQ(wf.at(e, 0), 1);
+  EXPECT_EQ(wf.at(e, 1), 1);
+  EXPECT_EQ(wf.at(e, 2), 0);
+}
+
+TEST(Oracle, GlitchOnReconvergence) {
+  // A AND (NOT A): settles to 0 but pulses when A rises.
+  const Netlist nl = test::fig11_network();
+  OracleSim sim(nl);
+  const NetId c = *nl.find_net("C");
+  const Bit v0[] = {0};
+  (void)sim.step(v0);  // settle: A=0, B=1, C=0
+  const Bit v1[] = {1};
+  const Waveform wf = sim.step(v1);
+  // t0: A=1 (changed), B=1 (old), C=0; t1: C = A(0)&B(0)... times:
+  // C(1) = A(0) & B(0) = 1 & 1 = 1 -> glitch; C(2) = A(1) & B(1) = 1 & 0 = 0.
+  EXPECT_EQ(wf.at(c, 0), 0);
+  EXPECT_EQ(wf.at(c, 1), 1);
+  EXPECT_EQ(wf.at(c, 2), 0);
+  EXPECT_EQ(wf.transition_count(c), 2u);
+}
+
+TEST(Oracle, StateCarriesAcrossVectors) {
+  const Netlist nl = test::fig4_network();
+  OracleSim sim(nl);
+  const NetId e = *nl.find_net("E");
+  const Bit v1[] = {1, 1, 1};
+  (void)sim.step(v1);
+  EXPECT_EQ(sim.state(e), 1);
+  const Bit v2[] = {1, 1, 0};
+  const Waveform wf = sim.step(v2);
+  EXPECT_EQ(wf.at(e, 0), 1);  // retained from the previous vector
+  EXPECT_EQ(sim.state(e), 0);
+}
+
+TEST(Oracle, ResetRestoresConstants) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId k = nl.add_net("k");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Const1, {}, k);
+  nl.add_gate(GateType::And, {a, k}, o);
+  nl.mark_primary_output(o);
+  OracleSim sim(nl);
+  EXPECT_EQ(sim.state(k), 1);
+  sim.reset(0);
+  EXPECT_EQ(sim.state(k), 1);  // constants pinned
+  const Bit v[] = {1};
+  const Waveform wf = sim.step(v);
+  EXPECT_EQ(wf.final_value(o), 1);
+}
+
+TEST(Oracle, WiredAndResolution) {
+  Netlist nl = test::wired_network(WiredKind::And);
+  OracleSim sim(nl);
+  const NetId w = *nl.find_net("W");
+  // W = AND(a&b, ~c). a=1,b=1,c=0 -> 1.
+  const Bit v1[] = {1, 1, 0};
+  Waveform wf = sim.step(v1);
+  EXPECT_EQ(wf.final_value(w), 1);
+  const Bit v2[] = {1, 0, 0};
+  wf = sim.step(v2);
+  EXPECT_EQ(wf.final_value(w), 0);
+  // Lowered netlist gives identical waveforms on the original nets.
+  Netlist low = test::wired_network(WiredKind::And);
+  lower_wired_nets(low);
+  OracleSim sim2(low);
+  sim2.reset(0);
+  OracleSim sim3(nl);
+  for (const auto& v : {std::vector<Bit>{1, 1, 0}, {1, 0, 0}, {0, 1, 1}, {1, 1, 1}}) {
+    const Waveform w1 = sim3.step(v);
+    const Waveform w2 = sim2.step(v);
+    for (const char* name : {"A", "B", "C", "W", "O"}) {
+      const NetId n1 = *nl.find_net(name);
+      const NetId n2 = *low.find_net(name);
+      for (int t = 0; t <= sim3.depth(); ++t) {
+        EXPECT_EQ(w1.at(n1, t), w2.at(n2, t)) << name << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Oracle, WaveformChangeTimes) {
+  Waveform wf(1, 5);
+  wf.set(NetId{0}, 0, 0);
+  wf.set(NetId{0}, 1, 1);
+  wf.set(NetId{0}, 2, 1);
+  wf.set(NetId{0}, 3, 0);
+  wf.set(NetId{0}, 4, 0);
+  wf.set(NetId{0}, 5, 0);
+  EXPECT_EQ(wf.change_times(NetId{0}), (std::vector<int>{1, 3}));
+  EXPECT_EQ(wf.final_value(NetId{0}), 0);
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,182 @@
+// PC-set algorithm tests (paper §2), including the Lemma 1 property:
+// a net's actual change times are always a subset of its PC-set.
+#include <gtest/gtest.h>
+
+#include "analysis/pcset.h"
+#include "gen/random_dag.h"
+#include "harness/vectors.h"
+#include "oracle/oracle.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(PCSet, Fig4Sets) {
+  const Netlist nl = test::fig4_network();
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  EXPECT_EQ(pc.of(*nl.find_net("A")).to_vector(), (std::vector<int>{0}));
+  EXPECT_EQ(pc.of(*nl.find_net("D")).to_vector(), (std::vector<int>{1}));
+  // E has paths of length 1 (via C) and 2 (via A/B through D).
+  EXPECT_EQ(pc.of(*nl.find_net("E")).to_vector(), (std::vector<int>{1, 2}));
+}
+
+TEST(PCSet, Fig2StyleGate) {
+  // A gate whose inputs have PC-sets {2}, {3}, {2,4} -> output {3,4,5}
+  // (paper Fig. 2). Build with buffer chains and a 3-input AND.
+  Netlist nl("fig2");
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const auto chain = [&](int len, const std::string& tag) {
+    NetId cur = a;
+    for (int i = 0; i < len; ++i) {
+      const NetId n = nl.add_net(tag + std::to_string(i));
+      nl.add_gate(GateType::Buf, {cur}, n);
+      cur = n;
+    }
+    return cur;
+  };
+  const NetId i2 = chain(2, "p");
+  const NetId i3 = chain(3, "q");
+  // Third input with PC-set {2,4}: a 2-chain ORed (wired) with a 4-chain.
+  const NetId w = nl.add_net("w");
+  nl.set_wired(w, WiredKind::Or);
+  const NetId c2 = chain(1, "r");
+  nl.add_gate(GateType::Buf, {c2}, w);  // length 2 path
+  const NetId c4 = chain(3, "s");
+  nl.add_gate(GateType::Buf, {c4}, w);  // length 4 path
+  const NetId out = nl.add_net("out");
+  nl.add_gate(GateType::And, {i2, i3, w}, out);
+  nl.mark_primary_output(out);
+
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  EXPECT_EQ(pc.of(i2).to_vector(), (std::vector<int>{2}));
+  EXPECT_EQ(pc.of(i3).to_vector(), (std::vector<int>{3}));
+  EXPECT_EQ(pc.of(w).to_vector(), (std::vector<int>{2, 4}));
+  EXPECT_EQ(pc.of(out).to_vector(), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(PCSet, SizeBoundedByLevelRange) {
+  RandomDagParams p;
+  p.inputs = 14;
+  p.gates = 200;
+  p.depth = 14;
+  p.seed = 5;
+  p.reach = 2.0;
+  const Netlist nl = random_dag(p);
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const NetId id{n};
+    const auto v = pc.of(id).to_vector();
+    ASSERT_FALSE(v.empty());
+    // "The PC-set contains both the level and the minlevel of a net" and its
+    // size is at most level - minlevel + 1.
+    EXPECT_EQ(v.front(), lv.minlevel(id));
+    EXPECT_EQ(v.back(), lv.level(id));
+    EXPECT_LE(v.size(),
+              static_cast<std::size_t>(lv.level(id) - lv.minlevel(id) + 1));
+  }
+}
+
+TEST(PCSet, Lemma1ChangesOnlyAtPCTimes) {
+  // Oracle-simulated change times must be a subset of the PC-set.
+  RandomDagParams p;
+  p.inputs = 12;
+  p.gates = 150;
+  p.depth = 12;
+  p.seed = 77;
+  p.reach = 1.5;
+  const Netlist nl = random_dag(p);
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  OracleSim sim(nl);
+  RandomVectorSource src(nl.primary_inputs().size(), 3);
+  std::vector<Bit> v(nl.primary_inputs().size());
+  // Warm-up: the all-zero construction state is inconsistent, and Lemma 1
+  // presumes the previous vector settled; the first vector may glitch at
+  // arbitrary times while the inconsistency drains.
+  src.next(v);
+  (void)sim.step(v);
+  for (int i = 0; i < 30; ++i) {
+    src.next(v);
+    const Waveform wf = sim.step(v);
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      for (int t : wf.change_times(NetId{n})) {
+        EXPECT_TRUE(pc.of(NetId{n}).test(static_cast<std::size_t>(t)))
+            << "net " << nl.net(NetId{n}).name << " changed at non-PC time " << t;
+      }
+    }
+  }
+}
+
+TEST(PCSet, ZeroInsertionFig3) {
+  // Fig. 2/3: inputs with minlevels {2,3,2} -> the minlevel-3 input gets 0.
+  Netlist nl("fig3");
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  NetId b2 = a, b3 = a;
+  for (int i = 0; i < 2; ++i) {
+    const NetId n = nl.add_net("b2_" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {b2}, n);
+    b2 = n;
+  }
+  for (int i = 0; i < 3; ++i) {
+    const NetId n = nl.add_net("b3_" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {b3}, n);
+    b3 = n;
+  }
+  const NetId out = nl.add_net("out");
+  nl.add_gate(GateType::And, {b2, b3}, out);
+  nl.mark_primary_output(out);
+
+  const Levelization lv = levelize(nl);
+  PCSets pc = compute_pc_sets(nl, lv);
+  const std::vector<NetId> mon = {out};
+  const std::vector<NetId> zeroed = insert_zeros(nl, lv, mon, pc);
+  ASSERT_EQ(zeroed.size(), 1u);
+  EXPECT_EQ(zeroed[0], b3);
+  EXPECT_EQ(pc.of(b3).to_vector(), (std::vector<int>{0, 3}));
+  EXPECT_EQ(pc.of(b2).to_vector(), (std::vector<int>{2}));
+}
+
+TEST(PCSet, ZeroInsertionGuaranteesOperands) {
+  // After insertion, every gate PC element t has, for every input, an
+  // element strictly below t (the codegen guarantee).
+  RandomDagParams p;
+  p.inputs = 10;
+  p.gates = 120;
+  p.depth = 10;
+  p.seed = 21;
+  p.reach = 2.5;
+  const Netlist nl = random_dag(p);
+  const Levelization lv = levelize(nl);
+  PCSets pc = compute_pc_sets(nl, lv);
+  insert_zeros(nl, lv, nl.primary_outputs(), pc);
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& g = nl.gate(GateId{gi});
+    for (int t : pc.of(GateId{gi}).to_vector()) {
+      if (t == 0) continue;
+      for (NetId in : g.inputs) {
+        EXPECT_GE(pc.of(in).max_bit_below(static_cast<std::size_t>(t)), 0);
+      }
+    }
+  }
+}
+
+TEST(PCSet, DuplicatePinsCountedPerPin) {
+  // The worklist must decrement per pin (paper's step 4d note).
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Xor, {a, a}, o);
+  nl.mark_primary_output(o);
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  EXPECT_EQ(pc.of(o).to_vector(), (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,216 @@
+// Sequential-circuit support tests: flip-flop breaking (paper §1) and
+// multi-cycle simulation of the broken core with the compiled engines.
+#include <gtest/gtest.h>
+
+#include "gen/rng.h"
+#include "gen/iscas_profiles.h"
+#include "gen/sequential.h"
+#include "lcc/lcc.h"
+#include "parsim/parallel_sim.h"
+
+namespace udsim {
+namespace {
+
+/// Drive a broken sequential core for one clock with engine `sim`:
+/// inputs = external PIs followed by register state; returns next state.
+template <class Sim>
+std::vector<Bit> clock_once(Sim& sim, const Netlist& comb,
+                            const std::vector<BrokenRegister>& regs,
+                            std::vector<Bit> external, std::vector<Bit> state) {
+  std::vector<Bit> v = std::move(external);
+  v.insert(v.end(), state.begin(), state.end());
+  sim.step(v);
+  std::vector<Bit> next;
+  next.reserve(regs.size());
+  for (const BrokenRegister& r : regs) next.push_back(sim.final_value(r.d));
+  (void)comb;
+  return next;
+}
+
+TEST(Sequential, BreakFlipFlopsMakesAcyclicCore) {
+  const Netlist seq = counter(4);
+  EXPECT_FALSE(seq.is_acyclic());
+  const BrokenCircuit bc = break_flip_flops(seq);
+  EXPECT_TRUE(bc.comb.is_acyclic());
+  EXPECT_NO_THROW(bc.comb.validate());
+  EXPECT_EQ(bc.regs.size(), 4u);
+  // q nets became primary inputs, d nets primary outputs.
+  for (const BrokenRegister& r : bc.regs) {
+    EXPECT_TRUE(bc.comb.net(r.q).is_primary_input);
+    EXPECT_TRUE(bc.comb.net(r.d).is_primary_output);
+  }
+}
+
+TEST(Sequential, CounterCountsThroughLcc) {
+  const Netlist seq = counter(4);
+  const BrokenCircuit bc = break_flip_flops(seq);
+  struct LccAdapter {
+    LccSim<> sim;
+    explicit LccAdapter(const Netlist& nl) : sim(nl) {}
+    void step(std::span<const Bit> v) { sim.step(v); }
+    Bit final_value(NetId n) const { return sim.value(n); }
+  } sim(bc.comb);
+
+  std::vector<Bit> state(4, 0);
+  for (unsigned cycle = 1; cycle <= 20; ++cycle) {
+    state = clock_once(sim, bc.comb, bc.regs, {1}, state);
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) value |= static_cast<unsigned>(state[static_cast<std::size_t>(i)]) << i;
+    ASSERT_EQ(value, cycle % 16) << "cycle " << cycle;
+  }
+  // Disabled: holds.
+  const std::vector<Bit> held = clock_once(sim, bc.comb, bc.regs, {0}, state);
+  EXPECT_EQ(held, state);
+}
+
+TEST(Sequential, CounterThroughParallelTechnique) {
+  // The unit-delay engine also works as the per-cycle core; final values
+  // after settling are what latch into the registers.
+  const Netlist seq = counter(3);
+  const BrokenCircuit bc = break_flip_flops(seq);
+  struct ParAdapter {
+    ParallelSim<> sim;
+    explicit ParAdapter(const Netlist& nl) : sim(nl) {}
+    void step(std::span<const Bit> v) { sim.step(v); }
+    Bit final_value(NetId n) const { return sim.final_value(n); }
+  } sim(bc.comb);
+  std::vector<Bit> state(3, 0);
+  for (unsigned cycle = 1; cycle <= 10; ++cycle) {
+    state = clock_once(sim, bc.comb, bc.regs, {1}, state);
+    unsigned value = 0;
+    for (int i = 0; i < 3; ++i) value |= static_cast<unsigned>(state[static_cast<std::size_t>(i)]) << i;
+    ASSERT_EQ(value, cycle % 8);
+  }
+}
+
+TEST(Sequential, LfsrMatchesSoftwareModel) {
+  const int bits = 8;
+  const std::vector<int> taps = {8, 6, 5, 4};
+  const Netlist seq = lfsr(bits, taps);
+  const BrokenCircuit bc = break_flip_flops(seq);
+  struct LccAdapter {
+    LccSim<> sim;
+    explicit LccAdapter(const Netlist& nl) : sim(nl) {}
+    void step(std::span<const Bit> v) { sim.step(v); }
+    Bit final_value(NetId n) const { return sim.value(n); }
+  } sim(bc.comb);
+
+  // Software model: q0 <= xor(taps) ^ seed; qi <= q(i-1).
+  std::vector<Bit> state(static_cast<std::size_t>(bits), 0);
+  std::vector<Bit> model = state;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    const Bit seed_in = cycle == 0 ? 1 : 0;  // kick it out of all-zero
+    state = clock_once(sim, bc.comb, bc.regs, {seed_in}, state);
+    std::vector<Bit> next(model.size());
+    Bit fb = seed_in;
+    for (int t : taps) fb = static_cast<Bit>(fb ^ model[static_cast<std::size_t>(t - 1)]);
+    next[0] = fb;
+    for (int i = 1; i < bits; ++i) next[static_cast<std::size_t>(i)] = model[static_cast<std::size_t>(i - 1)];
+    model = next;
+    // Register order in regs matches DFF creation order: q0 first.
+    std::vector<Bit> got;
+    for (std::size_t i = 0; i < bc.regs.size(); ++i) got.push_back(state[i]);
+    ASSERT_EQ(got, model) << "cycle " << cycle;
+  }
+}
+
+TEST(Sequential, SequentialDagBreaksAndRuns) {
+  SequentialDagParams p;
+  p.inputs = 6;
+  p.outputs = 4;
+  p.registers = 10;
+  p.gates = 120;
+  p.depth = 8;
+  p.seed = 3;
+  const Netlist seq = sequential_dag(p);
+  EXPECT_FALSE(seq.is_acyclic());
+  EXPECT_EQ(seq.primary_inputs().size(), p.inputs);
+  const BrokenCircuit bc = break_flip_flops(seq);
+  EXPECT_EQ(bc.regs.size(), p.registers);
+  EXPECT_NO_THROW(bc.comb.validate());
+  EXPECT_EQ(bc.comb.primary_inputs().size(), p.inputs + p.registers);
+}
+
+TEST(Sequential, StateSequenceAgreesAcrossEngines) {
+  SequentialDagParams p;
+  p.inputs = 5;
+  p.outputs = 3;
+  p.registers = 8;
+  p.gates = 90;
+  p.depth = 7;
+  p.seed = 9;
+  const Netlist seq = sequential_dag(p);
+  const BrokenCircuit bc = break_flip_flops(seq);
+
+  LccSim<> lcc(bc.comb);
+  ParallelSim<> par(bc.comb);
+  Rng rng(2);
+  std::vector<Bit> s_lcc(p.registers, 0), s_par(p.registers, 0);
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    std::vector<Bit> ext(p.inputs);
+    for (Bit& x : ext) x = static_cast<Bit>(rng.bit());
+    std::vector<Bit> v1 = ext, v2 = ext;
+    v1.insert(v1.end(), s_lcc.begin(), s_lcc.end());
+    v2.insert(v2.end(), s_par.begin(), s_par.end());
+    lcc.step(v1);
+    par.step(v2);
+    for (std::size_t r = 0; r < p.registers; ++r) {
+      s_lcc[r] = lcc.value(bc.regs[r].d);
+      s_par[r] = par.final_value(bc.regs[r].d);
+    }
+    ASSERT_EQ(s_lcc, s_par) << "cycle " << cycle;
+    for (NetId po : bc.comb.primary_outputs()) {
+      ASSERT_EQ(lcc.value(po), par.final_value(po));
+    }
+  }
+}
+
+class Iscas89Sweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Iscas89Sweep, ProfileBreaksAndSimulates) {
+  const Netlist seq = make_iscas89_like(GetParam());
+  const Iscas89Profile& p = iscas89_profile(GetParam());
+  EXPECT_EQ(seq.primary_inputs().size(), p.inputs);
+  EXPECT_EQ(seq.real_gate_count(), p.gates + p.registers);  // DFFs count
+  const BrokenCircuit bc = break_flip_flops(seq);
+  EXPECT_EQ(bc.regs.size(), p.registers);
+  EXPECT_NO_THROW(bc.comb.validate());
+  // Drive a few clock cycles with two engines and compare state sequences.
+  LccSim<> lcc(bc.comb);
+  ParallelSim<> par(bc.comb);
+  Rng rng(11);
+  std::vector<Bit> s1(p.registers, 0), s2(p.registers, 0);
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    std::vector<Bit> ext(p.inputs);
+    for (Bit& x : ext) x = static_cast<Bit>(rng.bit());
+    std::vector<Bit> v1 = ext, v2 = ext;
+    v1.insert(v1.end(), s1.begin(), s1.end());
+    v2.insert(v2.end(), s2.begin(), s2.end());
+    lcc.step(v1);
+    par.step(v2);
+    for (std::size_t r = 0; r < p.registers; ++r) {
+      s1[r] = lcc.value(bc.regs[r].d);
+      s2[r] = par.final_value(bc.regs[r].d);
+    }
+    ASSERT_EQ(s1, s2) << GetParam() << " cycle " << cycle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, Iscas89Sweep,
+                         ::testing::Values("s27", "s298", "s344", "s386",
+                                           "s641", "s1196", "s1488", "s5378"),
+                         [](const auto& info) { return std::string(info.param); });
+
+TEST(Sequential, SequentialDagIsDeterministic) {
+  SequentialDagParams p;
+  p.seed = 77;
+  const Netlist a = sequential_dag(p);
+  const Netlist b = sequential_dag(p);
+  ASSERT_EQ(a.gate_count(), b.gate_count());
+  for (std::uint32_t g = 0; g < a.gate_count(); ++g) {
+    EXPECT_EQ(a.gate(GateId{g}).type, b.gate(GateId{g}).type);
+  }
+}
+
+}  // namespace
+}  // namespace udsim

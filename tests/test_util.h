@@ -1,0 +1,101 @@
+// Shared fixtures: the paper's example networks and waveform comparators.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/waveform.h"
+#include "netlist/netlist.h"
+
+namespace udsim::test {
+
+/// Paper Figs. 2/4/10: A,B -> AND -> D; D,C -> AND -> E.
+inline Netlist fig4_network() {
+  Netlist nl("fig4");
+  const NetId a = nl.add_net("A");
+  const NetId b = nl.add_net("B");
+  const NetId c = nl.add_net("C");
+  const NetId d = nl.add_net("D");
+  const NetId e = nl.add_net("E");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.mark_primary_input(c);
+  nl.add_gate(GateType::And, {a, b}, d);
+  nl.add_gate(GateType::And, {d, c}, e);
+  nl.mark_primary_output(e);
+  return nl;
+}
+
+/// Paper Fig. 11: A -> NOT -> B; A,B -> AND -> C. Requires one shift.
+inline Netlist fig11_network() {
+  Netlist nl("fig11");
+  const NetId a = nl.add_net("A");
+  const NetId b = nl.add_net("B");
+  const NetId c = nl.add_net("C");
+  nl.mark_primary_input(a);
+  nl.add_gate(GateType::Not, {a}, b);
+  nl.add_gate(GateType::And, {a, b}, c);
+  nl.mark_primary_output(c);
+  return nl;
+}
+
+/// Reconvergent fanout along paths of unequal length (the situation behind
+/// paper Figs. 11-12): A reaches the output gate through a `long_len`-gate
+/// chain and through a single inverter; the resulting undirected cycle has
+/// weight long_len - 1, so at least one shift must be retained.
+inline Netlist unbalanced_reconvergence(int long_len = 3) {
+  Netlist nl("unbal");
+  const NetId a = nl.add_net("A");
+  nl.mark_primary_input(a);
+  NetId cur = a;
+  for (int i = 0; i < long_len; ++i) {
+    const NetId nxt = nl.add_net("N" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {cur}, nxt);
+    cur = nxt;
+  }
+  const NetId m = nl.add_net("M");
+  nl.add_gate(GateType::Not, {a}, m);
+  const NetId out = nl.add_net("OUT");
+  nl.add_gate(GateType::And, {cur, m}, out);
+  nl.mark_primary_output(out);
+  return nl;
+}
+
+/// XOR chain: every net glitches a lot; good for hazard tests.
+inline Netlist xor_chain(int len) {
+  Netlist nl("xchain");
+  const NetId a = nl.add_net("A");
+  const NetId b = nl.add_net("B");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  NetId cur = a;
+  for (int i = 0; i < len; ++i) {
+    const NetId nxt = nl.add_net("X" + std::to_string(i));
+    nl.add_gate(GateType::Xor, {cur, b}, nxt);
+    cur = nxt;
+  }
+  nl.mark_primary_output(cur);
+  return nl;
+}
+
+/// Wired-AND example: two drivers onto one net.
+inline Netlist wired_network(WiredKind kind = WiredKind::And) {
+  Netlist nl("wired");
+  const NetId a = nl.add_net("A");
+  const NetId b = nl.add_net("B");
+  const NetId c = nl.add_net("C");
+  const NetId w = nl.add_net("W");
+  const NetId o = nl.add_net("O");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.mark_primary_input(c);
+  nl.set_wired(w, kind);
+  nl.add_gate(GateType::And, {a, b}, w);
+  nl.add_gate(GateType::Not, {c}, w);
+  nl.add_gate(GateType::Or, {w, a}, o);
+  nl.mark_primary_output(o);
+  return nl;
+}
+
+}  // namespace udsim::test

@@ -1,0 +1,91 @@
+// Static-timing tests: critical/shortest paths and output windows.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/timing.h"
+#include "gen/arithmetic.h"
+#include "gen/random_dag.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(Timing, CriticalPathOfChain) {
+  const Netlist nl = test::unbalanced_reconvergence(3);
+  const Levelization lv = levelize(nl);
+  const NetId out = *nl.find_net("OUT");
+  const TimingPath cp = critical_path(nl, lv, out);
+  EXPECT_EQ(cp.delay, 4);                 // 3 buffers + AND
+  EXPECT_EQ(cp.gates.size(), 4u);
+  EXPECT_EQ(cp.nets.front(), *nl.find_net("A"));
+  EXPECT_EQ(cp.nets.back(), out);
+  const TimingPath sp = shortest_path(nl, lv, out);
+  EXPECT_EQ(sp.delay, 2);                 // NOT + AND
+  EXPECT_EQ(sp.gates.size(), 2u);
+}
+
+TEST(Timing, PathDelaysAreConsistentWithLevels) {
+  RandomDagParams p;
+  p.inputs = 12;
+  p.outputs = 6;
+  p.gates = 150;
+  p.depth = 14;
+  p.seed = 3;
+  p.max_delay = 3;
+  const Netlist nl = random_dag(p);
+  const Levelization lv = levelize(nl);
+  for (NetId po : nl.primary_outputs()) {
+    const TimingPath cp = critical_path(nl, lv, po);
+    EXPECT_EQ(cp.delay, lv.level(po)) << nl.net(po).name;
+    const TimingPath sp = shortest_path(nl, lv, po);
+    EXPECT_EQ(sp.delay, lv.minlevel(po)) << nl.net(po).name;
+    // Path structure: nets/gates interleave and each hop is a real edge.
+    ASSERT_EQ(cp.nets.size(), cp.gates.size() + 1);
+    for (std::size_t i = 0; i < cp.gates.size(); ++i) {
+      const Gate& g = nl.gate(cp.gates[i]);
+      EXPECT_EQ(g.output, cp.nets[i + 1]);
+      EXPECT_NE(std::find(g.inputs.begin(), g.inputs.end(), cp.nets[i]),
+                g.inputs.end());
+    }
+  }
+}
+
+TEST(Timing, OutputWindows) {
+  const Netlist nl = test::fig4_network();
+  const Levelization lv = levelize(nl);
+  const auto windows = output_timing(nl, lv);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].earliest, 1);
+  EXPECT_EQ(windows[0].latest, 2);
+}
+
+TEST(Timing, ReportMentionsCriticalPath) {
+  const Netlist nl = ripple_carry_adder(4);
+  const Levelization lv = levelize(nl);
+  std::ostringstream os;
+  print_timing_report(os, nl, lv);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("critical path"), std::string::npos);
+  EXPECT_NE(s.find("output arrival windows"), std::string::npos);
+  // The adder's critical path runs through the carry chain to cout.
+  EXPECT_NE(s.find("depth " + std::to_string(lv.depth)), std::string::npos);
+}
+
+TEST(Timing, MultiDelayPathSums) {
+  Netlist nl("md");
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId x = nl.add_net("x");
+  nl.set_delay(nl.add_gate(GateType::Buf, {a}, x), 4);
+  const NetId y = nl.add_net("y");
+  nl.set_delay(nl.add_gate(GateType::Not, {x}, y), 5);
+  nl.mark_primary_output(y);
+  const Levelization lv = levelize(nl);
+  const TimingPath cp = critical_path(nl, lv, y);
+  EXPECT_EQ(cp.delay, 9);
+  EXPECT_EQ(cp.gates.size(), 2u);
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,90 @@
+// Transition-fault (delay-fault) simulation tests.
+#include <gtest/gtest.h>
+
+#include "fault/transition.h"
+#include "gen/random_dag.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(TransitionFault, EnumerationPairsPolarity) {
+  const Netlist nl = test::fig4_network();
+  const auto faults = enumerate_transition_faults(nl);
+  EXPECT_EQ(faults.size(), 2 * nl.net_count());
+  std::size_t rising = 0;
+  for (const auto& f : faults) rising += f.rising;
+  EXPECT_EQ(rising, faults.size() / 2);
+}
+
+TEST(TransitionFault, PackedMatchesSerial) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    RandomDagParams p;
+    p.inputs = 8;
+    p.outputs = 4;
+    p.gates = 60;
+    p.depth = 7;
+    p.seed = seed;
+    p.xor_fraction = 0.3;
+    const Netlist nl = random_dag(p);
+    const auto faults = enumerate_transition_faults(nl);
+    const auto fast = run_transition_fault_sim(nl, faults, 64, 9);
+    const auto slow = run_transition_fault_sim_serial(nl, faults, 64, 9);
+    ASSERT_EQ(fast.detected.size(), slow.detected.size());
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      EXPECT_EQ(fast.detected[f], slow.detected[f])
+          << nl.net(faults[f].net).name << (faults[f].rising ? " str" : " stf")
+          << " seed " << seed;
+    }
+  }
+}
+
+TEST(TransitionFault, RequiresLaunchNotJustObservability) {
+  // Tie one input pattern column: o = XOR(a, b) where b never toggles in
+  // the pattern stream cannot launch a transition on b even though b's
+  // stuck-at faults are trivially observable.
+  Netlist nl("launch");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId o = nl.add_net("o");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.add_gate(GateType::Xor, {a, b}, o);
+  nl.mark_primary_output(o);
+  // Serial engine with a handcrafted pattern set is not exposed; use the
+  // seeded stream but a 1-pattern run: no pairs, nothing detectable.
+  const auto faults = enumerate_transition_faults(nl);
+  const auto r = run_transition_fault_sim(nl, faults, 1, 5);
+  EXPECT_EQ(r.pattern_pairs, 0u);
+  EXPECT_EQ(r.detected_count(), 0u);
+  // With many patterns, everything on this fully-sensitized XOR is caught.
+  const auto r2 = run_transition_fault_sim(nl, faults, 64, 5);
+  EXPECT_DOUBLE_EQ(r2.coverage(), 1.0);
+}
+
+TEST(TransitionFault, CoverageBelowStuckAtOnRedundantLogic) {
+  // fig11's C is constant 0: no transition can ever launch on it.
+  const Netlist nl = test::fig11_network();
+  const NetId c = *nl.find_net("C");
+  const std::vector<TransitionFault> faults = {{c, true}, {c, false}};
+  const auto r = run_transition_fault_sim(nl, faults, 128, 3);
+  EXPECT_EQ(r.detected_count(), 0u);
+}
+
+TEST(TransitionFault, CoverageGrowsWithPatterns) {
+  RandomDagParams p;
+  p.inputs = 10;
+  p.outputs = 5;
+  p.gates = 120;
+  p.depth = 9;
+  p.seed = 4;
+  const Netlist nl = random_dag(p);
+  const auto faults = enumerate_transition_faults(nl);
+  const auto r32 = run_transition_fault_sim(nl, faults, 32, 8);
+  const auto r256 = run_transition_fault_sim(nl, faults, 256, 8);
+  EXPECT_GE(r256.detected_count(), r32.detected_count());
+  EXPECT_GT(r256.detected_count(), 0u);
+}
+
+}  // namespace
+}  // namespace udsim

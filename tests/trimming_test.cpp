@@ -1,0 +1,127 @@
+// Bit-field trimming analysis tests (paper §4, Fig. 9).
+#include <gtest/gtest.h>
+
+#include "analysis/trimming.h"
+#include "gen/iscas_profiles.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+/// Chain of `len` buffers from one PI; with word_bits 8, deep nets develop
+/// stable low words.
+Netlist chain_circuit(int len) {
+  Netlist nl("chain");
+  const NetId a = nl.add_net("A");
+  nl.mark_primary_input(a);
+  NetId cur = a;
+  for (int i = 0; i < len; ++i) {
+    const NetId n = nl.add_net("n" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {cur}, n);
+    cur = n;
+  }
+  nl.mark_primary_output(cur);
+  return nl;
+}
+
+TEST(Trimming, StableLowWordsOnDeepNets) {
+  const Netlist nl = chain_circuit(20);
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  const AlignmentPlan plan = align_unoptimized(nl, lv);
+  const auto widths = field_widths(nl, lv, plan, /*uniform=*/true);
+  const TrimPlan tp = compute_trim_plan(nl, lv, pc, plan, widths, 8);
+  // Net n15 has minlevel = level = 16 > 8: its word 0 (times 0-7) and word 1
+  // (times 8-15) are stable; word 2 holds its only representative.
+  const NetId n15 = *nl.find_net("n15");
+  ASSERT_EQ(tp.net_words[n15.value].size(), 3u);  // 21 bits in 8-bit words
+  EXPECT_EQ(tp.word_class(n15, 0), WordClass::StableLow);
+  EXPECT_EQ(tp.word_class(n15, 1), WordClass::StableLow);
+  EXPECT_EQ(tp.word_class(n15, 2), WordClass::Computed);
+}
+
+TEST(Trimming, GapWordsAboveShallowNets) {
+  // A shallow net in a deep circuit: its high words have no representative.
+  Netlist nl("mixed");
+  const NetId a = nl.add_net("A");
+  nl.mark_primary_input(a);
+  const NetId shallow = nl.add_net("S");
+  nl.add_gate(GateType::Not, {a}, shallow);
+  nl.mark_primary_output(shallow);
+  NetId cur = a;
+  for (int i = 0; i < 20; ++i) {
+    const NetId n = nl.add_net("n" + std::to_string(i));
+    nl.add_gate(GateType::Buf, {cur}, n);
+    cur = n;
+  }
+  nl.mark_primary_output(cur);
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  const AlignmentPlan plan = align_unoptimized(nl, lv);
+  const auto widths = field_widths(nl, lv, plan, true);
+  const TrimPlan tp = compute_trim_plan(nl, lv, pc, plan, widths, 8);
+  // Shallow net: PC = {1}; word 0 computed, words 1-2 gaps.
+  ASSERT_EQ(tp.net_words[shallow.value].size(), 3u);
+  EXPECT_EQ(tp.word_class(shallow, 0), WordClass::Computed);
+  EXPECT_EQ(tp.word_class(shallow, 1), WordClass::Gap);
+  EXPECT_EQ(tp.word_class(shallow, 2), WordClass::Gap);
+}
+
+TEST(Trimming, WordZeroNeverGap) {
+  for (const char* name : {"c432", "c1908"}) {
+    const Netlist nl = make_iscas85_like(name);
+    const Levelization lv = levelize(nl);
+    const PCSets pc = compute_pc_sets(nl, lv);
+    const AlignmentPlan plan = align_unoptimized(nl, lv);
+    const auto widths = field_widths(nl, lv, plan, true);
+    const TrimPlan tp = compute_trim_plan(nl, lv, pc, plan, widths, 32);
+    for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+      ASSERT_FALSE(tp.net_words[n].empty());
+      EXPECT_NE(tp.net_words[n][0], WordClass::Gap);
+    }
+  }
+}
+
+TEST(Trimming, UniformWidthsMatchPaperWordCounts) {
+  // Fig. 20's parenthetical word counts: 32-bit fields of n = depth+1 bits.
+  struct Expect {
+    const char* name;
+    int words;
+  };
+  for (const Expect& e : {Expect{"c432", 1}, Expect{"c499", 1}, Expect{"c880", 1},
+                          Expect{"c1908", 2}, Expect{"c3540", 2}}) {
+    const Netlist nl = make_iscas85_like(e.name);
+    const Levelization lv = levelize(nl);
+    const AlignmentPlan plan = align_unoptimized(nl, lv);
+    const auto widths = field_widths(nl, lv, plan, true);
+    int max_words = 0;
+    for (int w : widths) max_words = std::max(max_words, (w + 31) / 32);
+    EXPECT_EQ(max_words, e.words) << e.name;
+  }
+}
+
+TEST(Trimming, FullPlanIsAllComputed) {
+  const Netlist nl = chain_circuit(10);
+  const Levelization lv = levelize(nl);
+  const AlignmentPlan plan = align_unoptimized(nl, lv);
+  const auto widths = field_widths(nl, lv, plan, true);
+  const TrimPlan tp = full_trim_plan(nl, widths, 8);
+  EXPECT_EQ(tp.stable_words, 0u);
+  EXPECT_EQ(tp.gap_words, 0u);
+  for (const auto& words : tp.net_words) {
+    for (WordClass c : words) EXPECT_EQ(c, WordClass::Computed);
+  }
+}
+
+TEST(Trimming, TrimmingSavesWordsOnMultiwordProfiles) {
+  const Netlist nl = make_iscas85_like("c1908");
+  const Levelization lv = levelize(nl);
+  const PCSets pc = compute_pc_sets(nl, lv);
+  const AlignmentPlan plan = align_unoptimized(nl, lv);
+  const auto widths = field_widths(nl, lv, plan, true);
+  const TrimPlan tp = compute_trim_plan(nl, lv, pc, plan, widths, 32);
+  EXPECT_GT(tp.gap_words + tp.stable_words, 0u);
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,139 @@
+// VCD writer and switching-activity tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/activity.h"
+#include "core/vcd.h"
+#include "gen/random_dag.h"
+#include "gen/rng.h"
+#include "harness/vectors.h"
+#include "oracle/oracle.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+TEST(Vcd, HeaderAndChanges) {
+  const Netlist nl = test::fig4_network();
+  OracleSim sim(nl);
+  std::ostringstream os;
+  {
+    VcdWriter vcd(os, nl);
+    const Bit v1[] = {1, 1, 1};
+    vcd.add_vector(sim.step(v1));
+    const Bit v2[] = {0, 1, 1};
+    vcd.add_vector(sim.step(v2));
+    EXPECT_EQ(vcd.current_time(), 6u);  // two vectors x (depth 2 + 1)
+  }
+  const std::string s = os.str();
+  EXPECT_NE(s.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(s.find("$var wire 1 ! A $end"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+  // First vector: A,B,C rise at #0, D at #1, E at #2.
+  EXPECT_NE(s.find("#0\n1!"), std::string::npos);
+  EXPECT_NE(s.find("#6\n"), std::string::npos);  // closing timestamp
+  // No value is emitted twice in a row for the same signal.
+  // (Spot check: between #0 and #1 there is exactly one '1' for D's id.)
+}
+
+TEST(Vcd, OnlyChangesEmitted) {
+  const Netlist nl = test::fig4_network();
+  OracleSim sim(nl);
+  std::ostringstream os;
+  VcdWriter vcd(os, nl);
+  const Bit v[] = {1, 1, 1};
+  vcd.add_vector(sim.step(v));
+  const auto size_after_first = os.str().size();
+  vcd.add_vector(sim.step(v));  // identical vector: nothing changes
+  vcd.finish();
+  const std::string tail = os.str().substr(size_after_first);
+  // Only the closing timestamp may appear.
+  EXPECT_EQ(tail.find('!'), std::string::npos);
+}
+
+TEST(Vcd, SubsetOfNets) {
+  const Netlist nl = test::fig4_network();
+  const NetId e = *nl.find_net("E");
+  std::ostringstream os;
+  const NetId nets[] = {e};
+  OracleSim sim(nl);
+  VcdWriter vcd(os, nl, nets);
+  const Bit v[] = {1, 1, 1};
+  vcd.add_vector(sim.step(v));
+  vcd.finish();
+  const std::string s = os.str();
+  EXPECT_NE(s.find(" E $end"), std::string::npos);
+  EXPECT_EQ(s.find(" D $end"), std::string::npos);
+}
+
+TEST(Activity, FieldTransitionsMatchBitScan) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int width = 1 + static_cast<int>(rng.below(90));
+    std::vector<std::uint32_t> field((static_cast<std::size_t>(width) + 31) / 32);
+    for (auto& w : field) w = static_cast<std::uint32_t>(rng.next());
+    int expect = 0;
+    const auto bit = [&](int i) {
+      return (field[static_cast<std::size_t>(i) / 32] >> (i % 32)) & 1u;
+    };
+    for (int i = 1; i < width; ++i) expect += bit(i) != bit(i - 1);
+    EXPECT_EQ(ToggleCounter::transitions_in_field<std::uint32_t>(field, width),
+              static_cast<std::uint64_t>(expect))
+        << "width " << width;
+  }
+}
+
+class ActivityEquivalence : public ::testing::TestWithParam<ShiftElim> {};
+
+TEST_P(ActivityEquivalence, ParallelTogglesMatchOracle) {
+  RandomDagParams p;
+  p.inputs = 10;
+  p.outputs = 5;
+  p.gates = 120;
+  p.depth = 12;
+  p.seed = 23;
+  p.xor_fraction = 0.3;
+  const Netlist nl = random_dag(p);
+  ParallelOptions o;
+  o.shift_elim = GetParam();
+  OracleSim oracle(nl);
+  ParallelSim<> sim(nl, o);
+  ToggleCounter from_oracle(nl.net_count());
+  ToggleCounter from_fields(nl.net_count());
+  RandomVectorSource src(nl.primary_inputs().size(), 3);
+  std::vector<Bit> v(nl.primary_inputs().size());
+  // Warm-up vector (uncounted) so both sides see settled state.
+  src.next(v);
+  (void)oracle.step(v);
+  sim.step(v);
+  for (int i = 0; i < 20; ++i) {
+    src.next(v);
+    const Waveform wf = oracle.step(v);
+    sim.step(v);
+    from_oracle.accumulate(wf);
+    from_fields.accumulate(sim, nl);
+  }
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    if (nl.net(NetId{n}).is_primary_input) continue;
+    ASSERT_EQ(from_fields.toggles(NetId{n}), from_oracle.toggles(NetId{n}))
+        << nl.net(NetId{n}).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ActivityEquivalence,
+                         ::testing::Values(ShiftElim::None, ShiftElim::PathTracing,
+                                           ShiftElim::CycleBreaking),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ShiftElim::None:
+                               return "unopt";
+                             case ShiftElim::PathTracing:
+                               return "pt";
+                             default:
+                               return "cb";
+                           }
+                         });
+
+}  // namespace
+}  // namespace udsim
