@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dataparallel.dir/bench/ablation_dataparallel.cpp.o"
+  "CMakeFiles/ablation_dataparallel.dir/bench/ablation_dataparallel.cpp.o.d"
+  "bench/ablation_dataparallel"
+  "bench/ablation_dataparallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dataparallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

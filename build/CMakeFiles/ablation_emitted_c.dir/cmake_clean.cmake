@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_emitted_c.dir/bench/ablation_emitted_c.cpp.o"
+  "CMakeFiles/ablation_emitted_c.dir/bench/ablation_emitted_c.cpp.o.d"
+  "bench/ablation_emitted_c"
+  "bench/ablation_emitted_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_emitted_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

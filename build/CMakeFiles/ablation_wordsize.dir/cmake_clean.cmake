@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wordsize.dir/bench/ablation_wordsize.cpp.o"
+  "CMakeFiles/ablation_wordsize.dir/bench/ablation_wordsize.cpp.o.d"
+  "bench/ablation_wordsize"
+  "bench/ablation_wordsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wordsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

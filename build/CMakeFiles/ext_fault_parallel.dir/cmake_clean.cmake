@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fault_parallel.dir/bench/ext_fault_parallel.cpp.o"
+  "CMakeFiles/ext_fault_parallel.dir/bench/ext_fault_parallel.cpp.o.d"
+  "bench/ext_fault_parallel"
+  "bench/ext_fault_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multidelay.dir/bench/ext_multidelay.cpp.o"
+  "CMakeFiles/ext_multidelay.dir/bench/ext_multidelay.cpp.o.d"
+  "bench/ext_multidelay"
+  "bench/ext_multidelay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multidelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_techniques.dir/bench/fig19_techniques.cpp.o"
+  "CMakeFiles/fig19_techniques.dir/bench/fig19_techniques.cpp.o.d"
+  "bench/fig19_techniques"
+  "bench/fig19_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

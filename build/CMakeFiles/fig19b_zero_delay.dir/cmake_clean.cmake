@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19b_zero_delay.dir/bench/fig19b_zero_delay.cpp.o"
+  "CMakeFiles/fig19b_zero_delay.dir/bench/fig19b_zero_delay.cpp.o.d"
+  "bench/fig19b_zero_delay"
+  "bench/fig19b_zero_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19b_zero_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_trimming.dir/bench/fig20_trimming.cpp.o"
+  "CMakeFiles/fig20_trimming.dir/bench/fig20_trimming.cpp.o.d"
+  "bench/fig20_trimming"
+  "bench/fig20_trimming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_trimming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

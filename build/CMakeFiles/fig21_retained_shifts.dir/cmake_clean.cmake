@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_retained_shifts.dir/bench/fig21_retained_shifts.cpp.o"
+  "CMakeFiles/fig21_retained_shifts.dir/bench/fig21_retained_shifts.cpp.o.d"
+  "bench/fig21_retained_shifts"
+  "bench/fig21_retained_shifts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_retained_shifts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_bitfield_widths.dir/bench/fig22_bitfield_widths.cpp.o"
+  "CMakeFiles/fig22_bitfield_widths.dir/bench/fig22_bitfield_widths.cpp.o.d"
+  "bench/fig22_bitfield_widths"
+  "bench/fig22_bitfield_widths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_bitfield_widths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

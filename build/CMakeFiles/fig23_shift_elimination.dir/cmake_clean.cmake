@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_shift_elimination.dir/bench/fig23_shift_elimination.cpp.o"
+  "CMakeFiles/fig23_shift_elimination.dir/bench/fig23_shift_elimination.cpp.o.d"
+  "bench/fig23_shift_elimination"
+  "bench/fig23_shift_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_shift_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_combined.dir/bench/fig24_combined.cpp.o"
+  "CMakeFiles/fig24_combined.dir/bench/fig24_combined.cpp.o.d"
+  "bench/fig24_combined"
+  "bench/fig24_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig19_smoke "/root/repo/build/bench/fig19_techniques" "--vectors" "40" "--trials" "1" "--circuits" "c432,c499")
+set_tests_properties(bench_fig19_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;29;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_fig19b_smoke "/root/repo/build/bench/fig19b_zero_delay" "--vectors" "40" "--trials" "1" "--circuits" "c432")
+set_tests_properties(bench_fig19b_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;30;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_fig20_smoke "/root/repo/build/bench/fig20_trimming" "--vectors" "40" "--trials" "1" "--circuits" "c432,c1908")
+set_tests_properties(bench_fig20_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;31;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_fig21_smoke "/root/repo/build/bench/fig21_retained_shifts" "--circuits" "c432,c499")
+set_tests_properties(bench_fig21_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;32;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_fig22_smoke "/root/repo/build/bench/fig22_bitfield_widths" "--circuits" "c432,c499")
+set_tests_properties(bench_fig22_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;33;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_fig23_smoke "/root/repo/build/bench/fig23_shift_elimination" "--vectors" "40" "--trials" "1" "--circuits" "c432,c880")
+set_tests_properties(bench_fig23_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;34;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_fig24_smoke "/root/repo/build/bench/fig24_combined" "--vectors" "40" "--trials" "1" "--circuits" "c432,c880")
+set_tests_properties(bench_fig24_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;35;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_fault_smoke "/root/repo/build/bench/ext_fault_parallel" "--vectors" "32" "--trials" "1" "--circuits" "c432")
+set_tests_properties(bench_fault_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;36;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_multidelay_smoke "/root/repo/build/bench/ext_multidelay" "--vectors" "40" "--trials" "1")
+set_tests_properties(bench_multidelay_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;37;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_emitted_c_smoke "/root/repo/build/bench/ablation_emitted_c" "--vectors" "40" "--trials" "1" "--circuits" "c432")
+set_tests_properties(bench_emitted_c_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;38;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_wordsize_smoke "/root/repo/build/bench/ablation_wordsize" "--benchmark_filter=c432" "--benchmark_min_time=0.01s")
+set_tests_properties(bench_wordsize_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;39;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+add_test(bench_dataparallel_smoke "/root/repo/build/bench/ablation_dataparallel" "--benchmark_filter=c432" "--benchmark_min_time=0.01s")
+set_tests_properties(bench_dataparallel_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/bench.cmake;40;add_test;/root/repo/bench/bench.cmake;0;;/root/repo/CMakeLists.txt;31;include;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("examples")

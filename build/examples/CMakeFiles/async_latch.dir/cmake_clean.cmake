@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_latch.dir/async_latch.cpp.o"
+  "CMakeFiles/async_latch.dir/async_latch.cpp.o.d"
+  "async_latch"
+  "async_latch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_latch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

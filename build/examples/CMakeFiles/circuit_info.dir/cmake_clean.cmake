@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_info.dir/circuit_info.cpp.o"
+  "CMakeFiles/circuit_info.dir/circuit_info.cpp.o.d"
+  "circuit_info"
+  "circuit_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_vcd.dir/dump_vcd.cpp.o"
+  "CMakeFiles/dump_vcd.dir/dump_vcd.cpp.o.d"
+  "dump_vcd"
+  "dump_vcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_vcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

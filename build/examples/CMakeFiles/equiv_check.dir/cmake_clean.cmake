@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equiv_check.dir/equiv_check.cpp.o"
+  "CMakeFiles/equiv_check.dir/equiv_check.cpp.o.d"
+  "equiv_check"
+  "equiv_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equiv_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

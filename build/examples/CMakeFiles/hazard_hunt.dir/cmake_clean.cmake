@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_hunt.dir/hazard_hunt.cpp.o"
+  "CMakeFiles/hazard_hunt.dir/hazard_hunt.cpp.o.d"
+  "hazard_hunt"
+  "hazard_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

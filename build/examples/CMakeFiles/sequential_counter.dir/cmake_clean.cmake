@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_counter.dir/sequential_counter.cpp.o"
+  "CMakeFiles/sequential_counter.dir/sequential_counter.cpp.o.d"
+  "sequential_counter"
+  "sequential_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbench.dir/testbench.cpp.o"
+  "CMakeFiles/testbench.dir/testbench.cpp.o.d"
+  "testbench"
+  "testbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

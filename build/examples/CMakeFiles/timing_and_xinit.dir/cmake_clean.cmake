@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_and_xinit.dir/timing_and_xinit.cpp.o"
+  "CMakeFiles/timing_and_xinit.dir/timing_and_xinit.cpp.o.d"
+  "timing_and_xinit"
+  "timing_and_xinit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_and_xinit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_circuit_info "/root/repo/build/examples/circuit_info" "c432")
+set_tests_properties(example_circuit_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hazard_hunt "/root/repo/build/examples/hazard_hunt" "c432" "50")
+set_tests_properties(example_hazard_hunt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_export_c "/root/repo/build/examples/export_c" "c432" "parallel-combined")
+set_tests_properties(example_export_c PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sequential "/root/repo/build/examples/sequential_counter")
+set_tests_properties(example_sequential PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fault_coverage "/root/repo/build/examples/fault_coverage" "c432" "128")
+set_tests_properties(example_fault_coverage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dump_vcd "/root/repo/build/examples/dump_vcd" "c432" "4" "/root/repo/build/c432.vcd")
+set_tests_properties(example_dump_vcd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_testbench "/root/repo/build/examples/testbench" "c432" "--random" "8")
+set_tests_properties(example_testbench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timing_xinit "/root/repo/build/examples/timing_and_xinit")
+set_tests_properties(example_timing_xinit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_async_latch "/root/repo/build/examples/async_latch")
+set_tests_properties(example_async_latch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_equiv_check "/root/repo/build/examples/equiv_check" "c432" "c432")
+set_tests_properties(example_equiv_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

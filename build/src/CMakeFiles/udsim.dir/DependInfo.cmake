@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alignment.cpp" "src/CMakeFiles/udsim.dir/analysis/alignment.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/analysis/alignment.cpp.o.d"
+  "/root/repo/src/analysis/levelize.cpp" "src/CMakeFiles/udsim.dir/analysis/levelize.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/analysis/levelize.cpp.o.d"
+  "/root/repo/src/analysis/network_graph.cpp" "src/CMakeFiles/udsim.dir/analysis/network_graph.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/analysis/network_graph.cpp.o.d"
+  "/root/repo/src/analysis/pcset.cpp" "src/CMakeFiles/udsim.dir/analysis/pcset.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/analysis/pcset.cpp.o.d"
+  "/root/repo/src/analysis/timing.cpp" "src/CMakeFiles/udsim.dir/analysis/timing.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/analysis/timing.cpp.o.d"
+  "/root/repo/src/analysis/trimming.cpp" "src/CMakeFiles/udsim.dir/analysis/trimming.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/analysis/trimming.cpp.o.d"
+  "/root/repo/src/core/equivalence.cpp" "src/CMakeFiles/udsim.dir/core/equivalence.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/core/equivalence.cpp.o.d"
+  "/root/repo/src/core/pattern_io.cpp" "src/CMakeFiles/udsim.dir/core/pattern_io.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/core/pattern_io.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/udsim.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/core/vcd.cpp" "src/CMakeFiles/udsim.dir/core/vcd.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/core/vcd.cpp.o.d"
+  "/root/repo/src/eventsim/async_sim.cpp" "src/CMakeFiles/udsim.dir/eventsim/async_sim.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/eventsim/async_sim.cpp.o.d"
+  "/root/repo/src/eventsim/zero_delay_sim.cpp" "src/CMakeFiles/udsim.dir/eventsim/zero_delay_sim.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/eventsim/zero_delay_sim.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "src/CMakeFiles/udsim.dir/fault/fault_sim.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/fault/fault_sim.cpp.o.d"
+  "/root/repo/src/fault/transition.cpp" "src/CMakeFiles/udsim.dir/fault/transition.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/fault/transition.cpp.o.d"
+  "/root/repo/src/gen/arithmetic.cpp" "src/CMakeFiles/udsim.dir/gen/arithmetic.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/gen/arithmetic.cpp.o.d"
+  "/root/repo/src/gen/datapath.cpp" "src/CMakeFiles/udsim.dir/gen/datapath.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/gen/datapath.cpp.o.d"
+  "/root/repo/src/gen/iscas_profiles.cpp" "src/CMakeFiles/udsim.dir/gen/iscas_profiles.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/gen/iscas_profiles.cpp.o.d"
+  "/root/repo/src/gen/random_dag.cpp" "src/CMakeFiles/udsim.dir/gen/random_dag.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/gen/random_dag.cpp.o.d"
+  "/root/repo/src/gen/sequential.cpp" "src/CMakeFiles/udsim.dir/gen/sequential.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/gen/sequential.cpp.o.d"
+  "/root/repo/src/gen/trees.cpp" "src/CMakeFiles/udsim.dir/gen/trees.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/gen/trees.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/CMakeFiles/udsim.dir/harness/table.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/harness/table.cpp.o.d"
+  "/root/repo/src/hazard/hazard.cpp" "src/CMakeFiles/udsim.dir/hazard/hazard.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/hazard/hazard.cpp.o.d"
+  "/root/repo/src/ir/c_emitter.cpp" "src/CMakeFiles/udsim.dir/ir/c_emitter.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/ir/c_emitter.cpp.o.d"
+  "/root/repo/src/ir/verify.cpp" "src/CMakeFiles/udsim.dir/ir/verify.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/ir/verify.cpp.o.d"
+  "/root/repo/src/lcc/lcc.cpp" "src/CMakeFiles/udsim.dir/lcc/lcc.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/lcc/lcc.cpp.o.d"
+  "/root/repo/src/lcc/lcc3.cpp" "src/CMakeFiles/udsim.dir/lcc/lcc3.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/lcc/lcc3.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "src/CMakeFiles/udsim.dir/netlist/bench_io.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/logic.cpp" "src/CMakeFiles/udsim.dir/netlist/logic.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/netlist/logic.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/udsim.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/CMakeFiles/udsim.dir/netlist/stats.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/transform.cpp" "src/CMakeFiles/udsim.dir/netlist/transform.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/netlist/transform.cpp.o.d"
+  "/root/repo/src/oracle/oracle.cpp" "src/CMakeFiles/udsim.dir/oracle/oracle.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/oracle/oracle.cpp.o.d"
+  "/root/repo/src/parsim/parallel_sim.cpp" "src/CMakeFiles/udsim.dir/parsim/parallel_sim.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/parsim/parallel_sim.cpp.o.d"
+  "/root/repo/src/pcsim/pcset_sim.cpp" "src/CMakeFiles/udsim.dir/pcsim/pcset_sim.cpp.o" "gcc" "src/CMakeFiles/udsim.dir/pcsim/pcset_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

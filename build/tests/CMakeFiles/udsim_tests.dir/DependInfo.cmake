@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alignment_test.cpp" "tests/CMakeFiles/udsim_tests.dir/alignment_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/alignment_test.cpp.o.d"
+  "/root/repo/tests/async_test.cpp" "tests/CMakeFiles/udsim_tests.dir/async_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/async_test.cpp.o.d"
+  "/root/repo/tests/bench_io_test.cpp" "tests/CMakeFiles/udsim_tests.dir/bench_io_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/bench_io_test.cpp.o.d"
+  "/root/repo/tests/bitset_test.cpp" "tests/CMakeFiles/udsim_tests.dir/bitset_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/bitset_test.cpp.o.d"
+  "/root/repo/tests/datapath_test.cpp" "tests/CMakeFiles/udsim_tests.dir/datapath_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/datapath_test.cpp.o.d"
+  "/root/repo/tests/equiv_pattern_test.cpp" "tests/CMakeFiles/udsim_tests.dir/equiv_pattern_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/equiv_pattern_test.cpp.o.d"
+  "/root/repo/tests/eventsim_test.cpp" "tests/CMakeFiles/udsim_tests.dir/eventsim_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/eventsim_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/udsim_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/gen_test.cpp" "tests/CMakeFiles/udsim_tests.dir/gen_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/gen_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/udsim_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/hazard_test.cpp" "tests/CMakeFiles/udsim_tests.dir/hazard_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/hazard_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/udsim_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/udsim_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/lcc3_test.cpp" "tests/CMakeFiles/udsim_tests.dir/lcc3_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/lcc3_test.cpp.o.d"
+  "/root/repo/tests/lcc_test.cpp" "tests/CMakeFiles/udsim_tests.dir/lcc_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/lcc_test.cpp.o.d"
+  "/root/repo/tests/levelize_test.cpp" "tests/CMakeFiles/udsim_tests.dir/levelize_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/levelize_test.cpp.o.d"
+  "/root/repo/tests/logic_test.cpp" "tests/CMakeFiles/udsim_tests.dir/logic_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/logic_test.cpp.o.d"
+  "/root/repo/tests/multidelay_test.cpp" "tests/CMakeFiles/udsim_tests.dir/multidelay_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/multidelay_test.cpp.o.d"
+  "/root/repo/tests/netlist_test.cpp" "tests/CMakeFiles/udsim_tests.dir/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/netlist_test.cpp.o.d"
+  "/root/repo/tests/network_graph_test.cpp" "tests/CMakeFiles/udsim_tests.dir/network_graph_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/network_graph_test.cpp.o.d"
+  "/root/repo/tests/oracle_test.cpp" "tests/CMakeFiles/udsim_tests.dir/oracle_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/oracle_test.cpp.o.d"
+  "/root/repo/tests/parsim_test.cpp" "tests/CMakeFiles/udsim_tests.dir/parsim_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/parsim_test.cpp.o.d"
+  "/root/repo/tests/pcset_test.cpp" "tests/CMakeFiles/udsim_tests.dir/pcset_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/pcset_test.cpp.o.d"
+  "/root/repo/tests/pcsim_test.cpp" "tests/CMakeFiles/udsim_tests.dir/pcsim_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/pcsim_test.cpp.o.d"
+  "/root/repo/tests/profile_property_test.cpp" "tests/CMakeFiles/udsim_tests.dir/profile_property_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/profile_property_test.cpp.o.d"
+  "/root/repo/tests/sequential_test.cpp" "tests/CMakeFiles/udsim_tests.dir/sequential_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/sequential_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/udsim_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/timing_test.cpp" "tests/CMakeFiles/udsim_tests.dir/timing_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/timing_test.cpp.o.d"
+  "/root/repo/tests/transform_test.cpp" "tests/CMakeFiles/udsim_tests.dir/transform_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/transform_test.cpp.o.d"
+  "/root/repo/tests/transition_test.cpp" "tests/CMakeFiles/udsim_tests.dir/transition_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/transition_test.cpp.o.d"
+  "/root/repo/tests/trimming_test.cpp" "tests/CMakeFiles/udsim_tests.dir/trimming_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/trimming_test.cpp.o.d"
+  "/root/repo/tests/vcd_activity_test.cpp" "tests/CMakeFiles/udsim_tests.dir/vcd_activity_test.cpp.o" "gcc" "tests/CMakeFiles/udsim_tests.dir/vcd_activity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/udsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
