@@ -20,6 +20,8 @@ udsim_bench(ext_multidelay)
 udsim_bench(ablation_emitted_c)
 target_link_libraries(ablation_emitted_c PRIVATE ${CMAKE_DL_LIBS})
 
+udsim_bench(ablation_threads)
+
 udsim_bench(ablation_wordsize)
 target_link_libraries(ablation_wordsize PRIVATE benchmark::benchmark)
 udsim_bench(ablation_dataparallel)
@@ -38,3 +40,4 @@ add_test(NAME bench_multidelay_smoke COMMAND ext_multidelay --vectors 40 --trial
 add_test(NAME bench_emitted_c_smoke COMMAND ablation_emitted_c --vectors 40 --trials 1 --circuits c432)
 add_test(NAME bench_wordsize_smoke COMMAND ablation_wordsize --benchmark_filter=c432 --benchmark_min_time=0.01s)
 add_test(NAME bench_dataparallel_smoke COMMAND ablation_dataparallel --benchmark_filter=c432 --benchmark_min_time=0.01s)
+add_test(NAME bench_threads_smoke COMMAND ablation_threads --vectors 200 --trials 1 --circuits c432 --threads 1,2 --json ablation_threads_smoke.json)

@@ -1,0 +1,88 @@
+#include "core/batch_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace udsim {
+
+BatchRunner::BatchRunner(const Program& program, std::vector<ArenaProbe> probes,
+                         BatchOptions options)
+    : program_(program),
+      probes_(std::move(probes)),
+      options_(options),
+      pool_(options.num_threads) {
+  if (program_.word_bits != 32 && program_.word_bits != 64) {
+    throw std::invalid_argument("BatchRunner: unsupported program word size");
+  }
+  for (const ArenaProbe& p : probes_) {
+    if (p.word >= program_.arena_words ||
+        p.bit >= static_cast<std::uint8_t>(program_.word_bits)) {
+      throw std::invalid_argument("BatchRunner: probe outside the arena");
+    }
+  }
+  if (options_.min_chunk == 0) options_.min_chunk = 1;
+}
+
+std::size_t BatchRunner::shard_count(std::size_t num_vectors) const noexcept {
+  if (num_vectors == 0) return 0;
+  const std::size_t by_threads = pool_.threads();
+  const std::size_t by_chunk =
+      (num_vectors + options_.min_chunk - 1) / options_.min_chunk;
+  return std::max<std::size_t>(1, std::min(by_threads, by_chunk));
+}
+
+template <class Word>
+void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
+                            std::size_t begin, std::size_t end,
+                            std::span<Bit> out) const {
+  const std::size_t iw = program_.input_words;
+  KernelRunner<Word> runner(program_);
+  std::vector<Word> row(iw);
+  const auto load = [&](std::size_t v) {
+    const std::uint64_t* src = inputs.data() + v * iw;
+    for (std::size_t i = 0; i < iw; ++i) row[i] = static_cast<Word>(src[i]);
+  };
+  if (begin > 0) {
+    // Seam replay: the predecessor shard's final vector re-establishes the
+    // retained state (previous-vector settled values); outputs discarded.
+    load(begin - 1);
+    runner.run(row);
+  }
+  const std::size_t cols = probes_.size();
+  for (std::size_t v = begin; v < end; ++v) {
+    load(v);
+    runner.run(row);
+    Bit* dst = out.data() + v * cols;
+    for (std::size_t j = 0; j < cols; ++j) {
+      dst[j] = runner.bit(probes_[j].word, probes_[j].bit);
+    }
+  }
+}
+
+std::vector<Bit> BatchRunner::run(std::span<const std::uint64_t> inputs,
+                                  std::size_t num_vectors) {
+  const std::size_t iw = program_.input_words;
+  if (inputs.size() < num_vectors * iw) {
+    throw std::invalid_argument("BatchRunner::run: input stream too short");
+  }
+  std::vector<Bit> out(num_vectors * probes_.size());
+  const std::size_t shards = shard_count(num_vectors);
+  if (shards == 0) return out;
+  const std::size_t quot = num_vectors / shards;
+  const std::size_t rem = num_vectors % shards;
+  // Workers write disjoint row ranges of `out`; order is fixed by the
+  // shard boundaries, so the merge is free and deterministic.
+  pool_.parallel_for(shards, [&](std::size_t s) {
+    const std::size_t begin = s * quot + std::min(s, rem);
+    const std::size_t end = begin + quot + (s < rem ? 1 : 0);
+    if (program_.word_bits == 64) {
+      run_shard<std::uint64_t>(inputs, begin, end, out);
+    } else {
+      run_shard<std::uint32_t>(inputs, begin, end, out);
+    }
+  });
+  return out;
+}
+
+}  // namespace udsim

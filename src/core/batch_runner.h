@@ -1,0 +1,75 @@
+// Multi-threaded batch execution of compiled simulation programs.
+//
+// A compiled unit-delay simulation has exactly one piece of cross-vector
+// state: the settled (final) value of every net, retained in the word arena
+// from one executor pass to the next. Those settled values are a pure
+// function of the *current* input vector (the circuits are acyclic), so a
+// vector stream can be sharded: a worker that first replays the vector
+// immediately preceding its shard — discarding the outputs — reconstructs
+// the exact retained state the sequential run would have carried into the
+// shard, and every subsequent pass is bit-identical to sequential replay.
+// That one discarded pass is the entire synchronization cost; shards never
+// communicate while running.
+//
+// Determinism guarantee: run() returns the same bits for every thread
+// count, equal to a sequential KernelRunner replay from the reset arena
+// (enforced by tests/batch_runner_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/kernel_runner.h"
+#include "core/thread_pool.h"
+#include "ir/program.h"
+#include "netlist/logic.h"
+
+namespace udsim {
+
+struct BatchOptions {
+  unsigned num_threads = 0;    ///< worker threads; 0 = all hardware threads
+  std::size_t min_chunk = 16;  ///< smallest shard worth a seam-replay pass
+};
+
+/// Runs a vector stream through one compiled `Program` on a worker pool:
+/// one private KernelRunner arena per shard, seam replay at shard
+/// boundaries, outputs merged in submission order. Works over any program
+/// the compiled engines produce (LCC, PC-set, parallel and its optimized
+/// variants) at either word size.
+class BatchRunner {
+ public:
+  /// `probes` are the arena bits to sample after every vector (one output
+  /// column per probe); `program` must outlive the runner.
+  BatchRunner(const Program& program, std::vector<ArenaProbe> probes,
+              BatchOptions options = {});
+
+  /// Run `num_vectors` vectors. `inputs` is row-major with
+  /// `program.input_words` words per vector (uint64 carrier, truncated to
+  /// the program's word size). Returns a row-major Bit matrix of
+  /// `num_vectors` rows × `probes().size()` columns, in submission order.
+  [[nodiscard]] std::vector<Bit> run(std::span<const std::uint64_t> inputs,
+                                     std::size_t num_vectors);
+
+  [[nodiscard]] unsigned num_threads() const noexcept { return pool_.threads(); }
+  [[nodiscard]] const std::vector<ArenaProbe>& probes() const noexcept {
+    return probes_;
+  }
+
+  /// Shards a run of `num_vectors` would be split into: one per thread,
+  /// but never below `min_chunk` vectors each (a seam replay must stay
+  /// amortized) and never more than the vector count.
+  [[nodiscard]] std::size_t shard_count(std::size_t num_vectors) const noexcept;
+
+ private:
+  template <class Word>
+  void run_shard(std::span<const std::uint64_t> inputs, std::size_t begin,
+                 std::size_t end, std::span<Bit> out) const;
+
+  const Program& program_;
+  std::vector<ArenaProbe> probes_;
+  BatchOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace udsim

@@ -12,6 +12,15 @@
 
 namespace udsim {
 
+/// Location of one bit inside a compiled program's word arena. The compiled
+/// engines expose the arena position of each net's settled value as an
+/// ArenaProbe (final_arena_probe) so that engine-agnostic code — the batch
+/// layer above all — can sample outputs without knowing the field layout.
+struct ArenaProbe {
+  std::uint32_t word = 0;
+  std::uint8_t bit = 0;
+};
+
 template <class Word>
 class KernelRunner {
  public:

@@ -1,5 +1,8 @@
 #include "core/simulator.h"
 
+#include <stdexcept>
+
+#include "core/batch_runner.h"
 #include "eventsim/event_sim.h"
 #include "lcc/lcc.h"
 #include "parsim/parallel_sim.h"
@@ -33,20 +36,92 @@ std::string_view engine_name(EngineKind k) noexcept {
 
 namespace {
 
+// The compiled engines all expose the same two hooks — the program and the
+// arena bit holding each net's settled value — which is everything the
+// batch layer needs. The interpreted event engines expose neither.
+const Program* batch_program(const EventSim2&) { return nullptr; }
+const Program* batch_program(const EventSim3&) { return nullptr; }
+const Program* batch_program(const PCSetSim<>& e) { return &e.compiled().program; }
+const Program* batch_program(const ParallelSim<>& e) { return &e.compiled().program; }
+const Program* batch_program(const LccSim<>& e) { return &e.program(); }
+
+template <class Engine>
+std::vector<ArenaProbe> batch_probes(const Engine& e, const Netlist& nl) {
+  std::vector<ArenaProbe> probes;
+  if constexpr (requires { e.final_arena_probe(NetId{}); }) {
+    probes.reserve(nl.primary_outputs().size());
+    for (NetId po : nl.primary_outputs()) probes.push_back(e.final_arena_probe(po));
+  }
+  return probes;
+}
+
+/// Validate the flat stream shape and return the vector count.
+std::size_t batch_vector_count(const Netlist& nl, std::span<const Bit> vectors) {
+  const std::size_t pis = nl.primary_inputs().size();
+  if (pis == 0) {
+    if (!vectors.empty()) {
+      throw std::invalid_argument("run_batch: vectors given but no primary inputs");
+    }
+    return 0;
+  }
+  if (vectors.size() % pis != 0) {
+    throw std::invalid_argument(
+        "run_batch: stream size is not a multiple of the primary-input count");
+  }
+  return vectors.size() / pis;
+}
+
 template <class Engine>
 class EngineAdapter final : public Simulator {
  public:
   template <class... Args>
   EngineAdapter(EngineKind kind, const Netlist& nl, Args&&... args)
-      : kind_(kind), engine_(nl, std::forward<Args>(args)...) {}
+      : kind_(kind), nl_(nl), engine_(nl, std::forward<Args>(args)...) {}
 
   void step(std::span<const Bit> pi_values) override { engine_.step(pi_values); }
   [[nodiscard]] EngineKind kind() const noexcept override { return kind_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept override { return nl_; }
   [[nodiscard]] Bit final_value(NetId n) const override {
     return value_of(engine_, n);
   }
 
+  [[nodiscard]] BatchResult run_batch(std::span<const Bit> vectors,
+                                      unsigned num_threads) const override {
+    const std::size_t count = batch_vector_count(nl_, vectors);
+    BatchResult r;
+    r.outputs = nl_.primary_outputs();
+    r.vectors = count;
+    if (const Program* program = batch_program(engine_)) {
+      run_compiled(*program, vectors, count, num_threads, r);
+    } else {
+      // Interpreted fallback: single-threaded replay on a fresh engine, so
+      // the reset-state semantics and this instance's state both hold.
+      Engine fresh(nl_);
+      const std::size_t pis = nl_.primary_inputs().size();
+      r.values.reserve(count * r.outputs.size());
+      for (std::size_t v = 0; v < count; ++v) {
+        fresh.step(vectors.subspan(v * pis, pis));
+        for (NetId po : r.outputs) r.values.push_back(value_of(fresh, po));
+      }
+    }
+    return r;
+  }
+
  private:
+  void run_compiled(const Program& program, std::span<const Bit> vectors,
+                    std::size_t count, unsigned num_threads, BatchResult& r) const {
+    const std::size_t pis = nl_.primary_inputs().size();
+    if (program.input_words != pis) {
+      throw std::logic_error("run_batch: program is not in scalar input mode");
+    }
+    std::vector<std::uint64_t> in(count * pis);
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = vectors[i] & 1;
+    BatchRunner batch(program, batch_probes(engine_, nl_),
+                      BatchOptions{.num_threads = num_threads});
+    r.values = batch.run(in, count);
+    r.threads = batch.num_threads();
+  }
+
   static Bit value_of(const EventSim2& e, NetId n) { return e.value(n); }
   static Bit value_of(const EventSim3& e, NetId n) {
     return e.value(n) == Tri::One ? 1 : 0;
@@ -56,6 +131,7 @@ class EngineAdapter final : public Simulator {
   static Bit value_of(const LccSim<>& e, NetId n) { return e.value(n); }
 
   EngineKind kind_;
+  const Netlist& nl_;
   Engine engine_;
 };
 

@@ -2,9 +2,11 @@
 // used by the examples and the cross-engine equivalence tests.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "netlist/netlist.h"
 
@@ -24,6 +26,19 @@ enum class EngineKind {
 
 [[nodiscard]] std::string_view engine_name(EngineKind k) noexcept;
 
+/// Result of a batch run: the settled value of every primary output for
+/// every vector of the stream, in submission order.
+struct BatchResult {
+  std::vector<NetId> outputs;  ///< nets sampled (primary outputs, netlist order)
+  std::vector<Bit> values;     ///< row-major: one row of outputs per vector
+  std::size_t vectors = 0;
+  unsigned threads = 1;        ///< worker threads the run was sharded across
+
+  [[nodiscard]] Bit value(std::size_t vector, std::size_t output) const {
+    return values.at(vector * outputs.size() + output);
+  }
+};
+
 /// Minimal common surface: feed vectors, read settled values.
 /// (Waveform-level access is engine-specific; use the engine classes
 /// directly — ParallelSim::value_at, PCSetSim::value_at, OracleSim::step.)
@@ -38,6 +53,20 @@ class Simulator {
 
   /// Settled value of a net after the last vector.
   [[nodiscard]] virtual Bit final_value(NetId n) const = 0;
+
+  /// Batch-simulate a whole vector stream: `vectors` is row-major, one Bit
+  /// per primary input per row (its size must be a multiple of the PI
+  /// count). Always computed from the engine's initial (reset) state,
+  /// independent of prior step() calls, and never disturbs this instance's
+  /// incremental state. Compiled engines shard the stream across
+  /// `num_threads` workers (0 = all hardware threads) with bit-identical
+  /// results for every thread count; the interpreted event engines fall
+  /// back to a single-threaded replay. See DESIGN.md §5c.
+  [[nodiscard]] virtual BatchResult run_batch(std::span<const Bit> vectors,
+                                              unsigned num_threads = 0) const = 0;
+
+  /// The netlist this engine simulates.
+  [[nodiscard]] virtual const Netlist& netlist() const noexcept = 0;
 
   [[nodiscard]] virtual EngineKind kind() const noexcept = 0;
 

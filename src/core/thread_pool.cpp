@@ -1,0 +1,85 @@
+#include "core/thread_pool.h"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace udsim {
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = hardware_threads();
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads() <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([barrier, &body, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(barrier->mu);
+        if (!barrier->error) barrier->error = std::current_exception();
+      }
+      std::lock_guard lock(barrier->mu);
+      if (--barrier->remaining == 0) barrier->done_cv.notify_all();
+    });
+  }
+  std::unique_lock lock(barrier->mu);
+  barrier->done_cv.wait(lock, [&] { return barrier->remaining == 0; });
+  if (barrier->error) std::rethrow_exception(barrier->error);
+}
+
+}  // namespace udsim

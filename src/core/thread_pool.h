@@ -1,0 +1,58 @@
+// Minimal fixed-size worker pool for the batch simulation layer.
+//
+// One queue, N workers, blocking parallel_for. Deliberately small: the batch
+// layer's unit of work is a whole vector-stream shard (thousands of executor
+// passes), so per-task overhead is irrelevant and work stealing would buy
+// nothing. `parallel_for` is a barrier — it returns only when every index
+// has been processed — and rethrows the first exception a body raised.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace udsim {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (0 = all hardware threads).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one task for any worker.
+  void submit(std::function<void()> task);
+
+  /// Run body(0) … body(n-1) across the pool and block until all complete.
+  /// Indices are claimed in order but may execute concurrently; with a
+  /// single worker (or n == 1) the loop runs inline on the calling thread,
+  /// giving an exact single-threaded execution for fallback paths.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace udsim

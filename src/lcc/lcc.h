@@ -49,6 +49,10 @@ class LccSim {
   [[nodiscard]] Bit value(NetId n) const {
     return runner_.bit(compiled_.net_var[n.value], 0);
   }
+  /// Arena location of the net's settled value (batch-layer probe).
+  [[nodiscard]] ArenaProbe final_arena_probe(NetId n) const {
+    return {compiled_.net_var[n.value], 0};
+  }
   [[nodiscard]] const Program& program() const noexcept { return compiled_.program; }
 
  private:

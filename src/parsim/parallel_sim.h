@@ -112,6 +112,11 @@ class ParallelSim {
     const auto pr = compiled_.final_probe(n);
     return runner_.bit(pr.word, pr.bit);
   }
+  /// Arena location of the net's settled value (batch-layer probe).
+  [[nodiscard]] ArenaProbe final_arena_probe(NetId n) const {
+    const auto pr = compiled_.final_probe(n);
+    return {pr.word, pr.bit};
+  }
   /// Raw field words of a net (for hazard analysis).
   [[nodiscard]] std::span<const Word> field(NetId n) const {
     return runner_.arena().subspan(compiled_.net_base[n.value],

@@ -81,6 +81,10 @@ class PCSetSim {
   [[nodiscard]] Bit final_value(NetId n) const {
     return runner_.bit(compiled_.final_var(n), 0);
   }
+  /// Arena location of the net's settled value (batch-layer probe).
+  [[nodiscard]] ArenaProbe final_arena_probe(NetId n) const {
+    return {compiled_.final_var(n), 0};
+  }
   [[nodiscard]] const PCSetCompiled& compiled() const noexcept { return compiled_; }
 
  private:
