@@ -1,0 +1,272 @@
+#include "analysis/compile_budget.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/alignment.h"
+#include "analysis/levelize.h"
+#include "analysis/pcset.h"
+#include "analysis/trimming.h"
+#include "ir/program.h"
+#include "netlist/logic.h"
+
+namespace udsim {
+
+const char* budget_violation(const CompileBudget& budget,
+                             const CompileCostEstimate& cost) noexcept {
+  if (budget.max_arena_words != 0 && cost.arena_words > budget.max_arena_words) {
+    return "arena words";
+  }
+  if (budget.max_ops != 0 && cost.ops > budget.max_ops) {
+    return "ops";
+  }
+  if (budget.max_peak_bytes != 0 && cost.peak_bytes > budget.max_peak_bytes) {
+    return "peak bytes";
+  }
+  return nullptr;
+}
+
+namespace {
+
+[[nodiscard]] std::string format_exceeded(const CompileCostEstimate& cost,
+                                          const CompileBudget& budget,
+                                          const char* limit, bool predicted) {
+  std::string s(engine_name(cost.kind));
+  s += predicted ? ": predicted " : ": emitted ";
+  s += limit;
+  s += " (";
+  if (std::string_view(limit) == "arena words") {
+    s += std::to_string(cost.arena_words) + " > " +
+         std::to_string(budget.max_arena_words);
+  } else if (std::string_view(limit) == "ops") {
+    s += std::to_string(cost.ops) + " > " + std::to_string(budget.max_ops);
+  } else {
+    s += std::to_string(cost.peak_bytes) + " > " +
+         std::to_string(budget.max_peak_bytes);
+  }
+  s += ") exceed the compile budget";
+  return s;
+}
+
+/// Per-word op count of emit_gate_word (ir/emit_util.h) for one gate.
+[[nodiscard]] std::size_t gate_word_ops(GateType t, std::size_t fanin) noexcept {
+  if (is_constant(t)) return 0;  // arena-resident, no per-vector code
+  if (is_unary(t) || fanin <= 2) return 1;
+  const bool inverted =
+      t == GateType::Nand || t == GateType::Nor || t == GateType::Xnor;
+  return fanin - 1 + (inverted ? 1 : 0);
+}
+
+/// Approximate resident footprint of a compiled program: the word arena,
+/// the op vector, and per-arena-word name metadata.
+[[nodiscard]] std::size_t peak_bytes_for(std::size_t arena_words, std::size_t ops,
+                                         int word_bits,
+                                         std::size_t net_count) noexcept {
+  const std::size_t word_bytes = static_cast<std::size_t>(word_bits) / 8;
+  return arena_words * (word_bytes + sizeof(std::string)) + ops * sizeof(Op) +
+         net_count * 64;
+}
+
+[[nodiscard]] bool gate_driven_by_constant(const Netlist& nl, NetId n) {
+  const Net& net = nl.net(n);
+  return !net.drivers.empty() && is_constant(nl.gate(net.drivers.front()).type);
+}
+
+// ---- zero-delay LCC --------------------------------------------------------
+// One variable per net, one gate evaluation per gate: the formula is exact.
+CompileCostEstimate estimate_lcc(const Netlist& nl, int word_bits) {
+  CompileCostEstimate c;
+  c.arena_words = nl.net_count();
+  c.ops = nl.primary_inputs().size();
+  for (const Gate& g : nl.gates()) {
+    c.ops += gate_word_ops(g.type, g.inputs.size());
+  }
+  c.peak_bytes = peak_bytes_for(c.arena_words, c.ops, word_bits, nl.net_count());
+  return c;
+}
+
+// ---- PC-set method ---------------------------------------------------------
+// One variable per (net, PC element); one gate simulation per non-zero
+// element of each gate's PC-set, plus the X_0 = X_max retained-value copies.
+// Mirrors the compile_pcset loops without emitting anything.
+CompileCostEstimate estimate_pcset(const Netlist& nl, int word_bits) {
+  const Levelization lv = levelize(nl);
+  PCSets pc = compute_pc_sets(nl, lv);
+  const std::vector<NetId>& monitored = nl.primary_outputs();
+  insert_zeros(nl, lv, monitored, pc);
+  bool print_at_zero = false;
+  for (NetId m : monitored) print_at_zero |= pc.net_pc[m.value].test(0);
+  if (print_at_zero) {
+    for (NetId m : monitored) pc.net_pc[m.value].set(0);
+  }
+
+  CompileCostEstimate c;
+  c.arena_words = pc.total_net_pc_size();
+  c.ops = nl.primary_inputs().size();
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    const NetId id{n};
+    if (nl.net(id).is_primary_input || gate_driven_by_constant(nl, id)) continue;
+    if (pc.net_pc[n].test(0) && pc.net_pc[n].count() > 1) ++c.ops;
+  }
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& g = nl.gate(GateId{gi});
+    if (is_constant(g.type)) continue;
+    std::size_t elements = pc.gate_pc[gi].count();
+    if (pc.gate_pc[gi].test(0)) --elements;  // zero element: value retained
+    c.ops += elements * gate_word_ops(g.type, g.inputs.size());
+  }
+  c.peak_bytes = peak_bytes_for(c.arena_words, c.ops, word_bits, nl.net_count());
+  return c;
+}
+
+// ---- parallel technique ----------------------------------------------------
+// Bit-field words from the alignment plan and trim classes; op count from
+// per-gate computed-word counts, realignment sites and store shifts. This
+// is a model, not a replay of the emitter — tests pin it within 2x of the
+// emitted program on the ISCAS-85 profiles.
+CompileCostEstimate estimate_parallel(const Netlist& nl, EngineKind kind,
+                                      int word_bits) {
+  const bool uniform =
+      kind == EngineKind::Parallel || kind == EngineKind::ParallelTrimmed;
+  const bool trimming =
+      kind == EngineKind::ParallelTrimmed || kind == EngineKind::ParallelCombined;
+  const Levelization lv = levelize(nl);
+  AlignmentPlan plan;
+  if (uniform) {
+    plan = align_unoptimized(nl, lv);
+  } else if (kind == EngineKind::ParallelCycleBreaking) {
+    plan = align_cycle_breaking(nl, lv);
+  } else {
+    plan = align_path_tracing(nl, lv);
+  }
+  const std::vector<int> widths = field_widths(nl, lv, plan, uniform);
+  const TrimPlan trim = trimming
+                            ? compute_trim_plan(nl, lv, compute_pc_sets(nl, lv),
+                                                plan, widths, word_bits)
+                            : full_trim_plan(nl, widths, word_bits);
+  const int W = word_bits;
+
+  CompileCostEstimate c;
+  // Fields.
+  std::vector<std::uint32_t> net_words(nl.net_count());
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    net_words[n] = static_cast<std::uint32_t>((widths[n] + W - 1) / W);
+    c.arena_words += net_words[n];
+  }
+
+  // Primary-input loads.
+  for (NetId pi : nl.primary_inputs()) {
+    const std::uint32_t words = net_words[pi.value];
+    c.ops += plan.net_align[pi.value] == 0 ? words : words + 2;
+  }
+
+  // Stable-low / gap word fills, plus the broadcast feeding each stable run.
+  c.ops += trim.stable_words + trim.gap_words;
+  for (std::uint32_t n = 0; n < nl.net_count(); ++n) {
+    for (WordClass w : trim.net_words[n]) {
+      if (w == WordClass::StableLow) {
+        ++c.ops;  // one BcastBit per net with stable words (counted once)
+        break;
+      }
+    }
+  }
+
+  // Per-gate evaluation, realignment and store ops; scratch high-water.
+  std::size_t scratch = 2;  // PI loads use two scratch words
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const Gate& g = nl.gate(GateId{gi});
+    if (is_constant(g.type)) continue;
+    const std::uint32_t n = g.output.value;
+    std::size_t cw = 0;
+    for (WordClass w : trim.net_words[n]) {
+      if (w == WordClass::Computed) ++cw;
+    }
+    const int s_out = plan.output_shift(nl, GateId{gi});
+    const int res_bits = uniform
+                             ? widths[n]
+                             : lv.gate_level[gi] - plan.gate_align[gi] + 1;
+    const auto res_words = static_cast<std::size_t>((res_bits + W - 1) / W);
+    std::size_t pins_with_shift = 0;
+    std::size_t distinct = 0;
+    std::vector<std::uint32_t> seen;
+    for (NetId in : g.inputs) {
+      if (std::find(seen.begin(), seen.end(), in.value) == seen.end()) {
+        seen.push_back(in.value);
+        ++distinct;
+      }
+      if (plan.input_shift(nl, GateId{gi}, in) != 0) ++pins_with_shift;
+    }
+    const std::size_t needed = std::min(cw + (s_out != 0 ? 1 : 0), res_words);
+    c.ops += needed * (gate_word_ops(g.type, g.inputs.size()) + pins_with_shift);
+    if (s_out != 0) c.ops += cw + 2;  // store funnels + pf/msb broadcasts
+    ++c.ops;  // init / boundary-broadcast slack per gate
+    scratch = std::max(scratch, res_words + 2 + 3 * distinct);
+  }
+  c.arena_words += scratch;
+  c.peak_bytes = peak_bytes_for(c.arena_words, c.ops, word_bits, nl.net_count());
+  return c;
+}
+
+// ---- interpreted event engines ---------------------------------------------
+// No compiled program: arena and op counts are zero, only the interpreter's
+// per-net/per-gate bookkeeping appears as footprint.
+CompileCostEstimate estimate_event(const Netlist& nl) {
+  CompileCostEstimate c;
+  c.peak_bytes = (nl.net_count() + nl.gate_count()) * 64;
+  return c;
+}
+
+}  // namespace
+
+BudgetExceeded::BudgetExceeded(const CompileCostEstimate& cost,
+                               const CompileBudget& budget, const char* limit,
+                               bool predicted)
+    : std::runtime_error(format_exceeded(cost, budget, limit, predicted)),
+      cost_(cost),
+      budget_(budget),
+      limit_(limit),
+      predicted_(predicted) {}
+
+CompileCostEstimate measure_compile_cost(const Program& p, EngineKind kind,
+                                         std::size_t net_count) {
+  CompileCostEstimate c;
+  c.kind = kind;
+  c.arena_words = p.arena_words;
+  c.ops = p.ops.size();
+  c.peak_bytes = peak_bytes_for(c.arena_words, c.ops, p.word_bits, net_count);
+  return c;
+}
+
+CompileCostEstimate estimate_compile_cost(const Netlist& nl, EngineKind kind,
+                                          int word_bits) {
+  CompileCostEstimate c;
+  switch (kind) {
+    case EngineKind::Event2:
+    case EngineKind::Event3:
+      c = estimate_event(nl);
+      break;
+    case EngineKind::ZeroDelayLcc:
+      c = estimate_lcc(nl, word_bits);
+      break;
+    case EngineKind::PCSet:
+      c = estimate_pcset(nl, word_bits);
+      break;
+    case EngineKind::Parallel:
+    case EngineKind::ParallelTrimmed:
+    case EngineKind::ParallelPathTracing:
+    case EngineKind::ParallelCycleBreaking:
+    case EngineKind::ParallelCombined:
+      c = estimate_parallel(nl, kind, word_bits);
+      break;
+  }
+  c.kind = kind;
+  return c;
+}
+
+void CompileGuard::enforce(const CompileCostEstimate& cost, bool predicted) const {
+  if (const char* limit = budget_violation(budget, cost)) {
+    throw BudgetExceeded(cost, budget, limit, predicted);
+  }
+}
+
+}  // namespace udsim

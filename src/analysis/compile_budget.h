@@ -1,0 +1,103 @@
+// Compile-time resource budgets for the guarded compilation pipeline.
+//
+// The paper's techniques have compile costs that are *structural* functions
+// of the netlist: the parallel technique allocates a (depth+1)-bit field per
+// net, the PC-set method one variable per (net, PC-time) pair. Deep or
+// heavily reconvergent circuits can therefore blow up arena size and code
+// size with no warning. `estimate_compile_cost` predicts arena words, op
+// count and peak bytes for every EngineKind from levelization and PC-set
+// statistics alone — before any Program is materialized — and a
+// `CompileBudget` turns the prediction (and the actual emission) into a
+// hard limit enforced by the compilers via `BudgetExceeded`. The engine
+// fallback chain (core/simulator.h, make_simulator_with_fallback) uses the
+// same machinery to degrade gracefully instead of OOM-ing.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "core/engine_kind.h"
+#include "netlist/diagnostics.h"
+#include "netlist/netlist.h"
+
+namespace udsim {
+
+/// Hard compile-resource limits. A limit of 0 means unlimited.
+struct CompileBudget {
+  std::size_t max_arena_words = 0;  ///< word-arena size of the compiled program
+  std::size_t max_ops = 0;          ///< straight-line op count (code size)
+  std::size_t max_peak_bytes = 0;   ///< approximate resident bytes (arena + code)
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return max_arena_words == 0 && max_ops == 0 && max_peak_bytes == 0;
+  }
+};
+
+/// Predicted (or measured) compile cost of one engine over one netlist.
+struct CompileCostEstimate {
+  EngineKind kind = EngineKind::ZeroDelayLcc;
+  std::size_t arena_words = 0;
+  std::size_t ops = 0;
+  std::size_t peak_bytes = 0;
+};
+
+/// The budget limit `cost` crosses first ("arena words" / "ops" /
+/// "peak bytes"), or nullptr when the cost fits.
+[[nodiscard]] const char* budget_violation(const CompileBudget& budget,
+                                           const CompileCostEstimate& cost) noexcept;
+
+/// Structured error thrown by compile_parallel / compile_pcset / compile_lcc
+/// when a prediction or the actual emission crosses a CompileBudget limit.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(const CompileCostEstimate& cost, const CompileBudget& budget,
+                 const char* limit, bool predicted);
+
+  [[nodiscard]] EngineKind kind() const noexcept { return cost_.kind; }
+  [[nodiscard]] const CompileCostEstimate& cost() const noexcept { return cost_; }
+  [[nodiscard]] const CompileBudget& budget() const noexcept { return budget_; }
+  /// Which limit was crossed: "arena words", "ops" or "peak bytes".
+  [[nodiscard]] const std::string& limit() const noexcept { return limit_; }
+  /// True when the pre-emission prediction tripped; false when the emitted
+  /// program itself crossed the limit.
+  [[nodiscard]] bool predicted() const noexcept { return predicted_; }
+
+ private:
+  CompileCostEstimate cost_;
+  CompileBudget budget_;
+  std::string limit_;
+  bool predicted_;
+};
+
+/// Predict the compile cost of `kind` over `nl` from levelization, alignment
+/// and PC-set statistics alone; no Program is materialized. For the
+/// compiled engines the prediction tracks the emitted program within a
+/// small factor (asserted to be within 2x on the ISCAS-85 profiles by
+/// tests/compile_budget_test.cpp); the interpreted event engines have no
+/// compiled program and report only their interpreter footprint in
+/// peak_bytes.
+[[nodiscard]] CompileCostEstimate estimate_compile_cost(const Netlist& nl,
+                                                        EngineKind kind,
+                                                        int word_bits = 32);
+
+struct Program;
+
+/// The *actual* cost of an emitted program, in the same units as
+/// estimate_compile_cost (used by the compilers for the post-emission
+/// budget check).
+[[nodiscard]] CompileCostEstimate measure_compile_cost(const Program& p,
+                                                       EngineKind kind,
+                                                       std::size_t net_count);
+
+/// Budget + optional diagnostics sink, threaded through the guarded
+/// compiler entry points.
+struct CompileGuard {
+  CompileBudget budget{};
+  Diagnostics* diag = nullptr;
+
+  /// Throws BudgetExceeded when `cost` crosses a limit.
+  void enforce(const CompileCostEstimate& cost, bool predicted) const;
+};
+
+}  // namespace udsim

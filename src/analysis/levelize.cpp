@@ -53,7 +53,9 @@ void run_worklist(const Netlist& nl, NetFn&& net_fn, GateFn&& gate_fn) {
     }
   }
   if (processed != num_nets + num_gates) {
-    throw NetlistError("levelization worklist stalled: netlist has a cycle");
+    throw NetlistError(
+        "levelization worklist stalled: netlist '" + nl.name() +
+        "' has a cycle: " + nl.describe_cycle());
   }
 }
 

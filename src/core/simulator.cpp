@@ -60,13 +60,16 @@ std::size_t batch_vector_count(const Netlist& nl, std::span<const Bit> vectors) 
   const std::size_t pis = nl.primary_inputs().size();
   if (pis == 0) {
     if (!vectors.empty()) {
-      throw std::invalid_argument("run_batch: vectors given but no primary inputs");
+      throw std::invalid_argument("run_batch: stream of " +
+                                  std::to_string(vectors.size()) +
+                                  " bits given but the netlist has no primary inputs");
     }
     return 0;
   }
   if (vectors.size() % pis != 0) {
     throw std::invalid_argument(
-        "run_batch: stream size is not a multiple of the primary-input count");
+        "run_batch: stream size " + std::to_string(vectors.size()) +
+        " is not a multiple of the primary-input count " + std::to_string(pis));
   }
   return vectors.size() / pis;
 }
@@ -157,27 +160,109 @@ ParallelOptions parallel_options(EngineKind kind) {
   return o;
 }
 
-}  // namespace
-
-std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind) {
+std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kind,
+                                               const CompileGuard* guard) {
   switch (kind) {
     case EngineKind::Event2:
       return std::make_unique<EngineAdapter<EventSim2>>(kind, nl);
     case EngineKind::Event3:
       return std::make_unique<EngineAdapter<EventSim3>>(kind, nl);
     case EngineKind::PCSet:
+      if (guard) {
+        return std::make_unique<EngineAdapter<PCSetSim<>>>(
+            kind, nl, std::span<const NetId>{}, *guard);
+      }
       return std::make_unique<EngineAdapter<PCSetSim<>>>(kind, nl);
     case EngineKind::ZeroDelayLcc:
+      if (guard) {
+        return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl, *guard);
+      }
       return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl);
     case EngineKind::Parallel:
     case EngineKind::ParallelTrimmed:
     case EngineKind::ParallelPathTracing:
     case EngineKind::ParallelCycleBreaking:
     case EngineKind::ParallelCombined:
+      if (guard) {
+        return std::make_unique<EngineAdapter<ParallelSim<>>>(
+            kind, nl, parallel_options(kind), *guard);
+      }
       return std::make_unique<EngineAdapter<ParallelSim<>>>(kind, nl,
                                                             parallel_options(kind));
   }
   throw NetlistError("make_simulator: unknown engine kind");
+}
+
+[[nodiscard]] std::string cost_summary(const CompileCostEstimate& c) {
+  return std::to_string(c.arena_words) + " arena words, " +
+         std::to_string(c.ops) + " ops, ~" + std::to_string(c.peak_bytes) +
+         " peak bytes";
+}
+
+}  // namespace
+
+std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind) {
+  return make_simulator_impl(nl, kind, nullptr);
+}
+
+std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind,
+                                          const CompileGuard& guard) {
+  return make_simulator_impl(nl, kind, &guard);
+}
+
+std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
+                                                        const SimPolicy& policy,
+                                                        Diagnostics* diag) {
+  if (policy.chain.empty()) {
+    throw NetlistError("make_simulator_with_fallback: empty engine chain");
+  }
+  const CompileGuard guard{policy.budget, diag};
+  std::size_t downgrades = 0;
+  for (EngineKind kind : policy.chain) {
+    const bool last = kind == policy.chain.back();
+    // Cheap pre-check: reject on the structural prediction before paying
+    // for the compile. The guarded compile re-checks the prediction and
+    // the emitted program, so a too-optimistic prediction still cannot
+    // smuggle an over-budget program through.
+    if (is_compiled_engine(kind) && !policy.budget.unlimited()) {
+      const CompileCostEstimate est =
+          estimate_compile_cost(nl, kind, /*word_bits=*/32);
+      if (const char* limit = budget_violation(policy.budget, est)) {
+        if (diag) {
+          diag->report(DiagCode::BudgetDowngrade, DiagSeverity::Warning,
+                       std::string(engine_name(kind)),
+                       "predicted " + std::string(limit) + " over budget (" +
+                           cost_summary(est) + "); trying next engine");
+        }
+        ++downgrades;
+        if (last) throw BudgetExceeded(est, policy.budget, limit, true);
+        continue;
+      }
+    }
+    try {
+      std::unique_ptr<Simulator> sim = make_simulator_impl(nl, kind, &guard);
+      if (diag) {
+        diag->report(DiagCode::EngineSelected, DiagSeverity::Note,
+                     std::string(engine_name(kind)),
+                     downgrades == 0
+                         ? "selected (first choice)"
+                         : "selected after " + std::to_string(downgrades) +
+                               " budget downgrade(s)");
+      }
+      return sim;
+    } catch (const BudgetExceeded& e) {
+      if (diag) {
+        diag->report(DiagCode::BudgetDowngrade, DiagSeverity::Warning,
+                     std::string(engine_name(kind)),
+                     std::string(e.predicted() ? "predicted " : "emitted ") +
+                         e.limit() + " over budget (" + cost_summary(e.cost()) +
+                         "); trying next engine");
+      }
+      ++downgrades;
+      if (last) throw;
+    }
+  }
+  throw NetlistError("make_simulator_with_fallback: no engine fits the budget");
 }
 
 }  // namespace udsim

@@ -8,23 +8,12 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/compile_budget.h"
+#include "core/engine_kind.h"
+#include "netlist/diagnostics.h"
 #include "netlist/netlist.h"
 
 namespace udsim {
-
-enum class EngineKind {
-  Event2,               ///< interpreted event-driven, 2-valued (Fig. 19 col 2)
-  Event3,               ///< interpreted event-driven, 3-valued (Fig. 19 col 1)
-  PCSet,                ///< PC-set method (Fig. 19 col 3)
-  Parallel,             ///< parallel technique, unoptimized (Fig. 19 col 4)
-  ParallelTrimmed,      ///< + bit-field trimming (Fig. 20)
-  ParallelPathTracing,  ///< + path-tracing shift elimination (Fig. 23)
-  ParallelCycleBreaking,///< + cycle-breaking shift elimination (Fig. 23)
-  ParallelCombined,     ///< path tracing + trimming (Fig. 24)
-  ZeroDelayLcc,         ///< zero-delay compiled simulation (context exp.)
-};
-
-[[nodiscard]] std::string_view engine_name(EngineKind k) noexcept;
 
 /// Result of a batch run: the settled value of every primary output for
 /// every vector of the stream, in submission order.
@@ -78,5 +67,33 @@ class Simulator {
 /// lowered; see lower_wired_nets).
 [[nodiscard]] std::unique_ptr<Simulator> make_simulator(const Netlist& nl,
                                                         EngineKind kind);
+
+/// Guarded variant: compiled engines throw BudgetExceeded when their
+/// predicted or emitted cost crosses `guard.budget`, and record compile
+/// diagnostics into `guard.diag`.
+[[nodiscard]] std::unique_ptr<Simulator> make_simulator(const Netlist& nl,
+                                                        EngineKind kind,
+                                                        const CompileGuard& guard);
+
+/// Engine-selection policy for make_simulator_with_fallback: candidate
+/// engines in preference order, each gated by the same compile budget.
+struct SimPolicy {
+  /// Walked front to back; the first engine whose predicted *and* emitted
+  /// cost fits `budget` wins. The default chain ends in the interpreted
+  /// event-driven engine, which compiles nothing and always fits.
+  std::vector<EngineKind> chain{
+      EngineKind::ParallelCombined, EngineKind::ParallelTrimmed,
+      EngineKind::PCSet, EngineKind::ZeroDelayLcc, EngineKind::Event2};
+  CompileBudget budget{};  ///< unlimited by default
+};
+
+/// Walk `policy.chain`, skipping engines whose compile cost exceeds
+/// `policy.budget`, and return the first engine that fits. Every downgrade
+/// is recorded in `diag` (DiagCode::BudgetDowngrade, with the predicted
+/// cost and the limit crossed) and the winner as DiagCode::EngineSelected,
+/// so callers can see which engine ran and why. Throws BudgetExceeded when
+/// no engine in the chain fits.
+[[nodiscard]] std::unique_ptr<Simulator> make_simulator_with_fallback(
+    const Netlist& nl, const SimPolicy& policy = {}, Diagnostics* diag = nullptr);
 
 }  // namespace udsim

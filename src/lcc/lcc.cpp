@@ -6,7 +6,16 @@
 namespace udsim {
 
 LccCompiled compile_lcc(const Netlist& nl, bool packed, int word_bits) {
+  return compile_lcc(nl, packed, word_bits, CompileGuard{});
+}
+
+LccCompiled compile_lcc(const Netlist& nl, bool packed, int word_bits,
+                        const CompileGuard& guard) {
   nl.validate();
+  if (!guard.budget.unlimited()) {
+    guard.enforce(estimate_compile_cost(nl, EngineKind::ZeroDelayLcc, word_bits),
+                  /*predicted=*/true);
+  }
   LccCompiled out;
   out.packed = packed;
   Program& p = out.program;
@@ -44,6 +53,10 @@ LccCompiled compile_lcc(const Netlist& nl, bool packed, int word_bits) {
     for (NetId in : g.inputs) operands.push_back(out.net_var[in.value]);
     emit_gate_word(p.ops, g.type, out.net_var[g.output.value], operands);
     out.def_end[g.output.value] = static_cast<std::uint32_t>(p.ops.size());
+  }
+  if (!guard.budget.unlimited()) {
+    guard.enforce(measure_compile_cost(p, EngineKind::ZeroDelayLcc, nl.net_count()),
+                  /*predicted=*/false);
   }
   return out;
 }

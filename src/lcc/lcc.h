@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/compile_budget.h"
 #include "core/kernel_runner.h"
 #include "netlist/netlist.h"
 
@@ -28,12 +29,23 @@ struct LccCompiled {
 [[nodiscard]] LccCompiled compile_lcc(const Netlist& nl, bool packed = false,
                                       int word_bits = 32);
 
+/// Guarded variant: throws BudgetExceeded when the predicted or emitted
+/// cost crosses `guard.budget`; records compile diagnostics into
+/// `guard.diag` when set.
+[[nodiscard]] LccCompiled compile_lcc(const Netlist& nl, bool packed,
+                                      int word_bits, const CompileGuard& guard);
+
 /// Convenience runtime wrapper (scalar mode).
 template <class Word = std::uint32_t>
 class LccSim {
  public:
   explicit LccSim(const Netlist& nl)
       : nl_(nl), compiled_(compile_lcc(nl, false, static_cast<int>(sizeof(Word) * 8))),
+        runner_(compiled_.program) {}
+
+  LccSim(const Netlist& nl, const CompileGuard& guard)
+      : nl_(nl),
+        compiled_(compile_lcc(nl, false, static_cast<int>(sizeof(Word) * 8), guard)),
         runner_(compiled_.program) {}
 
   // runner_ references compiled_.program; relocation would dangle.

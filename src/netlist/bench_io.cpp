@@ -21,6 +21,38 @@ namespace {
   return s;
 }
 
+/// Net/gate identifiers must be non-empty, free of control characters (NUL
+/// bytes and other binary junk an adversarial stream can contain), and free
+/// of the grammar's own delimiters — an identifier containing '(' or '='
+/// means two statements were mangled onto one line.
+void check_identifier(std::string_view name, std::size_t line) {
+  if (name.empty()) throw BenchParseError(line, "empty identifier");
+  for (char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u == 0x7f) {
+      throw BenchParseError(line, "control character in identifier");
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '=' || c == ' ' || c == '\t') {
+      throw BenchParseError(line, "'" + std::string(1, c) + "' in identifier");
+    }
+  }
+}
+
+/// The pin-count rule the validator enforces later, applied at parse time so
+/// a malformed gate is reported with its line instead of far downstream.
+void check_pin_count(GateType t, std::size_t n, std::size_t line) {
+  if (is_constant(t)) {
+    if (n != 0) throw BenchParseError(line, "constant gate takes no inputs");
+  } else if (is_unary(t)) {
+    if (n != 1) {
+      throw BenchParseError(line, "unary gate needs exactly one input, got " +
+                                      std::to_string(n));
+    }
+  } else if (n == 0) {
+    throw BenchParseError(line, "gate has an empty input list");
+  }
+}
+
 struct PendingGate {
   std::string output;
   GateType type;
@@ -30,11 +62,16 @@ struct PendingGate {
 
 }  // namespace
 
-Netlist read_bench(std::istream& in, std::string name) {
+Netlist read_bench(std::istream& in, std::string name, Diagnostics* diag) {
   Netlist nl(std::move(name));
-  std::vector<std::string> outputs;  // marked after all nets exist
+  std::vector<std::pair<std::string, std::size_t>> outputs;  // name, line
   std::vector<PendingGate> pending;
-  std::vector<std::pair<std::string, int>> delays;  // net name -> delay
+  struct DelayDirective {
+    std::string net;
+    int delay;
+    std::size_t line;
+  };
+  std::vector<DelayDirective> delays;
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -49,7 +86,7 @@ Netlist read_bench(std::istream& in, std::string name) {
       if (!(ds >> net >> d) || d < 1) {
         throw BenchParseError(lineno, "malformed #!delay directive");
       }
-      delays.emplace_back(std::move(net), d);
+      delays.push_back({std::move(net), d, lineno});
       continue;
     }
     if (auto hash = s.find('#'); hash != std::string_view::npos) {
@@ -63,6 +100,9 @@ Netlist read_bench(std::istream& in, std::string name) {
     if (lpar == std::string_view::npos || rpar == std::string_view::npos ||
         rpar < lpar) {
       throw BenchParseError(lineno, "expected '(' ... ')'");
+    }
+    if (!trim(s.substr(rpar + 1)).empty()) {
+      throw BenchParseError(lineno, "trailing text after ')'");
     }
     const std::string_view head = trim(s.substr(0, lpar));
     const std::string_view body = trim(s.substr(lpar + 1, rpar - lpar - 1));
@@ -81,14 +121,38 @@ Netlist read_bench(std::istream& in, std::string name) {
       while (std::getline(args, arg, ',')) {
         const std::string_view a = trim(arg);
         if (a.empty()) throw BenchParseError(lineno, "empty gate argument");
+        check_identifier(a, lineno);
+        if (a == g.output) {
+          throw BenchParseError(lineno, "gate output '" + g.output +
+                                            "' appears in its own input list");
+        }
         g.args.emplace_back(a);
       }
       if (g.output.empty()) throw BenchParseError(lineno, "missing output name");
+      check_identifier(g.output, lineno);
+      check_pin_count(g.type, g.args.size(), lineno);
       pending.push_back(std::move(g));
     } else if (head == "INPUT") {
-      nl.mark_primary_input(nl.get_or_add_net(std::string(body)));
+      check_identifier(body, lineno);
+      const NetId id = nl.get_or_add_net(std::string(body));
+      if (diag && nl.net(id).is_primary_input) {
+        diag->report(DiagCode::DuplicateDecl, DiagSeverity::Warning,
+                     std::string(body), "INPUT declared more than once", lineno);
+      }
+      nl.mark_primary_input(id);
     } else if (head == "OUTPUT") {
-      outputs.emplace_back(body);
+      check_identifier(body, lineno);
+      if (diag) {
+        for (const auto& [prev, prev_line] : outputs) {
+          if (prev == body) {
+            diag->report(DiagCode::DuplicateDecl, DiagSeverity::Warning,
+                         std::string(body), "OUTPUT declared more than once",
+                         lineno);
+            break;
+          }
+        }
+      }
+      outputs.emplace_back(body, lineno);
     } else {
       throw BenchParseError(lineno, "unrecognized statement '" + std::string(head) + "'");
     }
@@ -106,23 +170,43 @@ Netlist read_bench(std::istream& in, std::string name) {
       throw BenchParseError(g.line, e.what());
     }
   }
-  for (const std::string& o : outputs) {
+  for (const auto& [o, oline] : outputs) {
     const auto id = nl.find_net(o);
-    if (!id) throw BenchParseError(0, "OUTPUT of unknown net '" + o + "'");
+    if (!id) throw BenchParseError(oline, "OUTPUT of unknown net '" + o + "'");
+    if (diag && nl.net(*id).drivers.empty() && !nl.net(*id).is_primary_input) {
+      diag->report(DiagCode::DanglingOutput, DiagSeverity::Warning, o,
+                   "declared OUTPUT has no driver", oline);
+    }
     nl.mark_primary_output(*id);
   }
-  for (const auto& [net_name, d] : delays) {
+  for (const auto& [net_name, d, dline] : delays) {
     const auto id = nl.find_net(net_name);
     if (!id || nl.net(*id).drivers.empty()) {
-      throw BenchParseError(0, "#!delay names undriven or unknown net '" +
-                                   net_name + "'");
+      throw BenchParseError(dline, "#!delay names undriven or unknown net '" +
+                                       net_name + "'");
     }
     for (GateId g : nl.net(*id).drivers) nl.set_delay(g, d);
+  }
+  if (diag) {
+    // Structural warnings the grammar cannot rule out. The netlist is
+    // returned anyway — validate() is the hard gate — so callers see every
+    // issue at once instead of the first throw.
+    for (std::uint32_t i = 0; i < nl.net_count(); ++i) {
+      const Net& n = nl.net(NetId{i});
+      if (!n.is_primary_input && n.drivers.empty()) {
+        diag->report(DiagCode::UndrivenNet, DiagSeverity::Warning, n.name,
+                     "referenced as a gate input but never driven");
+      }
+      if (!n.drivers.empty() && n.fanout.empty() && !n.is_primary_output) {
+        diag->report(DiagCode::FanoutFreeGate, DiagSeverity::Warning, n.name,
+                     "gate output feeds no gate and is not an OUTPUT (dead logic)");
+      }
+    }
   }
   return nl;
 }
 
-Netlist read_bench_file(const std::string& path) {
+Netlist read_bench_file(const std::string& path, Diagnostics* diag) {
   std::ifstream f(path);
   if (!f) throw NetlistError("cannot open '" + path + "'");
   std::string stem = path;
@@ -132,7 +216,7 @@ Netlist read_bench_file(const std::string& path) {
   if (auto dot = stem.find_last_of('.'); dot != std::string::npos) {
     stem = stem.substr(0, dot);
   }
-  return read_bench(f, std::move(stem));
+  return read_bench(f, std::move(stem), diag);
 }
 
 void write_bench(std::ostream& out, const Netlist& nl) {

@@ -11,6 +11,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "netlist/diagnostics.h"
 #include "netlist/netlist.h"
 
 namespace udsim {
@@ -27,10 +28,24 @@ class BenchParseError : public std::runtime_error {
 };
 
 /// Parse a `.bench` stream. `name` becomes the netlist name.
-[[nodiscard]] Netlist read_bench(std::istream& in, std::string name = "bench");
+///
+/// Malformed input always raises `BenchParseError` carrying the offending
+/// line number — including structural misuse the grammar admits
+/// (self-referential gates, duplicate drivers, control characters in
+/// identifiers) — never another exception type, a crash, or a hang.
+///
+/// With a `diag` sink, suspicious-but-parseable constructs are recorded as
+/// structured warnings instead of being silently accepted: nets referenced
+/// as gate inputs but never driven (UndrivenNet), OUTPUT declarations of
+/// undriven nets (DanglingOutput), gates whose output feeds nothing and is
+/// not an output (FanoutFreeGate), and repeated INPUT/OUTPUT declarations
+/// (DuplicateDecl).
+[[nodiscard]] Netlist read_bench(std::istream& in, std::string name = "bench",
+                                 Diagnostics* diag = nullptr);
 
 /// Parse a `.bench` file from disk (name defaults to the file stem).
-[[nodiscard]] Netlist read_bench_file(const std::string& path);
+[[nodiscard]] Netlist read_bench_file(const std::string& path,
+                                      Diagnostics* diag = nullptr);
 
 /// Write `nl` in `.bench` syntax. Wired pseudo-gates are not representable;
 /// call lower_wired_nets + this only on netlists without them, otherwise a

@@ -1,0 +1,94 @@
+#include "netlist/diagnostics.h"
+
+#include <ostream>
+
+namespace udsim {
+
+std::string_view diag_code_name(DiagCode c) noexcept {
+  switch (c) {
+    case DiagCode::UndrivenNet:
+      return "undriven-net";
+    case DiagCode::DanglingOutput:
+      return "dangling-output";
+    case DiagCode::FanoutFreeGate:
+      return "fanout-free-gate";
+    case DiagCode::DuplicateDecl:
+      return "duplicate-declaration";
+    case DiagCode::PrimaryInputDriven:
+      return "primary-input-driven";
+    case DiagCode::MultiDriverNet:
+      return "multi-driver-net";
+    case DiagCode::IllegalGate:
+      return "illegal-gate";
+    case DiagCode::CombinationalCycle:
+      return "combinational-cycle";
+    case DiagCode::GapWordFallback:
+      return "gap-word-fallback";
+    case DiagCode::BudgetDowngrade:
+      return "budget-downgrade";
+    case DiagCode::EngineSelected:
+      return "engine-selected";
+  }
+  return "?";
+}
+
+std::string_view diag_severity_name(DiagSeverity s) noexcept {
+  switch (s) {
+    case DiagSeverity::Note:
+      return "note";
+    case DiagSeverity::Warning:
+      return "warning";
+    case DiagSeverity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string s;
+  s += diag_severity_name(severity);
+  s += ": ";
+  s += diag_code_name(code);
+  if (!subject.empty()) {
+    s += " '";
+    s += subject;
+    s += "'";
+  }
+  if (line != 0) {
+    s += " (line ";
+    s += std::to_string(line);
+    s += ")";
+  }
+  s += ": ";
+  s += message;
+  return s;
+}
+
+std::size_t Diagnostics::count(DiagCode code) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : records_) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+std::size_t Diagnostics::count(DiagSeverity severity) const noexcept {
+  std::size_t n = 0;
+  for (const Diagnostic& d : records_) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+const Diagnostic* Diagnostics::first(DiagCode code) const noexcept {
+  for (const Diagnostic& d : records_) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+void Diagnostics::print(std::ostream& out) const {
+  for (const Diagnostic& d : records_) out << d.to_string() << "\n";
+}
+
+}  // namespace udsim

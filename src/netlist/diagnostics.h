@@ -1,0 +1,86 @@
+// Structured diagnostics sink.
+//
+// Robustness layers of the library (the .bench parser, netlist validation,
+// the guarded compilers, the engine fallback chain) report non-fatal
+// findings — undriven nets, dangling outputs, fanout-free gates, gap-word
+// fallbacks, budget downgrades — as structured records into a `Diagnostics`
+// sink instead of silently proceeding or throwing on the first issue.
+// Callers that pass no sink keep the historical behaviour (warnings are
+// dropped, errors still throw); callers that pass one get the full list.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udsim {
+
+enum class DiagSeverity : std::uint8_t {
+  Note,     ///< informational (e.g. which engine a fallback chain selected)
+  Warning,  ///< suspicious but simulable (e.g. fanout-free gate)
+  Error,    ///< structurally invalid (collected by the non-throwing validate)
+};
+
+enum class DiagCode : std::uint8_t {
+  // Netlist structure / .bench parsing.
+  UndrivenNet,        ///< net referenced as an input but never driven
+  DanglingOutput,     ///< declared OUTPUT with no driver
+  FanoutFreeGate,     ///< gate output feeds nothing and is not an output
+  DuplicateDecl,      ///< INPUT/OUTPUT declared more than once
+  PrimaryInputDriven, ///< a gate drives a declared primary input
+  MultiDriverNet,     ///< several drivers without a wired resolution kind
+  IllegalGate,        ///< bad pin count / Dff in a combinational core
+  CombinationalCycle, ///< cycle through combinational gates
+  // Guarded compilation.
+  GapWordFallback,    ///< trimming filled gap words by broadcast fallback
+  BudgetDowngrade,    ///< an engine was rejected because of a CompileBudget
+  EngineSelected,     ///< the engine a fallback chain settled on
+};
+
+[[nodiscard]] std::string_view diag_code_name(DiagCode c) noexcept;
+[[nodiscard]] std::string_view diag_severity_name(DiagSeverity s) noexcept;
+
+struct Diagnostic {
+  DiagCode code = DiagCode::UndrivenNet;
+  DiagSeverity severity = DiagSeverity::Warning;
+  std::string subject;   ///< net / gate / engine the record is about
+  std::string message;   ///< human-readable detail
+  std::size_t line = 0;  ///< source line for parser records (0 = n/a)
+
+  /// "warning: undriven-net 'G7': ..." one-line rendering.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Diagnostics {
+ public:
+  void report(Diagnostic d) { records_.push_back(std::move(d)); }
+  void report(DiagCode code, DiagSeverity severity, std::string subject,
+              std::string message, std::size_t line = 0) {
+    records_.push_back(
+        {code, severity, std::move(subject), std::move(message), line});
+  }
+
+  [[nodiscard]] const std::vector<Diagnostic>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  void clear() noexcept { records_.clear(); }
+
+  [[nodiscard]] std::size_t count(DiagCode code) const noexcept;
+  [[nodiscard]] std::size_t count(DiagSeverity severity) const noexcept;
+  [[nodiscard]] bool has(DiagCode code) const noexcept { return count(code) > 0; }
+  /// First record with `code`, or nullptr.
+  [[nodiscard]] const Diagnostic* first(DiagCode code) const noexcept;
+
+  /// One line per record.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<Diagnostic> records_;
+};
+
+}  // namespace udsim

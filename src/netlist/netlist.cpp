@@ -140,8 +140,54 @@ namespace {
 void Netlist::validate() const {
   validate_structure();
   if (!is_acyclic()) {
-    throw NetlistError("netlist '" + name_ + "' contains a combinational cycle");
+    throw NetlistError("netlist '" + name_ + "' contains a combinational cycle: " +
+                       describe_cycle());
   }
+}
+
+std::size_t Netlist::validate(Diagnostics& diag) const {
+  const std::size_t errors_before = diag.count(DiagSeverity::Error);
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const std::string subject = "gate " + std::to_string(i) + " -> " +
+                                nets_[g.output.value].name;
+    if (g.type == GateType::Dff) {
+      diag.report(DiagCode::IllegalGate, DiagSeverity::Error, subject,
+                  "Dff present; break flip-flops before simulation");
+    }
+    if (!pin_count_ok(g.type, g.inputs.size())) {
+      diag.report(DiagCode::IllegalGate, DiagSeverity::Error, subject,
+                  std::string(gate_type_name(g.type)) + " has illegal pin count " +
+                      std::to_string(g.inputs.size()));
+    }
+    const Net& out = nets_[g.output.value];
+    if (out.fanout.empty() && !out.is_primary_output) {
+      diag.report(DiagCode::FanoutFreeGate, DiagSeverity::Warning, subject,
+                  "output feeds no gate and is not a primary output (dead logic)");
+    }
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (n.is_primary_input && !n.drivers.empty()) {
+      diag.report(DiagCode::PrimaryInputDriven, DiagSeverity::Error, n.name,
+                  "primary input has " + std::to_string(n.drivers.size()) +
+                      " driver(s)");
+    }
+    if (!n.is_primary_input && n.drivers.empty()) {
+      diag.report(DiagCode::UndrivenNet, DiagSeverity::Error, n.name,
+                  "undriven and not a primary input");
+    }
+    if (n.drivers.size() > 1 && n.wired == WiredKind::None) {
+      diag.report(DiagCode::MultiDriverNet, DiagSeverity::Error, n.name,
+                  std::to_string(n.drivers.size()) +
+                      " drivers but no wired resolution kind");
+    }
+  }
+  if (!is_acyclic()) {
+    diag.report(DiagCode::CombinationalCycle, DiagSeverity::Error, name_,
+                "combinational cycle: " + describe_cycle());
+  }
+  return diag.count(DiagSeverity::Error) - errors_before;
 }
 
 void Netlist::validate_structure() const {
@@ -208,6 +254,63 @@ bool Netlist::is_acyclic() const {
     }
   }
   return fired == gates_.size();
+}
+
+std::vector<NetId> Netlist::find_cycle() const {
+  // Iterative DFS over nets; the edge relation is net -> fanout gate ->
+  // gate's output net (Dff edges included, matching is_acyclic()). A gray
+  // successor closes a cycle, which is read back off the DFS stack.
+  enum : std::uint8_t { White, Gray, Black };
+  std::vector<std::uint8_t> color(nets_.size(), White);
+  struct Frame {
+    std::uint32_t net;
+    std::size_t next_fanout;
+  };
+  std::vector<Frame> stack;
+  for (std::uint32_t root = 0; root < nets_.size(); ++root) {
+    if (color[root] != White) continue;
+    stack.push_back({root, 0});
+    color[root] = Gray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const Net& n = nets_[f.net];
+      if (f.next_fanout >= n.fanout.size()) {
+        color[f.net] = Black;
+        stack.pop_back();
+        continue;
+      }
+      const GateId g = n.fanout[f.next_fanout++];
+      const std::uint32_t succ = gates_[g.value].output.value;
+      if (color[succ] == Gray) {
+        std::vector<NetId> cycle;
+        auto it = stack.begin();
+        while (it != stack.end() && it->net != succ) ++it;
+        for (; it != stack.end(); ++it) cycle.push_back(NetId{it->net});
+        return cycle;
+      }
+      if (color[succ] == White) {
+        color[succ] = Gray;
+        stack.push_back({succ, 0});
+      }
+    }
+  }
+  return {};
+}
+
+std::string Netlist::describe_cycle(std::size_t max_nets) const {
+  const std::vector<NetId> cycle = find_cycle();
+  if (cycle.empty()) return {};
+  std::string s;
+  const std::size_t shown = std::min(cycle.size(), max_nets);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i) s += " -> ";
+    s += nets_[cycle[i].value].name;
+  }
+  if (shown < cycle.size()) {
+    s += " -> ... (" + std::to_string(cycle.size() - shown) + " more)";
+  }
+  s += " -> " + nets_[cycle.front().value].name;
+  return s;
 }
 
 std::size_t lower_wired_nets(Netlist& nl) {

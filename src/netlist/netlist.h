@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "netlist/diagnostics.h"
 #include "netlist/logic.h"
 
 namespace udsim {
@@ -141,8 +142,15 @@ class Netlist {
   /// Full structural check: every non-PI net driven, no PI with drivers,
   /// wired kinds consistent with driver counts, pin counts legal for gate
   /// type, acyclicity, no Dff gates (combinational core only).
-  /// Throws NetlistError with a description on the first violation.
+  /// Throws NetlistError with a description on the first violation; cycle
+  /// errors name the nets on one offending cycle.
   void validate() const;
+
+  /// Non-throwing variant: collects *every* violation (and structural
+  /// warnings: fanout-free gates) into `diag` as Error/Warning records
+  /// instead of stopping at the first. Returns the number of Error records
+  /// added.
+  std::size_t validate(Diagnostics& diag) const;
 
   /// The same checks minus acyclicity — for asynchronous (cyclic) circuits,
   /// which only the event-driven engine simulates.
@@ -151,6 +159,16 @@ class Netlist {
   /// True if the gate/net graph (following input->gate->output direction,
   /// Dff edges included) contains no cycle.
   [[nodiscard]] bool is_acyclic() const;
+
+  /// Nets along one combinational cycle, in path order (each net on the
+  /// returned list drives the next through a gate; the last drives the
+  /// first). Empty when the netlist is acyclic. Used to make cycle errors
+  /// name the offending nets.
+  [[nodiscard]] std::vector<NetId> find_cycle() const;
+
+  /// "a -> b -> c -> a" rendering of find_cycle(), capped at `max_nets`
+  /// names; empty string when acyclic.
+  [[nodiscard]] std::string describe_cycle(std::size_t max_nets = 8) const;
 
  private:
   std::string name_;

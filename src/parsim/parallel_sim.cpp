@@ -382,13 +382,39 @@ class ParallelEmitter {
 
 }  // namespace
 
+EngineKind parallel_engine_kind(const ParallelOptions& options) noexcept {
+  switch (options.shift_elim) {
+    case ShiftElim::None:
+      return options.trimming ? EngineKind::ParallelTrimmed : EngineKind::Parallel;
+    case ShiftElim::PathTracing:
+      return options.trimming ? EngineKind::ParallelCombined
+                              : EngineKind::ParallelPathTracing;
+    case ShiftElim::CycleBreaking:
+      return EngineKind::ParallelCycleBreaking;
+  }
+  return EngineKind::Parallel;
+}
+
 ParallelCompiled compile_parallel(const Netlist& nl, const ParallelOptions& options) {
+  return compile_parallel(nl, options, CompileGuard{});
+}
+
+ParallelCompiled compile_parallel(const Netlist& nl, const ParallelOptions& options,
+                                  const CompileGuard& guard) {
   nl.validate();
   for (const Net& n : nl.nets()) {
     if (n.drivers.size() > 1) {
       throw NetlistError("compile_parallel requires lowered wired nets (net '" +
                          n.name + "' has several drivers)");
     }
+  }
+  const EngineKind kind = parallel_engine_kind(options);
+  if (!guard.budget.unlimited()) {
+    // Predicted from levelization/alignment/trim statistics alone, before
+    // any op is emitted — the whole point: reject a blow-up while its cost
+    // is still a prediction, not an allocation.
+    guard.enforce(estimate_compile_cost(nl, kind, options.word_bits),
+                  /*predicted=*/true);
   }
   ParallelCompiled out;
   out.options = options;
@@ -417,6 +443,17 @@ ParallelCompiled compile_parallel(const Netlist& nl, const ParallelOptions& opti
 
   ParallelEmitter emitter(nl, out);
   emitter.run();
+  if (guard.diag && out.trim.gap_words > 0) {
+    guard.diag->report(
+        DiagCode::GapWordFallback, DiagSeverity::Note, nl.name(),
+        std::to_string(out.trim.gap_words) +
+            " representative-free word(s) filled by broadcasting the "
+            "preceding word's high bit instead of gate evaluation");
+  }
+  if (!guard.budget.unlimited()) {
+    guard.enforce(measure_compile_cost(out.program, kind, nl.net_count()),
+                  /*predicted=*/false);
+  }
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analysis/alignment.h"
+#include "analysis/compile_budget.h"
 #include "analysis/levelize.h"
 #include "analysis/trimming.h"
 #include "core/kernel_runner.h"
@@ -78,6 +79,17 @@ struct ParallelCompiled {
 [[nodiscard]] ParallelCompiled compile_parallel(const Netlist& nl,
                                                 const ParallelOptions& options = {});
 
+/// Guarded variant: throws BudgetExceeded when the predicted or emitted
+/// cost crosses `guard.budget`; records compile diagnostics (gap-word
+/// fallbacks) into `guard.diag` when set.
+[[nodiscard]] ParallelCompiled compile_parallel(const Netlist& nl,
+                                                const ParallelOptions& options,
+                                                const CompileGuard& guard);
+
+/// The EngineKind label of one parallel-technique option set (used for
+/// budget errors and diagnostics).
+[[nodiscard]] EngineKind parallel_engine_kind(const ParallelOptions& options) noexcept;
+
 /// Runtime wrapper: steps vectors and exposes full waveform access.
 /// Previous-vector finals are captured before each step so that `value_at`
 /// is defined even for times preceding a net's alignment.
@@ -86,6 +98,11 @@ class ParallelSim {
  public:
   explicit ParallelSim(const Netlist& nl, const ParallelOptions& options = {})
       : nl_(nl), compiled_(make(nl, options)), runner_(compiled_.program),
+        prev_final_(nl.net_count(), 0) {}
+
+  ParallelSim(const Netlist& nl, const ParallelOptions& options,
+              const CompileGuard& guard)
+      : nl_(nl), compiled_(make(nl, options, &guard)), runner_(compiled_.program),
         prev_final_(nl.net_count(), 0) {}
 
   // runner_ references compiled_.program; relocation would dangle.
@@ -125,9 +142,11 @@ class ParallelSim {
   [[nodiscard]] const ParallelCompiled& compiled() const noexcept { return compiled_; }
 
  private:
-  static ParallelCompiled make(const Netlist& nl, ParallelOptions options) {
+  static ParallelCompiled make(const Netlist& nl, ParallelOptions options,
+                               const CompileGuard* guard = nullptr) {
     options.word_bits = static_cast<int>(sizeof(Word) * 8);
-    return compile_parallel(nl, options);
+    return guard ? compile_parallel(nl, options, *guard)
+                 : compile_parallel(nl, options);
   }
 
   const Netlist& nl_;

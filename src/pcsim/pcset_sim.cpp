@@ -30,7 +30,20 @@ std::uint32_t PCSetCompiled::final_var(NetId n) const {
 
 PCSetCompiled compile_pcset(const Netlist& nl, std::span<const NetId> monitored,
                             bool packed, int word_bits) {
+  return compile_pcset(nl, monitored, packed, word_bits, CompileGuard{});
+}
+
+PCSetCompiled compile_pcset(const Netlist& nl, std::span<const NetId> monitored,
+                            bool packed, int word_bits,
+                            const CompileGuard& guard) {
   nl.validate();
+  if (!guard.budget.unlimited()) {
+    // Predicted from PC-set statistics alone, before any op is emitted.
+    // (The prediction assumes the default monitored set — the primary
+    // outputs — which bounds any smaller monitored set's print routine.)
+    guard.enforce(estimate_compile_cost(nl, EngineKind::PCSet, word_bits),
+                  /*predicted=*/true);
+  }
   for (const Net& n : nl.nets()) {
     if (n.drivers.size() > 1) {
       throw NetlistError("compile_pcset requires lowered wired nets (net '" +
@@ -141,6 +154,10 @@ PCSetCompiled compile_pcset(const Netlist& nl, std::span<const NetId> monitored,
       row.push_back(var_of(m, src));
     }
     out.print_vars.push_back(std::move(row));
+  }
+  if (!guard.budget.unlimited()) {
+    guard.enforce(measure_compile_cost(p, EngineKind::PCSet, nl.net_count()),
+                  /*predicted=*/false);
   }
   return out;
 }

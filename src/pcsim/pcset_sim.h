@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/compile_budget.h"
 #include "analysis/levelize.h"
 #include "analysis/pcset.h"
 #include "core/kernel_runner.h"
@@ -53,6 +54,14 @@ struct PCSetCompiled {
                                           std::span<const NetId> monitored = {},
                                           bool packed = false, int word_bits = 32);
 
+/// Guarded variant: throws BudgetExceeded when the predicted or emitted
+/// cost crosses `guard.budget`; records compile diagnostics into
+/// `guard.diag` when set.
+[[nodiscard]] PCSetCompiled compile_pcset(const Netlist& nl,
+                                          std::span<const NetId> monitored,
+                                          bool packed, int word_bits,
+                                          const CompileGuard& guard);
+
 /// Runtime wrapper (scalar mode): steps vectors, exposes the value history
 /// of monitored nets.
 template <class Word = std::uint32_t>
@@ -61,6 +70,13 @@ class PCSetSim {
   PCSetSim(const Netlist& nl, std::span<const NetId> monitored = {})
       : nl_(nl),
         compiled_(compile_pcset(nl, monitored, false, static_cast<int>(sizeof(Word) * 8))),
+        runner_(compiled_.program) {}
+
+  PCSetSim(const Netlist& nl, std::span<const NetId> monitored,
+           const CompileGuard& guard)
+      : nl_(nl),
+        compiled_(compile_pcset(nl, monitored, false,
+                                static_cast<int>(sizeof(Word) * 8), guard)),
         runner_(compiled_.program) {}
 
   // runner_ references compiled_.program; relocation would dangle.

@@ -1,0 +1,140 @@
+// Parser hardening: a corpus of malformed .bench inputs. The contract under
+// test (bench_io.h): malformed input always raises BenchParseError carrying
+// the offending line number — never another exception type, a crash, or a
+// hang — and a Diagnostics sink never changes what is accepted.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netlist/bench_io.h"
+
+namespace udsim {
+namespace {
+
+/// Parse and classify: 0 = accepted, 1 = BenchParseError with a line
+/// number, 2 = anything else (a contract violation).
+int classify(const std::string& text, std::string* what = nullptr) {
+  std::istringstream in(text);
+  try {
+    Diagnostics diag;  // exercised on every input; must not alter acceptance
+    (void)read_bench(in, "fuzz", &diag);
+    return 0;
+  } catch (const BenchParseError& e) {
+    if (what) *what = e.what();
+    return e.line() >= 1 ? 1 : 2;
+  } catch (...) {
+    return 2;
+  }
+}
+
+void expect_rejected(const std::string& text, const std::string& label) {
+  std::string what;
+  EXPECT_EQ(classify(text, &what), 1) << label << ": " << what;
+  EXPECT_NE(what.find("line "), std::string::npos) << label << ": " << what;
+}
+
+TEST(BenchFuzz, TruncatedAndMangledLines) {
+  expect_rejected("INPUT(a\n", "unclosed INPUT");
+  expect_rejected("INPUT\n", "no parentheses");
+  expect_rejected("y = AND(a, b\n", "unclosed gate");
+  expect_rejected("y = AND a, b)\n", "missing open paren");
+  expect_rejected("y = \n", "truncated after '='");
+  expect_rejected("y = AND()\n", "no argument list... truncated mid-edit");
+  expect_rejected("= AND(a)\n", "missing output name");
+  expect_rejected("INPUT(a))\n", "trailing text after ')'");
+  expect_rejected("INPUT(a) INPUT(b)\n", "two statements on one line");
+  expect_rejected("y = AND(a,, b)\n", "empty argument");
+  expect_rejected("y = AND(a) = OR(b)\n", "double assignment");
+  expect_rejected(")(\n", "reversed parentheses");
+  expect_rejected("INPUT()\n", "empty identifier");
+}
+
+TEST(BenchFuzz, UnknownConstructs) {
+  expect_rejected("FOO(a)\n", "unknown statement");
+  expect_rejected("y = FROB(a, b)\n", "unknown gate type");
+  expect_rejected("#!delay\n", "bare delay directive");
+  expect_rejected("#!delay x\n", "delay without value");
+  expect_rejected("#!delay x 0\n", "non-positive delay");
+  expect_rejected("INPUT(a)\n#!delay ghost 2\n", "delay names unknown net");
+}
+
+TEST(BenchFuzz, BinaryJunkAndNulBytes) {
+  expect_rejected(std::string("INPUT(a\0b)\n", 11), "NUL inside identifier");
+  expect_rejected("y\x01 = AND(a, b)\n", "control char in output name");
+  expect_rejected("y = AND(a, b\x7f)\n", "DEL in argument");
+  // NUL bytes outside identifiers land in the statement head.
+  expect_rejected(std::string("\0\0\0(x)\n", 7), "leading NUL bytes");
+}
+
+TEST(BenchFuzz, StructuralMisuse) {
+  expect_rejected("INPUT(a)\ny = BUFF(y)\n", "self-referential gate");
+  expect_rejected(
+      "INPUT(a)\nINPUT(b)\n"
+      "y = AND(a, b)\n"
+      "y = OR(a, b)\n",
+      "duplicate driver");
+  expect_rejected("INPUT(a)\na = NOT(a)\n", "gate drives its own input (PI)");
+  expect_rejected("INPUT(a)\nOUTPUT(nowhere)\n", "OUTPUT of unknown net");
+  expect_rejected("y = NOT(a, b)\n", "unary gate with two pins");
+}
+
+TEST(BenchFuzz, HugeArgumentListParsesInBoundedTime) {
+  // A 10k-input gate is grammatically fine; the parser must neither hang
+  // nor blow the stack on it. (And with a matching pin count it must load.)
+  std::string text;
+  for (int i = 0; i < 10000; ++i) {
+    text += "INPUT(i" + std::to_string(i) + ")\n";
+  }
+  text += "OUTPUT(y)\ny = AND(";
+  for (int i = 0; i < 10000; ++i) {
+    if (i) text += ", ";
+    text += "i" + std::to_string(i);
+  }
+  text += ")\n";
+  std::istringstream in(text);
+  const Netlist nl = read_bench(in, "wide");
+  EXPECT_EQ(nl.primary_inputs().size(), 10000u);
+  EXPECT_EQ(nl.gate_count(), 1u);
+
+  // The same list with a bogus tail still fails cleanly with the line.
+  expect_rejected(text + "z = AND(y,\n", "huge file, truncated last gate");
+}
+
+TEST(BenchFuzz, ReportedLineNumberPointsAtTheOffendingLine) {
+  const std::string text =
+      "INPUT(a)\n"
+      "INPUT(b)\n"
+      "OUTPUT(y)\n"
+      "y = AND(a, b)\n"
+      "z = FROB(y)\n";
+  std::istringstream in(text);
+  try {
+    (void)read_bench(in, "t");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line(), 5u);
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos);
+  }
+}
+
+// Every corpus entry again, cross-product with random truncation points:
+// any prefix of any entry must also parse or fail cleanly.
+TEST(BenchFuzz, EveryPrefixOfTheCorpusFailsCleanly) {
+  const std::vector<std::string> corpus = {
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+      "INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n#!delay y 3\n",
+      std::string("INPUT(\0)\ny = XOR(a, b)\n", 22),
+      "y = AND(a, b))))\nz = OR(((\n",
+  };
+  for (const std::string& entry : corpus) {
+    for (std::size_t cut = 0; cut <= entry.size(); ++cut) {
+      const int r = classify(entry.substr(0, cut));
+      EXPECT_NE(r, 2) << "entry of size " << entry.size() << " cut at " << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace udsim

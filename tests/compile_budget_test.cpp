@@ -1,0 +1,203 @@
+// CompileBudget / BudgetExceeded: the cost model's accuracy contract (the
+// prediction stays within 2x of the emitted program on every ISCAS-85
+// profile) and the guarded compilers' enforcement semantics.
+#include <gtest/gtest.h>
+
+#include "analysis/compile_budget.h"
+#include "gen/iscas_profiles.h"
+#include "lcc/lcc.h"
+#include "parsim/parallel_sim.h"
+#include "pcsim/pcset_sim.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+constexpr EngineKind kCompiledKinds[] = {
+    EngineKind::ZeroDelayLcc,
+    EngineKind::PCSet,
+    EngineKind::Parallel,
+    EngineKind::ParallelTrimmed,
+    EngineKind::ParallelPathTracing,
+    EngineKind::ParallelCycleBreaking,
+    EngineKind::ParallelCombined,
+};
+
+ParallelOptions options_for(EngineKind k) {
+  ParallelOptions o;
+  switch (k) {
+    case EngineKind::ParallelTrimmed:
+      o.trimming = true;
+      break;
+    case EngineKind::ParallelPathTracing:
+      o.shift_elim = ShiftElim::PathTracing;
+      break;
+    case EngineKind::ParallelCycleBreaking:
+      o.shift_elim = ShiftElim::CycleBreaking;
+      break;
+    case EngineKind::ParallelCombined:
+      o.trimming = true;
+      o.shift_elim = ShiftElim::PathTracing;
+      break;
+    default:
+      break;
+  }
+  return o;
+}
+
+/// Compile `kind` for real and measure the emitted program's cost.
+CompileCostEstimate actual_cost(const Netlist& nl, EngineKind kind) {
+  switch (kind) {
+    case EngineKind::ZeroDelayLcc: {
+      const LccCompiled c = compile_lcc(nl);
+      return measure_compile_cost(c.program, kind, nl.net_count());
+    }
+    case EngineKind::PCSet: {
+      const PCSetCompiled c = compile_pcset(nl);
+      return measure_compile_cost(c.program, kind, nl.net_count());
+    }
+    default: {
+      const ParallelCompiled c = compile_parallel(nl, options_for(kind));
+      return measure_compile_cost(c.program, kind, nl.net_count());
+    }
+  }
+}
+
+class BudgetAccuracy : public ::testing::TestWithParam<const char*> {};
+
+// The acceptance bound of the cost model: for every compiled engine over
+// every ISCAS-85 profile, the structural prediction is within a factor of
+// two of the emitted program's arena and op cost (and of the derived peak
+// bytes), in both directions.
+TEST_P(BudgetAccuracy, PredictionWithin2xOfEmitted) {
+  const Netlist nl = make_iscas85_like(GetParam());
+  for (EngineKind kind : kCompiledKinds) {
+    const CompileCostEstimate est = estimate_compile_cost(nl, kind);
+    const CompileCostEstimate act = actual_cost(nl, kind);
+    ASSERT_GT(act.arena_words, 0u);
+    ASSERT_GT(act.ops, 0u);
+    EXPECT_EQ(est.kind, kind);
+    EXPECT_LE(est.arena_words, 2 * act.arena_words)
+        << GetParam() << " " << engine_name(kind);
+    EXPECT_LE(act.arena_words, 2 * est.arena_words)
+        << GetParam() << " " << engine_name(kind);
+    EXPECT_LE(est.ops, 2 * act.ops) << GetParam() << " " << engine_name(kind);
+    EXPECT_LE(act.ops, 2 * est.ops) << GetParam() << " " << engine_name(kind);
+    EXPECT_LE(est.peak_bytes, 2 * act.peak_bytes)
+        << GetParam() << " " << engine_name(kind);
+    EXPECT_LE(act.peak_bytes, 2 * est.peak_bytes)
+        << GetParam() << " " << engine_name(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Iscas85, BudgetAccuracy,
+                         ::testing::Values("c432", "c499", "c880", "c1355",
+                                           "c1908", "c2670", "c3540", "c5315",
+                                           "c6288", "c7552"));
+
+// The LCC and PC-set estimates replicate their compilers' allocation loops,
+// so they are exact, not merely within 2x.
+TEST(BudgetAccuracy, LccAndPcsetPredictionsAreExact) {
+  for (const char* name : {"c432", "c880", "c2670"}) {
+    const Netlist nl = make_iscas85_like(name);
+    for (EngineKind kind : {EngineKind::ZeroDelayLcc, EngineKind::PCSet}) {
+      const CompileCostEstimate est = estimate_compile_cost(nl, kind);
+      const CompileCostEstimate act = actual_cost(nl, kind);
+      EXPECT_EQ(est.arena_words, act.arena_words) << name << " " << engine_name(kind);
+      EXPECT_EQ(est.ops, act.ops) << name << " " << engine_name(kind);
+    }
+  }
+}
+
+TEST(Budget, ZeroLimitsMeanUnlimited) {
+  const CompileBudget b;
+  EXPECT_TRUE(b.unlimited());
+  const CompileCostEstimate huge{EngineKind::PCSet, 1u << 30, 1u << 30, 1u << 30};
+  EXPECT_EQ(budget_violation(b, huge), nullptr);
+}
+
+TEST(Budget, ViolationNamesTheFirstLimitCrossed) {
+  CompileBudget b{.max_arena_words = 10, .max_ops = 10, .max_peak_bytes = 10};
+  EXPECT_STREQ(budget_violation(b, {EngineKind::PCSet, 11, 0, 0}), "arena words");
+  EXPECT_STREQ(budget_violation(b, {EngineKind::PCSet, 5, 11, 0}), "ops");
+  EXPECT_STREQ(budget_violation(b, {EngineKind::PCSet, 5, 5, 11}), "peak bytes");
+  EXPECT_EQ(budget_violation(b, {EngineKind::PCSet, 10, 10, 10}), nullptr);
+}
+
+// Every guarded compiler rejects a tiny budget with a *predicted* (pre-
+// emission) BudgetExceeded that carries the engine, the cost, and the limit.
+TEST(Budget, EachCompilerThrowsPredictedBudgetExceeded) {
+  const Netlist nl = test::fig4_network();
+  const CompileGuard guard{CompileBudget{.max_arena_words = 1}, nullptr};
+
+  const auto expect_throw = [&](auto&& compile, EngineKind kind) {
+    try {
+      compile();
+      FAIL() << "expected BudgetExceeded from " << engine_name(kind);
+    } catch (const BudgetExceeded& e) {
+      EXPECT_EQ(e.kind(), kind);
+      EXPECT_TRUE(e.predicted());
+      EXPECT_EQ(e.limit(), "arena words");
+      EXPECT_GT(e.cost().arena_words, e.budget().max_arena_words);
+      EXPECT_NE(std::string(e.what()).find("predicted"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("arena words"), std::string::npos);
+    }
+  };
+  expect_throw([&] { (void)compile_lcc(nl, false, 32, guard); },
+               EngineKind::ZeroDelayLcc);
+  expect_throw([&] { (void)compile_pcset(nl, {}, false, 32, guard); },
+               EngineKind::PCSet);
+  expect_throw(
+      [&] {
+        (void)compile_parallel(nl, options_for(EngineKind::ParallelCombined),
+                               guard);
+      },
+      EngineKind::ParallelCombined);
+}
+
+// A budget exactly at the emitted cost passes both the prediction (which
+// never exceeds 2x) only if it fits; a budget at the actual cost with an
+// over-predicting model must still compile when the budget admits the
+// prediction.
+TEST(Budget, GenerousBudgetCompilesAndMatchesUnguarded) {
+  const Netlist nl = make_iscas85_like("c432");
+  for (EngineKind kind : kCompiledKinds) {
+    const CompileCostEstimate est = estimate_compile_cost(nl, kind);
+    const CompileGuard guard{CompileBudget{.max_arena_words = 2 * est.arena_words,
+                                           .max_ops = 2 * est.ops},
+                             nullptr};
+    switch (kind) {
+      case EngineKind::ZeroDelayLcc: {
+        const LccCompiled g = compile_lcc(nl, false, 32, guard);
+        EXPECT_EQ(g.program.ops.size(), compile_lcc(nl).program.ops.size());
+        break;
+      }
+      case EngineKind::PCSet: {
+        const PCSetCompiled g = compile_pcset(nl, {}, false, 32, guard);
+        EXPECT_EQ(g.program.ops.size(), compile_pcset(nl).program.ops.size());
+        break;
+      }
+      default: {
+        const ParallelCompiled g = compile_parallel(nl, options_for(kind), guard);
+        EXPECT_EQ(g.program.ops.size(),
+                  compile_parallel(nl, options_for(kind)).program.ops.size());
+        break;
+      }
+    }
+  }
+}
+
+// Event engines have no compiled program: prediction reports zero arena/ops
+// and only an interpreter footprint.
+TEST(Budget, EventEnginesPredictNoCompiledCost) {
+  const Netlist nl = test::fig4_network();
+  for (EngineKind kind : {EngineKind::Event2, EngineKind::Event3}) {
+    const CompileCostEstimate est = estimate_compile_cost(nl, kind);
+    EXPECT_EQ(est.arena_words, 0u);
+    EXPECT_EQ(est.ops, 0u);
+    EXPECT_GT(est.peak_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,252 @@
+// Diagnostics sink: structured warnings from the .bench parser, the
+// collecting netlist validator, and cycle naming in every cycle error.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/levelize.h"
+#include "netlist/bench_io.h"
+#include "netlist/diagnostics.h"
+#include "netlist/netlist.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+Netlist parse(const std::string& text, Diagnostics* diag = nullptr) {
+  std::istringstream in(text);
+  return read_bench(in, "t", diag);
+}
+
+TEST(Diagnostics, RecordsAreQueryable) {
+  Diagnostics diag;
+  EXPECT_TRUE(diag.empty());
+  diag.report(DiagCode::UndrivenNet, DiagSeverity::Warning, "G7", "no driver", 3);
+  diag.report(DiagCode::BudgetDowngrade, DiagSeverity::Warning, "engine", "over");
+  diag.report(DiagCode::EngineSelected, DiagSeverity::Note, "engine", "picked");
+  EXPECT_EQ(diag.size(), 3u);
+  EXPECT_EQ(diag.count(DiagCode::UndrivenNet), 1u);
+  EXPECT_EQ(diag.count(DiagSeverity::Warning), 2u);
+  EXPECT_EQ(diag.count(DiagSeverity::Note), 1u);
+  EXPECT_TRUE(diag.has(DiagCode::BudgetDowngrade));
+  EXPECT_FALSE(diag.has(DiagCode::CombinationalCycle));
+  ASSERT_NE(diag.first(DiagCode::UndrivenNet), nullptr);
+  EXPECT_EQ(diag.first(DiagCode::UndrivenNet)->line, 3u);
+  EXPECT_EQ(diag.first(DiagCode::CombinationalCycle), nullptr);
+  diag.clear();
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(Diagnostics, ToStringNamesCodeSubjectAndLine) {
+  const Diagnostic d{DiagCode::UndrivenNet, DiagSeverity::Warning, "G7",
+                     "referenced but never driven", 12};
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("warning"), std::string::npos) << s;
+  EXPECT_NE(s.find("undriven-net"), std::string::npos) << s;
+  EXPECT_NE(s.find("'G7'"), std::string::npos) << s;
+  EXPECT_NE(s.find("line 12"), std::string::npos) << s;
+
+  Diagnostics diag;
+  diag.report(d);
+  std::ostringstream out;
+  diag.print(out);
+  EXPECT_EQ(out.str(), s + "\n");
+}
+
+// ---- .bench parser warnings ------------------------------------------------
+
+TEST(BenchDiagnostics, UndrivenInputNetIsWarned) {
+  Diagnostics diag;
+  const Netlist nl = parse(
+      "INPUT(a)\n"
+      "OUTPUT(y)\n"
+      "y = AND(a, ghost)\n",
+      &diag);
+  ASSERT_TRUE(diag.has(DiagCode::UndrivenNet));
+  EXPECT_EQ(diag.first(DiagCode::UndrivenNet)->subject, "ghost");
+  EXPECT_EQ(nl.net_count(), 3u);
+}
+
+TEST(BenchDiagnostics, DanglingOutputIsWarnedWithItsLine) {
+  Diagnostics diag;
+  (void)parse(
+      "INPUT(a)\n"
+      "OUTPUT(y)\n"
+      "OUTPUT(ghost)\n"
+      "y = AND(a, ghost)\n",
+      &diag);
+  ASSERT_TRUE(diag.has(DiagCode::DanglingOutput));
+  EXPECT_EQ(diag.first(DiagCode::DanglingOutput)->subject, "ghost");
+  EXPECT_EQ(diag.first(DiagCode::DanglingOutput)->line, 3u);
+
+  // An OUTPUT of a net no statement ever mentions is a hard parse error.
+  diag.clear();
+  EXPECT_THROW((void)parse("INPUT(a)\nOUTPUT(nowhere)\n", &diag),
+               BenchParseError);
+}
+
+TEST(BenchDiagnostics, FanoutFreeGateIsWarned) {
+  Diagnostics diag;
+  (void)parse(
+      "INPUT(a)\n"
+      "OUTPUT(y)\n"
+      "y = BUFF(a)\n"
+      "dead = NOT(a)\n",
+      &diag);
+  ASSERT_TRUE(diag.has(DiagCode::FanoutFreeGate));
+  EXPECT_EQ(diag.first(DiagCode::FanoutFreeGate)->subject, "dead");
+}
+
+TEST(BenchDiagnostics, DuplicateDeclarationsAreWarned) {
+  Diagnostics diag;
+  (void)parse(
+      "INPUT(a)\n"
+      "INPUT(a)\n"
+      "OUTPUT(y)\n"
+      "OUTPUT(y)\n"
+      "y = BUFF(a)\n",
+      &diag);
+  EXPECT_EQ(diag.count(DiagCode::DuplicateDecl), 2u);
+  EXPECT_EQ(diag.first(DiagCode::DuplicateDecl)->line, 2u);
+}
+
+TEST(BenchDiagnostics, CleanCircuitProducesNoRecords) {
+  Diagnostics diag;
+  (void)parse(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "y = AND(a, b)\n",
+      &diag);
+  EXPECT_TRUE(diag.empty());
+}
+
+TEST(BenchDiagnostics, NullSinkKeepsHistoricalBehaviour) {
+  const Netlist nl = parse(
+      "INPUT(a)\n"
+      "OUTPUT(y)\n"
+      "y = AND(a, ghost)\n");
+  EXPECT_EQ(nl.net_count(), 3u);  // parsed fine, warnings dropped
+}
+
+// ---- collecting validator --------------------------------------------------
+
+TEST(ValidateDiagnostics, CollectsEveryViolationAtOnce) {
+  Netlist nl("bad");
+  const NetId a = nl.add_net("a");
+  nl.mark_primary_input(a);
+  const NetId u = nl.add_net("u");  // undriven, not a PI
+  const NetId y = nl.add_net("y");
+  nl.add_gate(GateType::And, {a, u}, y);
+  const NetId w = nl.add_net("w");
+  nl.set_wired(w, WiredKind::And);
+  nl.add_gate(GateType::Not, {y}, w);
+  nl.add_gate(GateType::Buf, {a}, w);
+  nl.set_wired(w, WiredKind::None);  // two drivers, resolution revoked
+  nl.mark_primary_output(y);
+  // w's fanout is empty and it is not an output: dead logic, twice.
+
+  Diagnostics diag;
+  const std::size_t errors = nl.validate(diag);
+  EXPECT_GE(errors, 2u);
+  EXPECT_EQ(errors, diag.count(DiagSeverity::Error));
+  EXPECT_TRUE(diag.has(DiagCode::UndrivenNet));
+  EXPECT_EQ(diag.first(DiagCode::UndrivenNet)->subject, "u");
+  EXPECT_TRUE(diag.has(DiagCode::MultiDriverNet));
+  EXPECT_EQ(diag.first(DiagCode::MultiDriverNet)->subject, "w");
+  EXPECT_TRUE(diag.has(DiagCode::FanoutFreeGate));
+
+  // The throwing validate still throws on the same netlist.
+  EXPECT_THROW(nl.validate(), NetlistError);
+}
+
+TEST(ValidateDiagnostics, ValidNetlistAddsNoErrors) {
+  const Netlist nl = test::fig4_network();
+  Diagnostics diag;
+  EXPECT_EQ(nl.validate(diag), 0u);
+  EXPECT_EQ(diag.count(DiagSeverity::Error), 0u);
+}
+
+// ---- cycle naming (satellite: cycle errors name a net on the cycle) --------
+
+Netlist ring_netlist() {
+  Netlist nl("ring");
+  const NetId a = nl.add_net("ring_a");
+  const NetId b = nl.add_net("ring_b");
+  const NetId c = nl.add_net("ring_c");
+  const NetId pi = nl.add_net("pi");
+  nl.mark_primary_input(pi);
+  nl.add_gate(GateType::And, {c, pi}, a);
+  nl.add_gate(GateType::Buf, {a}, b);
+  nl.add_gate(GateType::Buf, {b}, c);
+  nl.mark_primary_output(c);
+  return nl;
+}
+
+TEST(CycleNaming, FindCycleReturnsAClosedRing) {
+  const Netlist nl = ring_netlist();
+  const std::vector<NetId> cycle = nl.find_cycle();
+  ASSERT_EQ(cycle.size(), 3u);
+  // Each successive net is reachable from the previous through one gate,
+  // and the last closes back on the first.
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const Net& from = nl.net(cycle[i]);
+    const NetId to = cycle[(i + 1) % cycle.size()];
+    bool edge = false;
+    for (GateId g : from.fanout) edge |= nl.gate(g).output == to;
+    EXPECT_TRUE(edge) << "no gate edge " << from.name << " -> "
+                      << nl.net(to).name;
+  }
+  EXPECT_TRUE(test::fig4_network().find_cycle().empty());
+}
+
+TEST(CycleNaming, ValidateErrorNamesCycleNets) {
+  const Netlist nl = ring_netlist();
+  try {
+    nl.validate();
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ring_a"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("->"), std::string::npos) << msg;
+  }
+}
+
+TEST(CycleNaming, CollectingValidateNamesCycleNets) {
+  const Netlist nl = ring_netlist();
+  Diagnostics diag;
+  EXPECT_GE(nl.validate(diag), 1u);
+  ASSERT_TRUE(diag.has(DiagCode::CombinationalCycle));
+  EXPECT_NE(diag.first(DiagCode::CombinationalCycle)->message.find("ring_a"),
+            std::string::npos);
+}
+
+TEST(CycleNaming, LevelizeStallNamesCycleNets) {
+  const Netlist nl = ring_netlist();
+  try {
+    (void)levelize(nl);
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ring_a"), std::string::npos) << msg;
+  }
+}
+
+TEST(CycleNaming, LongCycleDescriptionIsCapped) {
+  Netlist nl("bigring");
+  const NetId pi = nl.add_net("pi");
+  nl.mark_primary_input(pi);
+  std::vector<NetId> ring;
+  for (int i = 0; i < 20; ++i) ring.push_back(nl.add_net("r" + std::to_string(i)));
+  nl.add_gate(GateType::And, {ring.back(), pi}, ring.front());
+  for (int i = 0; i + 1 < 20; ++i) {
+    nl.add_gate(GateType::Buf, {ring[i]}, ring[i + 1]);
+  }
+  nl.mark_primary_output(ring.back());
+  const std::string desc = nl.describe_cycle();
+  EXPECT_NE(desc.find("more)"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("->"), std::string::npos) << desc;
+}
+
+}  // namespace
+}  // namespace udsim

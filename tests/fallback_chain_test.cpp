@@ -1,0 +1,147 @@
+// make_simulator_with_fallback: a budget too small for the preferred engine
+// degrades down the chain instead of failing, the chosen engine still
+// simulates correctly (checked against the oracle), and every downgrade is
+// visible in the Diagnostics sink.
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "gen/random_dag.h"
+#include "harness/vectors.h"
+#include "oracle/oracle.h"
+#include "test_util.h"
+
+namespace udsim {
+namespace {
+
+/// Deep, heavily reconvergent DAG: the parallel technique's per-net
+/// (depth+1)-bit fields make its arena far larger than LCC's one word per
+/// net, so an arena budget can separate the two.
+Netlist deep_reconvergent() {
+  RandomDagParams p;
+  p.name = "deep";
+  p.inputs = 12;
+  p.outputs = 8;
+  p.gates = 600;
+  p.depth = 96;
+  p.reach = 6.0;
+  p.seed = 0x5eedull;
+  return random_dag(p);
+}
+
+void expect_matches_oracle(Simulator& sim, const Netlist& nl, int vectors,
+                           std::uint64_t seed) {
+  OracleSim oracle(nl);
+  RandomVectorSource src(nl.primary_inputs().size(), seed);
+  std::vector<Bit> v(nl.primary_inputs().size());
+  for (int i = 0; i < vectors; ++i) {
+    src.next(v);
+    const Waveform wf = oracle.step(v);
+    sim.step(v);
+    for (NetId po : nl.primary_outputs()) {
+      ASSERT_EQ(wf.final_value(po), sim.final_value(po))
+          << "net " << nl.net(po).name << " vector " << i << " engine "
+          << engine_name(sim.kind());
+    }
+  }
+}
+
+TEST(FallbackChain, UnlimitedBudgetPicksTheFirstEngine) {
+  const Netlist nl = test::fig4_network();
+  Diagnostics diag;
+  const auto sim = make_simulator_with_fallback(nl, {}, &diag);
+  EXPECT_EQ(sim->kind(), EngineKind::ParallelCombined);
+  EXPECT_EQ(diag.count(DiagCode::BudgetDowngrade), 0u);
+  ASSERT_TRUE(diag.has(DiagCode::EngineSelected));
+  EXPECT_EQ(diag.first(DiagCode::EngineSelected)->subject,
+            engine_name(EngineKind::ParallelCombined));
+}
+
+// The acceptance scenario: a deep reconvergent netlist whose parallel-
+// technique cost exceeds a small arena budget compiles and simulates
+// correctly through the fallback chain, outputs match the oracle, and the
+// downgrades are recorded.
+TEST(FallbackChain, DeepNetlistDowngradesAndStillMatchesOracle) {
+  const Netlist nl = deep_reconvergent();
+
+  // Budget sized between LCC (one word per net) and the parallel engines'
+  // bit-field arenas, so the chain must skip past both parallel entries.
+  const CompileCostEstimate par =
+      estimate_compile_cost(nl, EngineKind::ParallelCombined);
+  const CompileCostEstimate lcc =
+      estimate_compile_cost(nl, EngineKind::ZeroDelayLcc);
+  ASSERT_LT(lcc.arena_words, par.arena_words);
+
+  SimPolicy policy;
+  policy.budget.max_arena_words = lcc.arena_words;
+  Diagnostics diag;
+  const auto sim = make_simulator_with_fallback(nl, policy, &diag);
+
+  EXPECT_EQ(sim->kind(), EngineKind::ZeroDelayLcc);
+  EXPECT_GE(diag.count(DiagCode::BudgetDowngrade), 3u);  // combined/trimmed/pcset
+  ASSERT_TRUE(diag.has(DiagCode::EngineSelected));
+  const Diagnostic* sel = diag.first(DiagCode::EngineSelected);
+  EXPECT_EQ(sel->subject, engine_name(EngineKind::ZeroDelayLcc));
+  const Diagnostic* down = diag.first(DiagCode::BudgetDowngrade);
+  EXPECT_EQ(down->subject, engine_name(EngineKind::ParallelCombined));
+  EXPECT_NE(down->message.find("arena words"), std::string::npos);
+
+  expect_matches_oracle(*sim, nl, 16, 0xfeedull);
+}
+
+TEST(FallbackChain, EventEngineIsTheLastResort) {
+  const Netlist nl = deep_reconvergent();
+  SimPolicy policy;
+  policy.budget.max_arena_words = 4;  // below even LCC's one word per net
+  Diagnostics diag;
+  const auto sim = make_simulator_with_fallback(nl, policy, &diag);
+  EXPECT_EQ(sim->kind(), EngineKind::Event2);
+  EXPECT_EQ(diag.count(DiagCode::BudgetDowngrade), 4u);  // all compiled entries
+  expect_matches_oracle(*sim, nl, 8, 0xbeefull);
+}
+
+TEST(FallbackChain, ExhaustedChainThrowsBudgetExceeded) {
+  const Netlist nl = test::fig4_network();
+  SimPolicy policy;
+  policy.chain = {EngineKind::ParallelCombined, EngineKind::ZeroDelayLcc};
+  policy.budget.max_arena_words = 1;
+  Diagnostics diag;
+  EXPECT_THROW(
+      { auto s = make_simulator_with_fallback(nl, policy, &diag); },
+      BudgetExceeded);
+  EXPECT_EQ(diag.count(DiagCode::BudgetDowngrade), 2u);
+  EXPECT_FALSE(diag.has(DiagCode::EngineSelected));
+}
+
+TEST(FallbackChain, EmptyChainIsAnError) {
+  const Netlist nl = test::fig4_network();
+  SimPolicy policy;
+  policy.chain.clear();
+  EXPECT_THROW({ auto s = make_simulator_with_fallback(nl, policy); },
+               NetlistError);
+}
+
+// Diagnostics are optional: the chain works with a null sink.
+TEST(FallbackChain, NullDiagnosticsSinkIsAccepted) {
+  const Netlist nl = deep_reconvergent();
+  SimPolicy policy;
+  policy.budget.max_arena_words =
+      estimate_compile_cost(nl, EngineKind::ZeroDelayLcc).arena_words;
+  const auto sim = make_simulator_with_fallback(nl, policy);
+  EXPECT_EQ(sim->kind(), EngineKind::ZeroDelayLcc);
+}
+
+// The guarded make_simulator overload enforces the budget on a single
+// engine without any fallback.
+TEST(FallbackChain, GuardedMakeSimulatorThrowsInsteadOfFallingBack) {
+  const Netlist nl = deep_reconvergent();
+  const CompileGuard guard{CompileBudget{.max_arena_words = 8}, nullptr};
+  EXPECT_THROW(
+      { auto s = make_simulator(nl, EngineKind::ParallelCombined, guard); },
+      BudgetExceeded);
+  // Event engines compile nothing, so the same guard admits them.
+  const auto sim = make_simulator(nl, EngineKind::Event2, guard);
+  EXPECT_EQ(sim->kind(), EngineKind::Event2);
+}
+
+}  // namespace
+}  // namespace udsim
