@@ -90,11 +90,18 @@ struct Program;
                                                        EngineKind kind,
                                                        std::size_t net_count);
 
-/// Budget + optional diagnostics sink, threaded through the guarded
-/// compiler entry points.
+class MetricsRegistry;
+
+/// Budget + optional diagnostics sink + optional metrics registry, threaded
+/// through the guarded compiler entry points. With `metrics` set the
+/// compilers trace every phase (compile.levelize / .pcset / .alignment /
+/// .trimming / .emit spans) and record the emitted-program shape counters
+/// (DESIGN.md §5e); engines built through the Simulator facade adopt the
+/// same registry for their runtime counters.
 struct CompileGuard {
   CompileBudget budget{};
   Diagnostics* diag = nullptr;
+  MetricsRegistry* metrics = nullptr;
 
   /// Throws BudgetExceeded when `cost` crosses a limit.
   void enforce(const CompileCostEstimate& cost, bool predicted) const;

@@ -1,10 +1,22 @@
 #include "core/batch_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace udsim {
+
+namespace {
+
+[[nodiscard]] std::uint64_t shard_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 BatchRunner::BatchRunner(const Program& program, std::vector<ArenaProbe> probes,
                          BatchOptions options)
@@ -22,6 +34,7 @@ BatchRunner::BatchRunner(const Program& program, std::vector<ArenaProbe> probes,
     }
   }
   if (options_.min_chunk == 0) options_.min_chunk = 1;
+  exec_ = ExecCounters::attach(options_.metrics, program_, options_.extra_pass_cost);
 }
 
 std::size_t BatchRunner::shard_count(std::size_t num_vectors) const noexcept {
@@ -37,6 +50,8 @@ void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
                             std::size_t begin, std::size_t end,
                             std::span<Bit> out) const {
   const std::size_t iw = program_.input_words;
+  MetricsRegistry* const reg = options_.metrics;
+  const std::uint64_t t0 = reg ? shard_now_ns() : 0;
   KernelRunner<Word> runner(program_);
   std::vector<Word> row(iw);
   const auto load = [&](std::size_t v) {
@@ -58,6 +73,20 @@ void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
       dst[j] = runner.bit(probes_[j].word, probes_[j].bit);
     }
   }
+  if (reg) {
+    // Payload counters (thread-count invariant): one bulk add per shard.
+    exec_.on_passes(end - begin);
+    // Sharding cost, attributed separately so the invariant holds.
+    if (begin > 0) {
+      reg->counter("batch.seam_vectors").add(1);
+      reg->counter("batch.seam_ops").add(exec_.cost.ops);
+    }
+    const std::uint64_t elapsed = shard_now_ns() - t0;
+    reg->counter("batch.shards").add(1);
+    reg->counter("batch.shard.ns").add(elapsed);
+    reg->counter("batch.shard_max.ns").set_max(elapsed);
+    reg->counter("batch.shard_vectors_max").set_max(end - begin);
+  }
 }
 
 std::vector<Bit> BatchRunner::run(std::span<const std::uint64_t> inputs,
@@ -69,6 +98,11 @@ std::vector<Bit> BatchRunner::run(std::span<const std::uint64_t> inputs,
   std::vector<Bit> out(num_vectors * probes_.size());
   const std::size_t shards = shard_count(num_vectors);
   if (shards == 0) return out;
+  TraceSpan span(options_.metrics, "batch.run");
+  if (options_.metrics) {
+    options_.metrics->counter("batch.runs").add(1);
+    options_.metrics->counter("batch.threads").set(pool_.threads());
+  }
   const std::size_t quot = num_vectors / shards;
   const std::size_t rem = num_vectors % shards;
   // Workers write disjoint row ranges of `out`; order is fixed by the

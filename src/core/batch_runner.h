@@ -20,16 +20,29 @@
 #include <span>
 #include <vector>
 
+#include <string>
+#include <utility>
+
 #include "core/kernel_runner.h"
 #include "core/thread_pool.h"
 #include "ir/program.h"
 #include "netlist/logic.h"
+#include "obs/pass_cost.h"
 
 namespace udsim {
 
 struct BatchOptions {
   unsigned num_threads = 0;    ///< worker threads; 0 = all hardware threads
   std::size_t min_chunk = 16;  ///< smallest shard worth a seam-replay pass
+  /// Optional observability sink (DESIGN.md §5e). Payload passes bump the
+  /// exact execution counters (sim.vectors, exec.*) — identical for every
+  /// thread count; the sharding cost itself is recorded separately
+  /// (batch.seam_vectors / batch.seam_ops, per-shard batch.shard.* timings)
+  /// so the payload counters stay a cross-thread-count invariant.
+  MetricsRegistry* metrics = nullptr;
+  /// Engine-specific per-pass constants added per payload pass (see
+  /// ExecCounters::attach extras).
+  std::vector<std::pair<std::string, std::uint64_t>> extra_pass_cost;
 };
 
 /// Runs a vector stream through one compiled `Program` on a worker pool:
@@ -70,6 +83,7 @@ class BatchRunner {
   std::vector<ArenaProbe> probes_;
   BatchOptions options_;
   ThreadPool pool_;
+  ExecCounters exec_;  ///< payload-pass counters (disengaged without metrics)
 };
 
 }  // namespace udsim

@@ -9,6 +9,7 @@
 #include "ir/executor.h"
 #include "ir/program.h"
 #include "netlist/logic.h"
+#include "obs/pass_cost.h"
 
 namespace udsim {
 
@@ -34,7 +35,20 @@ class KernelRunner {
 
   /// Simulate one vector: `in` is one word per primary input (bit 0 in
   /// scalar mode, one lane per bit in packed mode).
-  void run(std::span<const Word> in) { execute<Word>(program_, in, arena_); }
+  void run(std::span<const Word> in) {
+    execute<Word>(program_, in, arena_);
+    exec_.on_passes(1);  // single branch when no registry is attached
+  }
+
+  /// Attach (or detach, with nullptr) a metrics registry: every subsequent
+  /// pass bumps the exact per-pass execution counters (sim.vectors,
+  /// exec.ops, exec.words_*, ... — see obs/pass_cost.h). `extra_per_pass`
+  /// adds engine-specific per-pass constants under the given counter names.
+  void set_metrics(MetricsRegistry* reg,
+                   const std::vector<std::pair<std::string, std::uint64_t>>&
+                       extra_per_pass = {}) {
+    exec_ = ExecCounters::attach(reg, program_, extra_per_pass);
+  }
 
   [[nodiscard]] Word word(std::uint32_t idx) const { return arena_.at(idx); }
   [[nodiscard]] Bit bit(std::uint32_t idx, unsigned bit_pos) const {
@@ -52,6 +66,7 @@ class KernelRunner {
  private:
   const Program& program_;
   std::vector<Word> arena_;
+  ExecCounters exec_;
 };
 
 }  // namespace udsim

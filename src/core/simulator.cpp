@@ -45,6 +45,17 @@ const Program* batch_program(const PCSetSim<>& e) { return &e.compiled().program
 const Program* batch_program(const ParallelSim<>& e) { return &e.compiled().program; }
 const Program* batch_program(const LccSim<>& e) { return &e.program(); }
 
+// Engine-specific per-pass constants for the batch layer's execution
+// counters (only the parallel technique has trimming extras).
+template <class Engine>
+std::vector<std::pair<std::string, std::uint64_t>> batch_extras(const Engine& e) {
+  if constexpr (requires { e.metric_extras(); }) {
+    return e.metric_extras();
+  } else {
+    return {};
+  }
+}
+
 template <class Engine>
 std::vector<ArenaProbe> batch_probes(const Engine& e, const Netlist& nl) {
   std::vector<ArenaProbe> probes;
@@ -84,6 +95,14 @@ class EngineAdapter final : public Simulator {
   void step(std::span<const Bit> pi_values) override { engine_.step(pi_values); }
   [[nodiscard]] EngineKind kind() const noexcept override { return kind_; }
   [[nodiscard]] const Netlist& netlist() const noexcept override { return nl_; }
+
+  void set_metrics(MetricsRegistry* reg) noexcept override {
+    metrics_ = reg;
+    engine_.set_metrics(reg);
+  }
+  [[nodiscard]] MetricsRegistry* metrics() const noexcept override {
+    return metrics_;
+  }
   [[nodiscard]] Bit final_value(NetId n) const override {
     return value_of(engine_, n);
   }
@@ -100,6 +119,7 @@ class EngineAdapter final : public Simulator {
       // Interpreted fallback: single-threaded replay on a fresh engine, so
       // the reset-state semantics and this instance's state both hold.
       Engine fresh(nl_);
+      fresh.set_metrics(metrics_);
       const std::size_t pis = nl_.primary_inputs().size();
       r.values.reserve(count * r.outputs.size());
       for (std::size_t v = 0; v < count; ++v) {
@@ -120,7 +140,9 @@ class EngineAdapter final : public Simulator {
     std::vector<std::uint64_t> in(count * pis);
     for (std::size_t i = 0; i < in.size(); ++i) in[i] = vectors[i] & 1;
     BatchRunner batch(program, batch_probes(engine_, nl_),
-                      BatchOptions{.num_threads = num_threads});
+                      BatchOptions{.num_threads = num_threads,
+                                   .metrics = metrics_,
+                                   .extra_pass_cost = batch_extras(engine_)});
     r.values = batch.run(in, count);
     r.threads = batch.num_threads();
   }
@@ -136,6 +158,7 @@ class EngineAdapter final : public Simulator {
   EngineKind kind_;
   const Netlist& nl_;
   Engine engine_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 ParallelOptions parallel_options(EngineKind kind) {
@@ -162,35 +185,41 @@ ParallelOptions parallel_options(EngineKind kind) {
 
 std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kind,
                                                const CompileGuard* guard) {
-  switch (kind) {
-    case EngineKind::Event2:
-      return std::make_unique<EngineAdapter<EventSim2>>(kind, nl);
-    case EngineKind::Event3:
-      return std::make_unique<EngineAdapter<EventSim3>>(kind, nl);
-    case EngineKind::PCSet:
-      if (guard) {
-        return std::make_unique<EngineAdapter<PCSetSim<>>>(
-            kind, nl, std::span<const NetId>{}, *guard);
-      }
-      return std::make_unique<EngineAdapter<PCSetSim<>>>(kind, nl);
-    case EngineKind::ZeroDelayLcc:
-      if (guard) {
-        return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl, *guard);
-      }
-      return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl);
-    case EngineKind::Parallel:
-    case EngineKind::ParallelTrimmed:
-    case EngineKind::ParallelPathTracing:
-    case EngineKind::ParallelCycleBreaking:
-    case EngineKind::ParallelCombined:
-      if (guard) {
+  std::unique_ptr<Simulator> sim = [&]() -> std::unique_ptr<Simulator> {
+    switch (kind) {
+      case EngineKind::Event2:
+        return std::make_unique<EngineAdapter<EventSim2>>(kind, nl);
+      case EngineKind::Event3:
+        return std::make_unique<EngineAdapter<EventSim3>>(kind, nl);
+      case EngineKind::PCSet:
+        if (guard) {
+          return std::make_unique<EngineAdapter<PCSetSim<>>>(
+              kind, nl, std::span<const NetId>{}, *guard);
+        }
+        return std::make_unique<EngineAdapter<PCSetSim<>>>(kind, nl);
+      case EngineKind::ZeroDelayLcc:
+        if (guard) {
+          return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl, *guard);
+        }
+        return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl);
+      case EngineKind::Parallel:
+      case EngineKind::ParallelTrimmed:
+      case EngineKind::ParallelPathTracing:
+      case EngineKind::ParallelCycleBreaking:
+      case EngineKind::ParallelCombined:
+        if (guard) {
+          return std::make_unique<EngineAdapter<ParallelSim<>>>(
+              kind, nl, parallel_options(kind), *guard);
+        }
         return std::make_unique<EngineAdapter<ParallelSim<>>>(
-            kind, nl, parallel_options(kind), *guard);
-      }
-      return std::make_unique<EngineAdapter<ParallelSim<>>>(kind, nl,
-                                                            parallel_options(kind));
-  }
-  throw NetlistError("make_simulator: unknown engine kind");
+            kind, nl, parallel_options(kind));
+    }
+    throw NetlistError("make_simulator: unknown engine kind");
+  }();
+  // The registry that traced the compile also receives the runtime
+  // counters, so one object tells the whole story of an engine's life.
+  if (guard && guard->metrics) sim->set_metrics(guard->metrics);
+  return sim;
 }
 
 [[nodiscard]] std::string cost_summary(const CompileCostEstimate& c) {
@@ -216,7 +245,7 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
   if (policy.chain.empty()) {
     throw NetlistError("make_simulator_with_fallback: empty engine chain");
   }
-  const CompileGuard guard{policy.budget, diag};
+  const CompileGuard guard{policy.budget, diag, policy.metrics};
   std::size_t downgrades = 0;
   for (EngineKind kind : policy.chain) {
     const bool last = kind == policy.chain.back();

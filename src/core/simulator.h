@@ -12,6 +12,7 @@
 #include "core/engine_kind.h"
 #include "netlist/diagnostics.h"
 #include "netlist/netlist.h"
+#include "obs/metrics.h"
 
 namespace udsim {
 
@@ -59,6 +60,17 @@ class Simulator {
 
   [[nodiscard]] virtual EngineKind kind() const noexcept = 0;
 
+  /// Attach (or detach, with nullptr) a metrics registry: every subsequent
+  /// step() and run_batch() records exact runtime counters into it
+  /// (sim.vectors, exec.*, event.*, batch.* — DESIGN.md §5e). Counters are
+  /// atomic, so one registry may be shared across engines and across the
+  /// worker shards of run_batch. Disabled (the default) costs one branch
+  /// per vector pass. To also capture compile-phase trace spans, construct
+  /// through a CompileGuard/SimPolicy with `metrics` set — the engine then
+  /// adopts that registry automatically.
+  virtual void set_metrics(MetricsRegistry* reg) noexcept = 0;
+  [[nodiscard]] virtual MetricsRegistry* metrics() const noexcept = 0;
+
  protected:
   Simulator() = default;
 };
@@ -84,7 +96,8 @@ struct SimPolicy {
   std::vector<EngineKind> chain{
       EngineKind::ParallelCombined, EngineKind::ParallelTrimmed,
       EngineKind::PCSet, EngineKind::ZeroDelayLcc, EngineKind::Event2};
-  CompileBudget budget{};  ///< unlimited by default
+  CompileBudget budget{};              ///< unlimited by default
+  MetricsRegistry* metrics = nullptr;  ///< compile spans + runtime counters
 };
 
 /// Walk `policy.chain`, skipping engines whose compile cost exceeds

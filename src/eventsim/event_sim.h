@@ -16,6 +16,7 @@
 
 #include "analysis/levelize.h"
 #include "netlist/netlist.h"
+#include "obs/metrics.h"
 
 namespace udsim {
 
@@ -143,6 +144,7 @@ class EventSimT {
       }
     }
     base_time_ += lv_.depth + static_cast<std::int64_t>(ring_size_) + 1;
+    publish_metrics();
   }
 
   [[nodiscard]] Value value(NetId n) const { return values_.at(n.value); }
@@ -151,6 +153,16 @@ class EventSimT {
   }
   [[nodiscard]] const EventSimStats& stats() const noexcept { return stats_; }
   [[nodiscard]] int depth() const noexcept { return lv_.depth; }
+
+  /// Attach runtime counters: each step() adds the vector plus the exact
+  /// events-applied / gate-evaluation deltas of that step (sim.vectors,
+  /// event.events, event.gate_evals). Null detaches.
+  void set_metrics(MetricsRegistry* reg) {
+    metric_vectors_ = reg ? &reg->counter("sim.vectors") : nullptr;
+    metric_events_ = reg ? &reg->counter("event.events") : nullptr;
+    metric_gate_evals_ = reg ? &reg->counter("event.gate_evals") : nullptr;
+    published_ = stats_;
+  }
 
   void reset(Value v) {
     for (Value& x : values_) x = v;
@@ -162,6 +174,14 @@ class EventSimT {
   }
 
  private:
+  void publish_metrics() noexcept {
+    if (!metric_vectors_) return;
+    metric_vectors_->add(stats_.vectors - published_.vectors);
+    metric_events_->add(stats_.events - published_.events);
+    metric_gate_evals_->add(stats_.gate_evals - published_.gate_evals);
+    published_ = stats_;
+  }
+
   [[nodiscard]] std::size_t ring_slot(std::uint32_t net, std::int64_t t) const {
     return net * ring_size_ +
            static_cast<std::size_t>(t % static_cast<std::int64_t>(ring_size_));
@@ -204,6 +224,10 @@ class EventSimT {
   bool first_step_ = true;
   std::vector<ChangeRecord<Value>> changes_;
   EventSimStats stats_;
+  MetricCounter* metric_vectors_ = nullptr;
+  MetricCounter* metric_events_ = nullptr;
+  MetricCounter* metric_gate_evals_ = nullptr;
+  EventSimStats published_;
 };
 
 }  // namespace detail

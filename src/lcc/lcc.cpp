@@ -2,6 +2,7 @@
 
 #include "analysis/levelize.h"
 #include "ir/emit_util.h"
+#include "obs/metrics.h"
 
 namespace udsim {
 
@@ -16,6 +17,8 @@ LccCompiled compile_lcc(const Netlist& nl, bool packed, int word_bits,
     guard.enforce(estimate_compile_cost(nl, EngineKind::ZeroDelayLcc, word_bits),
                   /*predicted=*/true);
   }
+  MetricsRegistry* const reg = guard.metrics;
+  TraceSpan total_span(reg, "compile.total");
   LccCompiled out;
   out.packed = packed;
   Program& p = out.program;
@@ -38,21 +41,35 @@ LccCompiled compile_lcc(const Netlist& nl, bool packed, int word_bits,
     }
   }
 
-  out.def_end.assign(nl.net_count(), 0);
-  for (std::uint32_t i = 0; i < nl.primary_inputs().size(); ++i) {
-    const NetId pi = nl.primary_inputs()[i];
-    p.ops.push_back({packed ? OpCode::LoadWord : OpCode::LoadBit, 0,
-                     out.net_var[pi.value], i, 0});
-    out.def_end[pi.value] = static_cast<std::uint32_t>(p.ops.size());
+  const std::vector<GateId> order = [&] {
+    TraceSpan span(reg, "compile.levelize");
+    return topological_gate_order(nl);
+  }();
+  {
+    TraceSpan span(reg, "compile.emit");
+    out.def_end.assign(nl.net_count(), 0);
+    for (std::uint32_t i = 0; i < nl.primary_inputs().size(); ++i) {
+      const NetId pi = nl.primary_inputs()[i];
+      p.ops.push_back({packed ? OpCode::LoadWord : OpCode::LoadBit, 0,
+                       out.net_var[pi.value], i, 0});
+      out.def_end[pi.value] = static_cast<std::uint32_t>(p.ops.size());
+    }
+    std::vector<std::uint32_t> operands;
+    for (GateId gid : order) {
+      const Gate& g = nl.gate(gid);
+      if (is_constant(g.type)) continue;
+      operands.clear();
+      for (NetId in : g.inputs) operands.push_back(out.net_var[in.value]);
+      emit_gate_word(p.ops, g.type, out.net_var[g.output.value], operands);
+      out.def_end[g.output.value] = static_cast<std::uint32_t>(p.ops.size());
+    }
   }
-  std::vector<std::uint32_t> operands;
-  for (GateId gid : topological_gate_order(nl)) {
-    const Gate& g = nl.gate(gid);
-    if (is_constant(g.type)) continue;
-    operands.clear();
-    for (NetId in : g.inputs) operands.push_back(out.net_var[in.value]);
-    emit_gate_word(p.ops, g.type, out.net_var[g.output.value], operands);
-    out.def_end[g.output.value] = static_cast<std::uint32_t>(p.ops.size());
+  if (reg) {
+    reg->counter("compile.programs").add(1);
+    reg->counter("compile.ops").add(p.ops.size());
+    reg->counter("compile.arena_words").add(p.arena_words);
+    reg->counter("compile.arena_init_words").add(p.arena_init.size());
+    reg->counter("compile.input_words").add(p.input_words);
   }
   if (!guard.budget.unlimited()) {
     guard.enforce(measure_compile_cost(p, EngineKind::ZeroDelayLcc, nl.net_count()),

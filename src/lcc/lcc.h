@@ -67,6 +67,9 @@ class LccSim {
   }
   [[nodiscard]] const Program& program() const noexcept { return compiled_.program; }
 
+  /// Attach runtime execution counters (obs/pass_cost.h).
+  void set_metrics(MetricsRegistry* reg) { runner_.set_metrics(reg); }
+
  private:
   const Netlist& nl_;
   LccCompiled compiled_;

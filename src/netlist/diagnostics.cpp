@@ -65,6 +65,7 @@ std::string Diagnostic::to_string() const {
 }
 
 std::size_t Diagnostics::count(DiagCode code) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const Diagnostic& d : records_) {
     if (d.code == code) ++n;
@@ -73,6 +74,7 @@ std::size_t Diagnostics::count(DiagCode code) const noexcept {
 }
 
 std::size_t Diagnostics::count(DiagSeverity severity) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const Diagnostic& d : records_) {
     if (d.severity == severity) ++n;
@@ -81,6 +83,7 @@ std::size_t Diagnostics::count(DiagSeverity severity) const noexcept {
 }
 
 const Diagnostic* Diagnostics::first(DiagCode code) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const Diagnostic& d : records_) {
     if (d.code == code) return &d;
   }
@@ -88,6 +91,7 @@ const Diagnostic* Diagnostics::first(DiagCode code) const noexcept {
 }
 
 void Diagnostics::print(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const Diagnostic& d : records_) out << d.to_string() << "\n";
 }
 

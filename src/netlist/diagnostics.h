@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,11 +55,21 @@ struct Diagnostic {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Reporting is thread-safe: concurrent `run_batch` shards and parallel
+/// guarded compiles may share one sink (record order across threads is
+/// unspecified). The read side (`records()`, `count`, `first`, `print`)
+/// locks per call but hands out references into the record list, so reads
+/// are meaningful once the writers have quiesced — the sink serializes
+/// reporting, it is not a cross-thread query structure.
 class Diagnostics {
  public:
-  void report(Diagnostic d) { records_.push_back(std::move(d)); }
+  void report(Diagnostic d) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back(std::move(d));
+  }
   void report(DiagCode code, DiagSeverity severity, std::string subject,
               std::string message, std::size_t line = 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
     records_.push_back(
         {code, severity, std::move(subject), std::move(message), line});
   }
@@ -66,9 +77,15 @@ class Diagnostics {
   [[nodiscard]] const std::vector<Diagnostic>& records() const noexcept {
     return records_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
-  void clear() noexcept { records_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  void clear() noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
 
   [[nodiscard]] std::size_t count(DiagCode code) const noexcept;
   [[nodiscard]] std::size_t count(DiagSeverity severity) const noexcept;
@@ -80,6 +97,7 @@ class Diagnostics {
   void print(std::ostream& out) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<Diagnostic> records_;
 };
 

@@ -1,0 +1,86 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <ostream>
+
+#include "harness/table.h"
+
+namespace udsim {
+
+namespace {
+
+[[nodiscard]] std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[nodiscard]] bool is_timing_key(std::string_view name) {
+  return name.size() >= 3 && name.substr(name.size() - 3) == ".ns";
+}
+
+}  // namespace
+
+MetricCounter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<MetricCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::string MetricsRegistry::to_json(bool include_timings) const {
+  const auto snap = snapshot();
+  std::string json = "{";
+  bool first = true;
+  for (const auto& [name, value] : snap) {
+    if (!include_timings && is_timing_key(name)) continue;
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "  \"" + name + "\": " + std::to_string(value);
+  }
+  json += first ? "}" : "\n}";
+  return json;
+}
+
+void MetricsRegistry::print(std::ostream& out) const {
+  Table table({"counter", "value"});
+  for (const auto& [name, value] : snapshot()) {
+    table.add_row({name, std::to_string(value)});
+  }
+  table.print(out);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->set(0);
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty();
+}
+
+TraceSpan::TraceSpan(MetricsRegistry* reg, std::string_view name) : reg_(reg) {
+  if (!reg_) return;
+  name_ = name;
+  start_ns_ = now_ns();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!reg_) return;
+  reg_->counter(name_ + ".ns").add(now_ns() - start_ns_);
+  reg_->counter(name_ + ".calls").add(1);
+}
+
+}  // namespace udsim

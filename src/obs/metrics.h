@@ -1,0 +1,113 @@
+// Observability layer: named monotonic counters, gauges and RAII trace
+// spans (DESIGN.md §5e).
+//
+// The paper's whole evaluation is counting — retained shifts, trimmed
+// words, gate evaluations — so the runtime exposes the same quantities as
+// *exact* counters instead of samples: a dynamic counter is always a
+// per-pass static cost times the number of passes, which makes every
+// counter double as a correctness oracle (executed ops == |Program| ×
+// vectors; see tests/metrics_invariant_test.cpp).
+//
+// Zero overhead when disabled: every producer takes a nullable
+// `MetricsRegistry*`; with nullptr the hot paths reduce to one predictable
+// branch per *vector pass* (never per op), and TraceSpan never reads the
+// clock. Counter handles are resolved once (one mutex-protected map lookup)
+// and then bumped with relaxed atomics, so shards of a multi-threaded
+// `run_batch` can share one registry safely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace udsim {
+
+/// One named metric: a monotonic counter or a gauge. Address-stable for the
+/// registry's lifetime, so producers cache `MetricCounter*` handles and
+/// never touch the registry map on the hot path.
+class MetricCounter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Gauge write: last value wins.
+  void set(std::uint64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Gauge write: keep the maximum ever seen.
+  void set_max(std::uint64_t v) noexcept {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Registry of named counters. Registration is mutex-protected (safe from
+/// concurrent shards); reads and bumps are lock-free through the returned
+/// handles. See DESIGN.md §5e for the counter catalogue.
+class MetricsRegistry {
+ public:
+  /// Create-or-get. The returned reference stays valid for the registry's
+  /// lifetime (values live behind unique_ptr; rehashing never moves them).
+  [[nodiscard]] MetricCounter& counter(std::string_view name);
+
+  /// Point-in-time copy of every (name, value) pair, sorted by name.
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
+
+  /// Machine-readable export: a flat sorted JSON object, one counter per
+  /// line. `include_timings` = false drops every "*.ns" key — the subset
+  /// that is deterministic across runs (golden-metrics fixtures diff this).
+  [[nodiscard]] std::string to_json(bool include_timings = true) const;
+
+  /// Human table (harness/table): counter | value, sorted by name.
+  void print(std::ostream& out) const;
+
+  /// Zero every counter; existing handles stay valid.
+  void reset();
+
+  [[nodiscard]] bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
+};
+
+/// Convenience null-safe bump (registration cost per call; hot paths should
+/// cache handles instead).
+inline void metric_add(MetricsRegistry* reg, std::string_view name,
+                       std::uint64_t delta) {
+  if (reg) reg->counter(name).add(delta);
+}
+inline void metric_set_max(MetricsRegistry* reg, std::string_view name,
+                           std::uint64_t v) {
+  if (reg) reg->counter(name).set_max(v);
+}
+
+/// RAII span: on destruction adds the elapsed wall time to `<name>.ns` and
+/// bumps `<name>.calls`. With a null registry the clock is never read.
+/// Used around every compile phase (levelize, PC-set, alignment, trimming,
+/// emit) and around batch runs.
+class TraceSpan {
+ public:
+  TraceSpan(MetricsRegistry* reg, std::string_view name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  MetricsRegistry* reg_;
+  std::string name_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace udsim

@@ -6,6 +6,7 @@
 
 #include "analysis/pcset.h"
 #include "ir/emit_util.h"
+#include "obs/metrics.h"
 
 namespace udsim {
 
@@ -15,6 +16,35 @@ namespace {
   int q = a / b;
   if ((a % b) != 0 && ((a < 0) != (b < 0))) --q;
   return q;
+}
+
+/// Record the shift-site ledger of an alignment plan: every potential
+/// realignment site (each distinct (gate, input net) pair plus one output
+/// site per non-constant gate) is either retained (non-zero shift) or
+/// eliminated (alignments line up). retained + eliminated == total by
+/// construction here; the cross-check that the *emitter's* independent
+/// retained count agrees is tests/metrics_invariant_test.cpp's job.
+void record_shift_sites(MetricsRegistry* reg, const Netlist& nl,
+                        const AlignmentPlan& plan) {
+  std::uint64_t total = 0, retained = 0;
+  std::vector<std::uint32_t> seen;
+  for (std::uint32_t gi = 0; gi < nl.gate_count(); ++gi) {
+    const GateId gid{gi};
+    const Gate& g = nl.gate(gid);
+    if (is_constant(g.type)) continue;
+    seen.clear();
+    for (NetId in : g.inputs) {
+      if (std::find(seen.begin(), seen.end(), in.value) != seen.end()) continue;
+      seen.push_back(in.value);
+      ++total;
+      if (plan.input_shift(nl, gid, in) != 0) ++retained;
+    }
+    ++total;
+    if (plan.output_shift(nl, gid) != 0) ++retained;
+  }
+  reg->counter("compile.shift_sites_total").add(total);
+  reg->counter("compile.shift_sites_retained").add(retained);
+  reg->counter("compile.shift_sites_eliminated").add(total - retained);
 }
 
 }  // namespace
@@ -416,33 +446,66 @@ ParallelCompiled compile_parallel(const Netlist& nl, const ParallelOptions& opti
     guard.enforce(estimate_compile_cost(nl, kind, options.word_bits),
                   /*predicted=*/true);
   }
+  MetricsRegistry* const reg = guard.metrics;
+  TraceSpan total_span(reg, "compile.total");
   ParallelCompiled out;
   out.options = options;
-  out.lv = levelize(nl);
-  switch (options.shift_elim) {
-    case ShiftElim::None:
-      out.plan = align_unoptimized(nl, out.lv);
-      break;
-    case ShiftElim::PathTracing:
-      out.plan = align_path_tracing(nl, out.lv);
-      break;
-    case ShiftElim::CycleBreaking:
-      out.plan = align_cycle_breaking(nl, out.lv);
-      break;
+  {
+    TraceSpan span(reg, "compile.levelize");
+    out.lv = levelize(nl);
   }
-  check_alignment_plan(nl, out.lv, out.plan);
+  {
+    TraceSpan span(reg, "compile.alignment");
+    switch (options.shift_elim) {
+      case ShiftElim::None:
+        out.plan = align_unoptimized(nl, out.lv);
+        break;
+      case ShiftElim::PathTracing:
+        out.plan = align_path_tracing(nl, out.lv);
+        break;
+      case ShiftElim::CycleBreaking:
+        out.plan = align_cycle_breaking(nl, out.lv);
+        break;
+    }
+    check_alignment_plan(nl, out.lv, out.plan);
+  }
   const bool uniform = options.shift_elim == ShiftElim::None;
-  out.widths = field_widths(nl, out.lv, out.plan, uniform);
-  if (options.trimming) {
-    const PCSets pc = compute_pc_sets(nl, out.lv);
-    out.trim = compute_trim_plan(nl, out.lv, pc, out.plan, out.widths, options.word_bits);
-  } else {
-    out.trim = full_trim_plan(nl, out.widths, options.word_bits);
+  {
+    TraceSpan span(reg, "compile.trimming");
+    out.widths = field_widths(nl, out.lv, out.plan, uniform);
+    if (options.trimming) {
+      const PCSets pc = [&] {
+        TraceSpan pc_span(reg, "compile.pcset");
+        return compute_pc_sets(nl, out.lv);
+      }();
+      out.trim = compute_trim_plan(nl, out.lv, pc, out.plan, out.widths,
+                                   options.word_bits);
+    } else {
+      out.trim = full_trim_plan(nl, out.widths, options.word_bits);
+    }
   }
   out.program.word_bits = options.word_bits;
 
-  ParallelEmitter emitter(nl, out);
-  emitter.run();
+  {
+    TraceSpan span(reg, "compile.emit");
+    ParallelEmitter emitter(nl, out);
+    emitter.run();
+  }
+  if (reg) {
+    reg->counter("compile.programs").add(1);
+    reg->counter("compile.ops").add(out.program.ops.size());
+    reg->counter("compile.arena_words").add(out.program.arena_words);
+    reg->counter("compile.arena_init_words").add(out.program.arena_init.size());
+    reg->counter("compile.input_words").add(out.program.input_words);
+    reg->counter("compile.depth").set_max(static_cast<std::uint64_t>(out.lv.depth));
+    reg->counter("compile.gate_eval_ops").add(out.stats.gate_eval_ops);
+    reg->counter("compile.shift_ops").add(out.stats.shift_ops);
+    reg->counter("compile.suppressed_stores").add(out.stats.suppressed_stores);
+    reg->counter("compile.words_computed").add(out.trim.computed_words);
+    reg->counter("compile.words_stable").add(out.trim.stable_words);
+    reg->counter("compile.words_gap").add(out.trim.gap_words);
+    record_shift_sites(reg, nl, out.plan);
+  }
   if (guard.diag && out.trim.gap_words > 0) {
     guard.diag->report(
         DiagCode::GapWordFallback, DiagSeverity::Note, nl.name(),

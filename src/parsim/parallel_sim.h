@@ -141,6 +141,18 @@ class ParallelSim {
   }
   [[nodiscard]] const ParallelCompiled& compiled() const noexcept { return compiled_; }
 
+  /// Attach runtime execution counters (obs/pass_cost.h), plus the
+  /// trimming-specific per-pass constants: stores suppressed by word
+  /// trimming and gap words filled by broadcast instead of evaluation.
+  void set_metrics(MetricsRegistry* reg) {
+    runner_.set_metrics(reg, metric_extras());
+  }
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  metric_extras() const {
+    return {{"exec.trimmed_stores_skipped", compiled_.stats.suppressed_stores},
+            {"exec.gap_words_filled", compiled_.trim.gap_words}};
+  }
+
  private:
   static ParallelCompiled make(const Netlist& nl, ParallelOptions options,
                                const CompileGuard* guard = nullptr) {

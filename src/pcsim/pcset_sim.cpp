@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ir/emit_util.h"
+#include "obs/metrics.h"
 
 namespace udsim {
 
@@ -50,6 +51,8 @@ PCSetCompiled compile_pcset(const Netlist& nl, std::span<const NetId> monitored,
                          n.name + "' has several drivers)");
     }
   }
+  MetricsRegistry* const reg = guard.metrics;
+  TraceSpan total_span(reg, "compile.total");
   PCSetCompiled out;
   out.packed = packed;
   out.monitored.assign(monitored.begin(), monitored.end());
@@ -57,8 +60,15 @@ PCSetCompiled compile_pcset(const Netlist& nl, std::span<const NetId> monitored,
     out.monitored = nl.primary_outputs();
   }
 
-  const Levelization lv = levelize(nl);
-  PCSets pc = compute_pc_sets(nl, lv);
+  const Levelization lv = [&] {
+    TraceSpan span(reg, "compile.levelize");
+    return levelize(nl);
+  }();
+  PCSets pc = [&] {
+    TraceSpan span(reg, "compile.pcset");
+    return compute_pc_sets(nl, lv);
+  }();
+  TraceSpan emit_span_outer(reg, "compile.emit");
   insert_zeros(nl, lv, out.monitored, pc);
   // If any monitored net retains its previous value (element 0), the PRINT
   // gate fires at time 0, so *every* monitored net must be readable then.
@@ -154,6 +164,16 @@ PCSetCompiled compile_pcset(const Netlist& nl, std::span<const NetId> monitored,
       row.push_back(var_of(m, src));
     }
     out.print_vars.push_back(std::move(row));
+  }
+  if (reg) {
+    reg->counter("compile.programs").add(1);
+    reg->counter("compile.ops").add(p.ops.size());
+    reg->counter("compile.arena_words").add(p.arena_words);
+    reg->counter("compile.arena_init_words").add(p.arena_init.size());
+    reg->counter("compile.input_words").add(p.input_words);
+    reg->counter("compile.depth").set_max(static_cast<std::uint64_t>(lv.depth));
+    reg->counter("compile.pcset_variables").add(out.variable_count);
+    reg->counter("compile.print_times").add(out.print_times.size());
   }
   if (!guard.budget.unlimited()) {
     guard.enforce(measure_compile_cost(p, EngineKind::PCSet, nl.net_count()),

@@ -103,6 +103,9 @@ class PCSetSim {
   }
   [[nodiscard]] const PCSetCompiled& compiled() const noexcept { return compiled_; }
 
+  /// Attach runtime execution counters (obs/pass_cost.h).
+  void set_metrics(MetricsRegistry* reg) { runner_.set_metrics(reg); }
+
  private:
   const Netlist& nl_;
   PCSetCompiled compiled_;

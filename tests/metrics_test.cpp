@@ -1,0 +1,150 @@
+// Unit tests for the observability primitives (obs/metrics.h): counter
+// semantics, registry snapshots and exports, and TraceSpan behaviour with
+// and without a registry.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace udsim {
+namespace {
+
+TEST(MetricCounter, AddAccumulates) {
+  MetricCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(MetricCounter, SetIsLastWriteWins) {
+  MetricCounter c;
+  c.set(10);
+  c.set(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(MetricCounter, SetMaxKeepsMaximum) {
+  MetricCounter c;
+  c.set_max(4);
+  c.set_max(9);
+  c.set_max(2);
+  EXPECT_EQ(c.value(), 9u);
+}
+
+TEST(MetricsRegistry, CounterIsCreateOrGet) {
+  MetricsRegistry reg;
+  MetricCounter& a = reg.counter("x");
+  MetricCounter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(1);
+  EXPECT_EQ(reg.counter("x").value(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.counter("c").add(3);
+  const auto snap = reg.snapshot();
+  std::vector<std::string> names;
+  for (const auto& [k, v] : snap) names.push_back(k);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(snap.at("a"), 1u);
+  EXPECT_EQ(snap.at("c"), 3u);
+}
+
+TEST(MetricsRegistry, ToJsonIsFlatSortedObject) {
+  MetricsRegistry reg;
+  reg.counter("z.count").add(2);
+  reg.counter("a.count").add(1);
+  const std::string j = reg.to_json();
+  EXPECT_NE(j.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"z.count\": 2"), std::string::npos);
+  EXPECT_LT(j.find("a.count"), j.find("z.count"));
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(MetricsRegistry, ToJsonCanDropTimingKeys) {
+  MetricsRegistry reg;
+  reg.counter("phase.ns").add(123);
+  reg.counter("phase.calls").add(1);
+  const std::string all = reg.to_json(/*include_timings=*/true);
+  const std::string det = reg.to_json(/*include_timings=*/false);
+  EXPECT_NE(all.find("phase.ns"), std::string::npos);
+  EXPECT_EQ(det.find("phase.ns"), std::string::npos);
+  EXPECT_NE(det.find("phase.calls"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  MetricsRegistry reg;
+  MetricCounter& c = reg.counter("x");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(reg.counter("x").value(), 2u);
+}
+
+TEST(MetricsRegistry, EmptyReflectsRegistrations) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  (void)reg.counter("x");
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, PrintRendersEveryCounter) {
+  MetricsRegistry reg;
+  reg.counter("sim.vectors").add(7);
+  std::ostringstream out;
+  reg.print(out);
+  EXPECT_NE(out.str().find("sim.vectors"), std::string::npos);
+  EXPECT_NE(out.str().find("7"), std::string::npos);
+}
+
+TEST(TraceSpan, RecordsCallsAndElapsed) {
+  MetricsRegistry reg;
+  { TraceSpan span(&reg, "phase"); }
+  { TraceSpan span(&reg, "phase"); }
+  EXPECT_EQ(reg.counter("phase.calls").value(), 2u);
+  // Elapsed time is environment-dependent; only its presence is asserted.
+  const auto snap = reg.snapshot();
+  EXPECT_TRUE(snap.contains("phase.ns"));
+}
+
+TEST(TraceSpan, NullRegistryIsInert) {
+  TraceSpan span(nullptr, "phase");  // must not crash or allocate a registry
+}
+
+TEST(MetricHelpers, NullSafe) {
+  metric_add(nullptr, "x", 1);
+  metric_set_max(nullptr, "x", 1);
+  MetricsRegistry reg;
+  metric_add(&reg, "x", 2);
+  metric_set_max(&reg, "y", 3);
+  EXPECT_EQ(reg.counter("x").value(), 2u);
+  EXPECT_EQ(reg.counter("y").value(), 3u);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndBumpsAreExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < kIters; ++i) reg.counter("shared").add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace udsim
