@@ -22,6 +22,7 @@ target_link_libraries(ablation_emitted_c PRIVATE ${CMAKE_DL_LIBS})
 
 udsim_bench(ablation_threads)
 udsim_bench(ablation_observability)
+udsim_bench(ablation_resilience)
 
 udsim_bench(ablation_wordsize)
 target_link_libraries(ablation_wordsize PRIVATE benchmark::benchmark)
@@ -43,3 +44,4 @@ add_test(NAME bench_wordsize_smoke COMMAND ablation_wordsize --benchmark_filter=
 add_test(NAME bench_dataparallel_smoke COMMAND ablation_dataparallel --benchmark_filter=c432 --benchmark_min_time=0.01s)
 add_test(NAME bench_threads_smoke COMMAND ablation_threads --vectors 200 --trials 1 --circuits c432 --threads 1,2 --json ablation_threads_smoke.json)
 add_test(NAME bench_observability_smoke COMMAND ablation_observability --vectors 200 --trials 1 --circuits c432,c880 --json ablation_observability_smoke.json)
+add_test(NAME bench_resilience_smoke COMMAND ablation_resilience --vectors 200 --trials 1 --circuits c432,c880 --json ablation_resilience_smoke.json)

@@ -269,4 +269,10 @@ void CompileGuard::enforce(const CompileCostEstimate& cost, bool predicted) cons
   }
 }
 
+void CompileGuard::check_cancel(const char* phase) const {
+  if (cancel == nullptr) return;
+  const StopReason r = cancel->stop_reason();
+  if (r != StopReason::None) throw Cancelled(r, phase, 0);
+}
+
 }  // namespace udsim

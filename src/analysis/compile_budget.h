@@ -20,6 +20,7 @@
 #include "core/engine_kind.h"
 #include "netlist/diagnostics.h"
 #include "netlist/netlist.h"
+#include "resilience/cancel.h"
 
 namespace udsim {
 
@@ -102,9 +103,17 @@ struct CompileGuard {
   CompileBudget budget{};
   Diagnostics* diag = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Cooperative stop for long compilations: checked at phase boundaries
+  /// (levelize / alignment / trimming / pcset / emit), never inside the
+  /// per-net emission loops, so compilation cost is unchanged when unset.
+  const CancelToken* cancel = nullptr;
 
   /// Throws BudgetExceeded when `cost` crosses a limit.
   void enforce(const CompileCostEstimate& cost, bool predicted) const;
+
+  /// Throws Cancelled when the attached token has stopped; phase boundaries
+  /// only (see `cancel`).
+  void check_cancel(const char* phase) const;
 };
 
 }  // namespace udsim

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <new>
 #include <stdexcept>
 #include <utility>
+
+#include "netlist/diagnostics.h"
 
 namespace udsim {
 
@@ -18,12 +21,24 @@ namespace {
 
 }  // namespace
 
+std::string_view run_status_name(RunStatus s) noexcept {
+  switch (s) {
+    case RunStatus::Complete:
+      return "complete";
+    case RunStatus::Cancelled:
+      return "cancelled";
+    case RunStatus::DeadlineExpired:
+      return "deadline-expired";
+  }
+  return "?";
+}
+
 BatchRunner::BatchRunner(const Program& program, std::vector<ArenaProbe> probes,
                          BatchOptions options)
     : program_(program),
       probes_(std::move(probes)),
-      options_(options),
-      pool_(options.num_threads) {
+      options_(std::move(options)),
+      pool_(options_.num_threads) {
   if (program_.word_bits != 32 && program_.word_bits != 64) {
     throw std::invalid_argument("BatchRunner: unsupported program word size");
   }
@@ -47,37 +62,48 @@ std::size_t BatchRunner::shard_count(std::size_t num_vectors) const noexcept {
 
 template <class Word>
 void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
-                            std::size_t begin, std::size_t end,
-                            std::span<Bit> out) const {
+                            std::size_t shard_index, ShardSlot& slot,
+                            std::span<Bit> out, unsigned attempt) {
+  if (slot.next >= slot.end) return;  // resumed already-finished shard
   const std::size_t iw = program_.input_words;
   MetricsRegistry* const reg = options_.metrics;
+  FaultInjector* const inj = options_.inject;
   const std::uint64_t t0 = reg ? shard_now_ns() : 0;
+  const std::size_t start = slot.next;
+
+  if (inj && inj->fire(FaultSite::AllocFail, shard_index, start, attempt)) {
+    metric_add(reg, "resil.injected", 1);
+    throw std::bad_alloc();
+  }
   KernelRunner<Word> runner(program_);
   std::vector<Word> row(iw);
   const auto load = [&](std::size_t v) {
     const std::uint64_t* src = inputs.data() + v * iw;
     for (std::size_t i = 0; i < iw; ++i) row[i] = static_cast<Word>(src[i]);
   };
-  if (begin > 0) {
+  bool seam = false;
+  if (start > slot.begin) {
+    // Resume: the checkpointed arena IS the retained state after vector
+    // start-1; restoring it replaces the seam replay.
+    runner.load_arena(slot.arena);
+  } else if (slot.begin > 0) {
     // Seam replay: the predecessor shard's final vector re-establishes the
     // retained state (previous-vector settled values); outputs discarded.
-    load(begin - 1);
+    load(slot.begin - 1);
     runner.run(row);
+    seam = true;
   }
+
   const std::size_t cols = probes_.size();
-  for (std::size_t v = begin; v < end; ++v) {
-    load(v);
-    runner.run(row);
-    Bit* dst = out.data() + v * cols;
-    for (std::size_t j = 0; j < cols; ++j) {
-      dst[j] = runner.bit(probes_[j].word, probes_[j].bit);
-    }
-  }
-  if (reg) {
-    // Payload counters (thread-count invariant): one bulk add per shard.
-    exec_.on_passes(end - begin);
-    // Sharding cost, attributed separately so the invariant holds.
-    if (begin > 0) {
+  CancelPoll poll(options_.cancel);
+  std::size_t v = start;
+  StopReason stop = StopReason::None;
+  // Shared exit accounting so the fault-throwing paths count their executed
+  // passes exactly like the clean path does.
+  const auto account = [&] {
+    if (!reg) return;
+    exec_.on_passes(v - start);  // payload counters: thread-count invariant
+    if (seam) {
       reg->counter("batch.seam_vectors").add(1);
       reg->counter("batch.seam_ops").add(exec_.cost.ops);
     }
@@ -85,38 +111,255 @@ void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
     reg->counter("batch.shards").add(1);
     reg->counter("batch.shard.ns").add(elapsed);
     reg->counter("batch.shard_max.ns").set_max(elapsed);
-    reg->counter("batch.shard_vectors_max").set_max(end - begin);
+    reg->counter("batch.shard_vectors_max").set_max(slot.end - slot.begin);
+  };
+
+  for (; v < slot.end; ++v) {
+    stop = poll.poll();  // one relaxed load + branch (dead branch when null)
+    if (inj != nullptr) {
+      if (stop == StopReason::None &&
+          inj->fire(FaultSite::DeadlineOverrun, shard_index, v, attempt)) {
+        metric_add(reg, "resil.injected", 1);
+        stop = StopReason::Deadline;
+      }
+      if (inj->fire(FaultSite::WorkerThrow, shard_index, v, attempt)) {
+        metric_add(reg, "resil.injected", 1);
+        account();
+        throw InjectedFault(FaultSite::WorkerThrow, shard_index, v, attempt);
+      }
+      if (inj->fire(FaultSite::ArenaCorrupt, shard_index, v, attempt)) {
+        metric_add(reg, "resil.injected", 1);
+        const std::span<Word> arena = runner.mutable_arena();
+        if (!arena.empty()) {
+          arena[v % arena.size()] ^= static_cast<Word>(0xdeadbeefdeadbeefull);
+        }
+        account();
+        // The corruption is trapped immediately (standing in for a detected
+        // memory fault); the retry restarts from a fresh seam-replayed
+        // arena, so the shard's final outputs stay bit-identical.
+        throw InjectedFault(FaultSite::ArenaCorrupt, shard_index, v, attempt);
+      }
+    }
+    if (stop != StopReason::None) break;
+    load(v);
+    runner.run(row);
+    Bit* dst = out.data() + v * cols;
+    for (std::size_t j = 0; j < cols; ++j) {
+      dst[j] = runner.bit(probes_[j].word, probes_[j].bit);
+    }
+  }
+
+  slot.next = v;
+  slot.stop = stop;
+  if (stop != StopReason::None && v > slot.begin) {
+    runner.save_arena(slot.arena);  // the one piece of cross-vector state
+  } else {
+    slot.arena.clear();
+  }
+  account();
+}
+
+void BatchRunner::run_shard_any(std::span<const std::uint64_t> inputs,
+                                std::size_t shard_index, ShardSlot& slot,
+                                std::span<Bit> out, unsigned attempt) {
+  if (program_.word_bits == 64) {
+    run_shard<std::uint64_t>(inputs, shard_index, slot, out, attempt);
+  } else {
+    run_shard<std::uint32_t>(inputs, shard_index, slot, out, attempt);
+  }
+}
+
+void BatchRunner::run_shard_guarded(std::span<const std::uint64_t> inputs,
+                                    std::size_t shard_index, ShardSlot& slot,
+                                    std::span<Bit> out) {
+  MetricsRegistry* const reg = options_.metrics;
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      run_shard_any(inputs, shard_index, slot, out, attempt);
+      return;
+    } catch (const std::exception& e) {
+      // A failed attempt left `slot` untouched (the shard restarts from its
+      // seam / resume point), so a retry is a clean deterministic re-run.
+      if (attempt >= options_.retry_limit) {
+        slot.quarantined = true;
+        metric_add(reg, "resil.quarantined", 1);
+        if (options_.diag) {
+          options_.diag->report(
+              DiagCode::ShardQuarantined, DiagSeverity::Warning,
+              "shard " + std::to_string(shard_index),
+              "retries exhausted after " + std::to_string(attempt + 1) +
+                  " attempts (" + e.what() + "); degrading to sequential replay");
+        }
+        return;
+      }
+      ++slot.retries;
+      metric_add(reg, "resil.retries", 1);
+      if (options_.diag) {
+        options_.diag->report(DiagCode::ShardRetry, DiagSeverity::Warning,
+                              "shard " + std::to_string(shard_index),
+                              std::string("attempt ") + std::to_string(attempt) +
+                                  " failed (" + e.what() + "); retrying");
+      }
+    }
   }
 }
 
 std::vector<Bit> BatchRunner::run(std::span<const std::uint64_t> inputs,
                                   std::size_t num_vectors) {
+  ResilientBatch r = run_resilient(inputs, num_vectors, nullptr);
+  if (r.status != RunStatus::Complete) {
+    throw Cancelled(r.status == RunStatus::Cancelled ? StopReason::Cancelled
+                                                     : StopReason::Deadline,
+                    "batch.run", r.vectors_done);
+  }
+  return std::move(r.values);
+}
+
+ResilientBatch BatchRunner::run_resilient(std::span<const std::uint64_t> inputs,
+                                          std::size_t num_vectors,
+                                          const BatchCheckpoint* resume) {
   const std::size_t iw = program_.input_words;
   if (inputs.size() < num_vectors * iw) {
     throw std::invalid_argument("BatchRunner::run: input stream too short");
   }
-  std::vector<Bit> out(num_vectors * probes_.size());
+  ResilientBatch result;
+  result.values.resize(num_vectors * probes_.size());
   const std::size_t shards = shard_count(num_vectors);
-  if (shards == 0) return out;
-  TraceSpan span(options_.metrics, "batch.run");
-  if (options_.metrics) {
-    options_.metrics->counter("batch.runs").add(1);
-    options_.metrics->counter("batch.threads").set(pool_.threads());
+  if (shards == 0) return result;  // zero vectors: no replay, no dispatch
+
+  MetricsRegistry* const reg = options_.metrics;
+  TraceSpan span(reg, "batch.run");
+  if (reg) {
+    reg->counter("batch.runs").add(1);
+    reg->counter("batch.threads").set(pool_.threads());
   }
+
   const std::size_t quot = num_vectors / shards;
   const std::size_t rem = num_vectors % shards;
-  // Workers write disjoint row ranges of `out`; order is fixed by the
-  // shard boundaries, so the merge is free and deterministic.
-  pool_.parallel_for(shards, [&](std::size_t s) {
-    const std::size_t begin = s * quot + std::min(s, rem);
-    const std::size_t end = begin + quot + (s < rem ? 1 : 0);
-    if (program_.word_bits == 64) {
-      run_shard<std::uint64_t>(inputs, begin, end, out);
-    } else {
-      run_shard<std::uint32_t>(inputs, begin, end, out);
+  std::vector<ShardSlot> slots(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    slots[s].begin = s * quot + std::min(s, rem);
+    slots[s].end = slots[s].begin + quot + (s < rem ? 1 : 0);
+    slots[s].next = slots[s].begin;
+  }
+
+  if (resume != nullptr) {
+    const auto geometry = [&](const std::string& what) {
+      throw CheckpointError(CheckpointError::Kind::Geometry,
+                            "checkpoint does not match this run: " + what);
+    };
+    if (resume->word_bits != static_cast<std::uint32_t>(program_.word_bits) ||
+        resume->arena_words != program_.arena_words ||
+        resume->input_words != program_.input_words) {
+      geometry("program shape differs");
     }
+    if (resume->probe_count != probes_.size()) geometry("probe count differs");
+    if (resume->num_vectors != num_vectors) geometry("vector count differs");
+    if (resume->shards.size() != shards) {
+      geometry("shard count differs (thread count or min_chunk changed)");
+    }
+    const std::size_t cols = probes_.size();
+    for (std::size_t s = 0; s < shards; ++s) {
+      const ShardCheckpoint& sc = resume->shards[s];
+      if (sc.begin != slots[s].begin || sc.end != slots[s].end) {
+        geometry("shard " + std::to_string(s) + " boundaries differ");
+      }
+      if (sc.next > sc.begin && sc.next < sc.end &&
+          sc.arena.size() != program_.arena_words) {
+        throw CheckpointError(CheckpointError::Kind::Corrupt,
+                              "checkpoint shard " + std::to_string(s) +
+                                  " is mid-stream but carries no arena");
+      }
+      slots[s].next = sc.next;
+      slots[s].arena = sc.arena;
+      std::copy(sc.rows.begin(), sc.rows.end(),
+                result.values.begin() +
+                    static_cast<std::ptrdiff_t>(sc.begin * cols));
+    }
+    metric_add(reg, "resil.resumes", 1);
+    if (options_.diag) {
+      options_.diag->report(DiagCode::CheckpointResumed, DiagSeverity::Note,
+                            "batch.run",
+                            "resumed at " + std::to_string(resume->vectors_done()) +
+                                "/" + std::to_string(num_vectors) + " vectors");
+    }
+  }
+
+  // Workers write disjoint row ranges of the output matrix; order is fixed
+  // by the shard boundaries, so the merge is free and deterministic. Shard
+  // bodies never throw (run_shard_guarded converts failures into retries
+  // and quarantine marks), so the pool barrier always completes cleanly.
+  pool_.parallel_for(shards, [&](std::size_t s) {
+    run_shard_guarded(inputs, s, slots[s], result.values);
   });
-  return out;
+
+  // Graceful degradation: quarantined shards re-run sequentially on the
+  // calling thread, one final attempt each. A failure here is a genuine,
+  // unrecoverable error and propagates to the caller. Skipped when the run
+  // is already stopping — the checkpoint keeps the shard's resume point.
+  const bool stopping =
+      std::any_of(slots.begin(), slots.end(), [](const ShardSlot& s) {
+        return s.stop != StopReason::None;
+      });
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!slots[s].quarantined || stopping) continue;
+    run_shard_any(inputs, s, slots[s], result.values,
+                  options_.retry_limit + 1);
+  }
+
+  for (const ShardSlot& slot : slots) {
+    result.retries += slot.retries;
+    result.quarantined += slot.quarantined ? 1 : 0;
+    result.vectors_done += slot.next - slot.begin;
+  }
+
+  StopReason reason = StopReason::None;
+  for (const ShardSlot& slot : slots) {
+    if (slot.stop == StopReason::Cancelled) reason = StopReason::Cancelled;
+    if (slot.stop == StopReason::Deadline && reason == StopReason::None) {
+      reason = StopReason::Deadline;
+    }
+  }
+  if (reason == StopReason::None) {
+    result.status = RunStatus::Complete;
+    return result;
+  }
+
+  result.status = reason == StopReason::Cancelled ? RunStatus::Cancelled
+                                                  : RunStatus::DeadlineExpired;
+  metric_add(reg, reason == StopReason::Cancelled ? "resil.cancelled"
+                                                  : "resil.deadline",
+             1);
+  // Assemble the resumable snapshot: per shard, the resume point, the
+  // settled arena (mid-stream shards only) and the completed output rows.
+  BatchCheckpoint& ck = result.checkpoint;
+  ck.word_bits = static_cast<std::uint32_t>(program_.word_bits);
+  ck.arena_words = program_.arena_words;
+  ck.input_words = program_.input_words;
+  ck.probe_count = static_cast<std::uint32_t>(probes_.size());
+  ck.num_vectors = num_vectors;
+  ck.shards.reserve(shards);
+  const std::size_t cols = probes_.size();
+  for (ShardSlot& slot : slots) {
+    ShardCheckpoint sc;
+    sc.begin = slot.begin;
+    sc.end = slot.end;
+    sc.next = slot.next;
+    sc.arena = std::move(slot.arena);
+    sc.rows.assign(
+        result.values.begin() + static_cast<std::ptrdiff_t>(slot.begin * cols),
+        result.values.begin() + static_cast<std::ptrdiff_t>(slot.next * cols));
+    ck.shards.push_back(std::move(sc));
+  }
+  metric_add(reg, "resil.checkpoints", 1);
+  if (options_.diag) {
+    options_.diag->report(
+        DiagCode::RunCancelled, DiagSeverity::Note, "batch.run",
+        std::string(stop_reason_name(reason)) + " after " +
+            std::to_string(result.vectors_done) + "/" +
+            std::to_string(num_vectors) + " vectors; checkpoint captured");
+  }
+  return result;
 }
 
 }  // namespace udsim

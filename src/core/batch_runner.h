@@ -14,6 +14,15 @@
 // Determinism guarantee: run() returns the same bits for every thread
 // count, equal to a sequential KernelRunner replay from the reset arena
 // (enforced by tests/batch_runner_test.cpp).
+//
+// Resilience (DESIGN.md §5f): the same one-piece-of-state property makes
+// shards independently retryable and the run checkpointable. run_resilient()
+// polls a CancelToken once per vector pass and, instead of tearing the run
+// down, returns a structured ResilientBatch whose BatchCheckpoint resumes
+// bit-identically; a shard whose body throws is retried from its seam up to
+// `retry_limit` times and then quarantined — replayed sequentially on the
+// calling thread after the pool drains. Every retry/quarantine/cancel event
+// is counted under resil.* and reported through Diagnostics.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +37,13 @@
 #include "ir/program.h"
 #include "netlist/logic.h"
 #include "obs/pass_cost.h"
+#include "resilience/cancel.h"
+#include "resilience/checkpoint.h"
+#include "resilience/fault_injection.h"
 
 namespace udsim {
+
+class Diagnostics;
 
 struct BatchOptions {
   unsigned num_threads = 0;    ///< worker threads; 0 = all hardware threads
@@ -43,6 +57,39 @@ struct BatchOptions {
   /// Engine-specific per-pass constants added per payload pass (see
   /// ExecCounters::attach extras).
   std::vector<std::pair<std::string, std::uint64_t>> extra_pass_cost;
+  /// Cooperative stop: polled once per vector pass (one relaxed load + one
+  /// branch; one dead branch when null). run() raises Cancelled; the
+  /// resilient entry point returns a checkpoint instead.
+  const CancelToken* cancel = nullptr;
+  /// Deterministic fault-injection harness (tests/bench only).
+  FaultInjector* inject = nullptr;
+  /// Shard attempts after the first before the shard is quarantined.
+  unsigned retry_limit = 2;
+  /// Retry / quarantine / cancel events as structured records.
+  Diagnostics* diag = nullptr;
+};
+
+/// How a resilient run ended.
+enum class RunStatus : std::uint8_t {
+  Complete,        ///< every vector executed
+  Cancelled,       ///< stopped by CancelToken::request_cancel
+  DeadlineExpired, ///< stopped by the token's deadline (or injected overrun)
+};
+
+[[nodiscard]] std::string_view run_status_name(RunStatus s) noexcept;
+
+/// Structured result of BatchRunner::run_resilient. When status is not
+/// Complete, `values` holds valid rows exactly for the vectors recorded in
+/// `checkpoint` (other rows are zero) and `checkpoint` resumes the run
+/// bit-identically under the same geometry (program, vector count, thread
+/// count, min_chunk).
+struct ResilientBatch {
+  RunStatus status = RunStatus::Complete;
+  std::vector<Bit> values;
+  BatchCheckpoint checkpoint;      ///< populated when status != Complete
+  std::uint64_t vectors_done = 0;  ///< rows of `values` that are final
+  std::uint64_t retries = 0;       ///< shard attempts beyond the first
+  std::uint64_t quarantined = 0;   ///< shards degraded to sequential replay
 };
 
 /// Runs a vector stream through one compiled `Program` on a worker pool:
@@ -61,8 +108,24 @@ class BatchRunner {
   /// `program.input_words` words per vector (uint64 carrier, truncated to
   /// the program's word size). Returns a row-major Bit matrix of
   /// `num_vectors` rows × `probes().size()` columns, in submission order.
+  /// With a cancel token attached, an early stop raises Cancelled (the
+  /// partial work is discarded; state is never torn). `num_vectors == 0`
+  /// short-circuits to an empty result: no seam replay, no pool dispatch,
+  /// no metrics traffic.
   [[nodiscard]] std::vector<Bit> run(std::span<const std::uint64_t> inputs,
                                      std::size_t num_vectors);
+
+  /// run() with structured stop handling: cancellation/deadline returns a
+  /// RunStatus plus a resumable checkpoint instead of throwing, failed
+  /// shards are retried and quarantined per BatchOptions, and `resume`
+  /// (optional) continues a previous snapshot — the combined run is
+  /// bit-identical to an uninterrupted one. Throws CheckpointError
+  /// (Kind::Geometry) when `resume` does not match this runner's geometry,
+  /// and rethrows a shard's error only after its sequential quarantine
+  /// replay also failed.
+  [[nodiscard]] ResilientBatch run_resilient(
+      std::span<const std::uint64_t> inputs, std::size_t num_vectors,
+      const BatchCheckpoint* resume = nullptr);
 
   [[nodiscard]] unsigned num_threads() const noexcept { return pool_.threads(); }
   [[nodiscard]] const std::vector<ArenaProbe>& probes() const noexcept {
@@ -75,9 +138,28 @@ class BatchRunner {
   [[nodiscard]] std::size_t shard_count(std::size_t num_vectors) const noexcept;
 
  private:
+  /// Mutable per-shard execution state (internal; becomes a ShardCheckpoint
+  /// when a run stops early).
+  struct ShardSlot {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t next = 0;             ///< first unexecuted vector
+    std::vector<std::uint64_t> arena; ///< settled arena when mid-stream
+    StopReason stop = StopReason::None;
+    std::uint64_t retries = 0;
+    bool quarantined = false;
+  };
+
   template <class Word>
-  void run_shard(std::span<const std::uint64_t> inputs, std::size_t begin,
-                 std::size_t end, std::span<Bit> out) const;
+  void run_shard(std::span<const std::uint64_t> inputs, std::size_t shard_index,
+                 ShardSlot& slot, std::span<Bit> out, unsigned attempt);
+  void run_shard_any(std::span<const std::uint64_t> inputs,
+                     std::size_t shard_index, ShardSlot& slot,
+                     std::span<Bit> out, unsigned attempt);
+  /// Retry loop around run_shard; sets slot.quarantined instead of throwing.
+  void run_shard_guarded(std::span<const std::uint64_t> inputs,
+                         std::size_t shard_index, ShardSlot& slot,
+                         std::span<Bit> out);
 
   const Program& program_;
   std::vector<ArenaProbe> probes_;

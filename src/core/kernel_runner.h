@@ -10,6 +10,7 @@
 #include "ir/program.h"
 #include "netlist/logic.h"
 #include "obs/pass_cost.h"
+#include "resilience/cancel.h"
 
 namespace udsim {
 
@@ -34,9 +35,14 @@ class KernelRunner {
   }
 
   /// Simulate one vector: `in` is one word per primary input (bit 0 in
-  /// scalar mode, one lane per bit in packed mode).
+  /// scalar mode, one lane per bit in packed mode). With a cancel token
+  /// attached, a cancelled/deadline-expired token raises Cancelled *before*
+  /// the pass starts, so the settled arena always reflects whole vectors.
   void run(std::span<const Word> in) {
+    const StopReason r = poll_.poll();  // one dead branch when detached
+    if (r != StopReason::None) throw Cancelled(r, "kernel.run", passes_ + 1);
     execute<Word>(program_, in, arena_);
+    ++passes_;
     exec_.on_passes(1);  // single branch when no registry is attached
   }
 
@@ -57,16 +63,46 @@ class KernelRunner {
   [[nodiscard]] std::span<const Word> arena() const noexcept { return arena_; }
   [[nodiscard]] const Program& program() const noexcept { return program_; }
 
+  /// Attach (or detach, with nullptr) a cancel token; see run().
+  void set_cancel(const CancelToken* token) noexcept { poll_ = CancelPoll(token); }
+
+  /// Vectors executed since construction/reset.
+  [[nodiscard]] std::uint64_t passes() const noexcept { return passes_; }
+
+  /// Copy the settled arena into a word-size-independent uint64 carrier
+  /// (the checkpoint representation; DESIGN.md §5f).
+  void save_arena(std::vector<std::uint64_t>& out) const {
+    out.assign(arena_.begin(), arena_.end());
+  }
+
+  /// Restore an arena previously captured with save_arena — the one piece
+  /// of cross-vector state, so a restored runner continues bit-identically.
+  void load_arena(std::span<const std::uint64_t> saved) {
+    if (saved.size() != arena_.size()) {
+      throw std::invalid_argument("KernelRunner::load_arena: size mismatch");
+    }
+    for (std::size_t i = 0; i < saved.size(); ++i) {
+      arena_[i] = static_cast<Word>(saved[i]);
+    }
+  }
+
+  /// Mutable arena access for the fault-injection harness and tests; normal
+  /// clients never need this.
+  [[nodiscard]] std::span<Word> mutable_arena() noexcept { return arena_; }
+
   /// Clear state back to the post-construction arena.
   void reset() {
     arena_.assign(program_.arena_words, 0);
     initialize_arena<Word>(program_, std::span<Word>(arena_));
+    passes_ = 0;
   }
 
  private:
   const Program& program_;
   std::vector<Word> arena_;
   ExecCounters exec_;
+  CancelPoll poll_{nullptr};
+  std::uint64_t passes_ = 0;
 };
 
 }  // namespace udsim

@@ -16,6 +16,8 @@ PatternSet read_patterns(std::istream& in, const Netlist& nl) {
   std::string line;
   std::size_t lineno = 0;
   bool saw_header = false;
+  std::size_t first_row_width = 0;  // width of the first vector row seen
+  std::size_t first_row_line = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (auto hash = line.find('#'); hash != std::string::npos) {
@@ -50,11 +52,25 @@ PatternSet read_patterns(std::istream& in, const Netlist& nl) {
       col_to_pi = std::move(order);
       continue;
     }
-    // A vector row.
+    // A vector row. A width change relative to earlier rows is diagnosed
+    // specifically — it means the stream itself is inconsistent (a mangled
+    // concatenation, say), which is a different defect than a stream whose
+    // uniform width disagrees with the netlist.
+    if (first_row_line != 0 && first.size() != first_row_width) {
+      throw PatternParseError(
+          "line " + std::to_string(lineno) + ": row width changed mid-stream (" +
+          std::to_string(first.size()) + " bits here vs " +
+          std::to_string(first_row_width) + " on line " +
+          std::to_string(first_row_line) + ")");
+    }
     if (first.size() != ps.inputs) {
       throw PatternParseError("line " + std::to_string(lineno) + ": expected " +
                               std::to_string(ps.inputs) + " bits, got " +
                               std::to_string(first.size()));
+    }
+    if (first_row_line == 0) {
+      first_row_width = first.size();
+      first_row_line = lineno;
     }
     std::string extra;
     if (ls >> extra) {

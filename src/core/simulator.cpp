@@ -4,6 +4,7 @@
 
 #include "core/batch_runner.h"
 #include "eventsim/event_sim.h"
+#include "resilience/program_validator.h"
 #include "lcc/lcc.h"
 #include "parsim/parallel_sim.h"
 #include "pcsim/pcset_sim.h"
@@ -107,6 +108,19 @@ class EngineAdapter final : public Simulator {
     return value_of(engine_, n);
   }
 
+  [[nodiscard]] const Program* compiled_program() const noexcept override {
+    return batch_program(engine_);
+  }
+  [[nodiscard]] std::vector<ArenaProbe> output_probes() const override {
+    return batch_probes(engine_, nl_);
+  }
+  void set_cancel(const CancelToken* token) noexcept override {
+    cancel_ = token;
+    if constexpr (requires { engine_.set_cancel(token); }) {
+      engine_.set_cancel(token);
+    }
+  }
+
   [[nodiscard]] BatchResult run_batch(std::span<const Bit> vectors,
                                       unsigned num_threads) const override {
     const std::size_t count = batch_vector_count(nl_, vectors);
@@ -120,6 +134,9 @@ class EngineAdapter final : public Simulator {
       // the reset-state semantics and this instance's state both hold.
       Engine fresh(nl_);
       fresh.set_metrics(metrics_);
+      if constexpr (requires { fresh.set_cancel(cancel_); }) {
+        fresh.set_cancel(cancel_);
+      }
       const std::size_t pis = nl_.primary_inputs().size();
       r.values.reserve(count * r.outputs.size());
       for (std::size_t v = 0; v < count; ++v) {
@@ -142,7 +159,8 @@ class EngineAdapter final : public Simulator {
     BatchRunner batch(program, batch_probes(engine_, nl_),
                       BatchOptions{.num_threads = num_threads,
                                    .metrics = metrics_,
-                                   .extra_pass_cost = batch_extras(engine_)});
+                                   .extra_pass_cost = batch_extras(engine_),
+                                   .cancel = cancel_});
     r.values = batch.run(in, count);
     r.threads = batch.num_threads();
   }
@@ -159,6 +177,7 @@ class EngineAdapter final : public Simulator {
   const Netlist& nl_;
   Engine engine_;
   MetricsRegistry* metrics_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
 };
 
 ParallelOptions parallel_options(EngineKind kind) {
@@ -217,8 +236,10 @@ std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kin
     throw NetlistError("make_simulator: unknown engine kind");
   }();
   // The registry that traced the compile also receives the runtime
-  // counters, so one object tells the whole story of an engine's life.
+  // counters, so one object tells the whole story of an engine's life;
+  // likewise the token that could stop the compile keeps polling at runtime.
   if (guard && guard->metrics) sim->set_metrics(guard->metrics);
+  if (guard && guard->cancel) sim->set_cancel(guard->cancel);
   return sim;
 }
 
@@ -245,7 +266,7 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
   if (policy.chain.empty()) {
     throw NetlistError("make_simulator_with_fallback: empty engine chain");
   }
-  const CompileGuard guard{policy.budget, diag, policy.metrics};
+  const CompileGuard guard{policy.budget, diag, policy.metrics, policy.cancel};
   std::size_t downgrades = 0;
   for (EngineKind kind : policy.chain) {
     const bool last = kind == policy.chain.back();
@@ -270,6 +291,26 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
     }
     try {
       std::unique_ptr<Simulator> sim = make_simulator_impl(nl, kind, &guard);
+      // Pre-flight validation (DESIGN.md §5f): a compiled program must pass
+      // the structural checks before it is allowed near an arena — and the
+      // check re-runs after every downgrade, since each downgrade built a
+      // *different* program.
+      if (policy.validate) {
+        if (const Program* program = sim->compiled_program()) {
+          const std::vector<ArenaProbe> probes = sim->output_probes();
+          Diagnostics local;
+          Diagnostics& vdiag = diag ? *diag : local;
+          if (!validate_program(*program, ValidateOptions{.probes = probes},
+                                vdiag)) {
+            ++downgrades;
+            if (last) {
+              throw ProgramRejected(validate_program_brief(
+                  *program, ValidateOptions{.probes = probes}));
+            }
+            continue;
+          }
+        }
+      }
       if (diag) {
         diag->report(DiagCode::EngineSelected, DiagSeverity::Note,
                      std::string(engine_name(kind)),

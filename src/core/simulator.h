@@ -10,11 +10,15 @@
 
 #include "analysis/compile_budget.h"
 #include "core/engine_kind.h"
+#include "core/kernel_runner.h"
 #include "netlist/diagnostics.h"
 #include "netlist/netlist.h"
 #include "obs/metrics.h"
+#include "resilience/cancel.h"
 
 namespace udsim {
+
+struct Program;
 
 /// Result of a batch run: the settled value of every primary output for
 /// every vector of the stream, in submission order.
@@ -71,6 +75,22 @@ class Simulator {
   virtual void set_metrics(MetricsRegistry* reg) noexcept = 0;
   [[nodiscard]] virtual MetricsRegistry* metrics() const noexcept = 0;
 
+  /// The straight-line program a compiled engine executes, or nullptr for
+  /// the interpreted event engines. Lets engine-agnostic layers (the
+  /// resilient batch facade, the pre-flight ProgramValidator) reach the
+  /// program without knowing the engine type.
+  [[nodiscard]] virtual const Program* compiled_program() const noexcept = 0;
+
+  /// Arena bits holding each primary output's settled value, in netlist
+  /// primary-output order; empty for engines without a compiled program.
+  [[nodiscard]] virtual std::vector<ArenaProbe> output_probes() const = 0;
+
+  /// Attach (or detach, with nullptr) a cooperative cancel token: step()
+  /// raises Cancelled between vectors once the token has stopped, and
+  /// run_batch() propagates the token into its shard workers. One polled
+  /// branch per vector pass; zero-cost (a dead branch) when detached.
+  virtual void set_cancel(const CancelToken* token) noexcept = 0;
+
  protected:
   Simulator() = default;
 };
@@ -98,6 +118,13 @@ struct SimPolicy {
       EngineKind::PCSet, EngineKind::ZeroDelayLcc, EngineKind::Event2};
   CompileBudget budget{};              ///< unlimited by default
   MetricsRegistry* metrics = nullptr;  ///< compile spans + runtime counters
+  /// Cooperative stop, honored at compile-phase boundaries during
+  /// construction and attached to the built engine for runtime polling.
+  const CancelToken* cancel = nullptr;
+  /// Run the ProgramValidator pre-flight pass over every compiled engine
+  /// the chain builds (including after each downgrade); a rejected program
+  /// is treated like a budget miss — diagnosed, then the next engine tried.
+  bool validate = true;
 };
 
 /// Walk `policy.chain`, skipping engines whose compile cost exceeds

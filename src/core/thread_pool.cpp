@@ -1,5 +1,6 @@
 #include "core/thread_pool.h"
 
+#include <atomic>
 #include <exception>
 #include <memory>
 #include <utility>
@@ -62,14 +63,18 @@ void ThreadPool::parallel_for(std::size_t n,
     std::condition_variable done_cv;
     std::size_t remaining;
     std::exception_ptr error;
+    std::atomic<bool> failed{false};
   };
   auto barrier = std::make_shared<Barrier>();
   barrier->remaining = n;
   for (std::size_t i = 0; i < n; ++i) {
     submit([barrier, &body, i] {
       try {
-        body(i);
+        // Fail-fast: once any body has thrown, indices not yet started are
+        // skipped (they still count toward the barrier).
+        if (!barrier->failed.load(std::memory_order_acquire)) body(i);
       } catch (...) {
+        barrier->failed.store(true, std::memory_order_release);
         std::lock_guard lock(barrier->mu);
         if (!barrier->error) barrier->error = std::current_exception();
       }

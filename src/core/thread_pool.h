@@ -40,6 +40,13 @@ class ThreadPool {
   /// Indices are claimed in order but may execute concurrently; with a
   /// single worker (or n == 1) the loop runs inline on the calling thread,
   /// giving an exact single-threaded execution for fallback paths.
+  ///
+  /// Fail-fast guarantee: after the first body throws, indices that have
+  /// not yet started are skipped rather than executed; the call still
+  /// blocks until every submitted task has drained, then rethrows the
+  /// first exception. Bodies already running when the failure happens run
+  /// to completion (there is no preemption). The inline single-thread path
+  /// fail-fasts trivially by propagating the throw immediately.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// std::thread::hardware_concurrency(), never less than 1.

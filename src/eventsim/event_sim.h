@@ -17,6 +17,7 @@
 #include "analysis/levelize.h"
 #include "netlist/netlist.h"
 #include "obs/metrics.h"
+#include "resilience/cancel.h"
 
 namespace udsim {
 
@@ -84,7 +85,12 @@ class EventSimT {
   }
 
   /// Simulate one input vector. Records changes when `record` is true.
+  /// With a cancel token attached, a cancelled/deadline-expired token
+  /// raises Cancelled *before* the vector starts, so net values always
+  /// reflect whole settled vectors.
   void step(std::span<const Bit> pi_values, bool record = false) {
+    const StopReason r = poll_.poll();  // one dead branch when detached
+    if (r != StopReason::None) throw Cancelled(r, "event.step", stats_.vectors + 1);
     if (pi_values.size() != nl_.primary_inputs().size()) {
       throw std::invalid_argument("EventSim::step: wrong primary-input count");
     }
@@ -164,6 +170,9 @@ class EventSimT {
     published_ = stats_;
   }
 
+  /// Attach (or detach, with nullptr) a cancel token; see step().
+  void set_cancel(const CancelToken* token) noexcept { poll_ = CancelPoll(token); }
+
   void reset(Value v) {
     for (Value& x : values_) x = v;
     for (const Gate& g : nl_.gates()) {
@@ -228,6 +237,7 @@ class EventSimT {
   MetricCounter* metric_events_ = nullptr;
   MetricCounter* metric_gate_evals_ = nullptr;
   EventSimStats published_;
+  CancelPoll poll_{nullptr};
 };
 
 }  // namespace detail

@@ -42,10 +42,12 @@ LccCompiled compile_lcc(const Netlist& nl, bool packed, int word_bits,
   }
 
   const std::vector<GateId> order = [&] {
+    guard.check_cancel("compile.levelize");
     TraceSpan span(reg, "compile.levelize");
     return topological_gate_order(nl);
   }();
   {
+    guard.check_cancel("compile.emit");
     TraceSpan span(reg, "compile.emit");
     out.def_end.assign(nl.net_count(), 0);
     for (std::uint32_t i = 0; i < nl.primary_inputs().size(); ++i) {

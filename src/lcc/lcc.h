@@ -69,6 +69,8 @@ class LccSim {
 
   /// Attach runtime execution counters (obs/pass_cost.h).
   void set_metrics(MetricsRegistry* reg) { runner_.set_metrics(reg); }
+  /// Cooperative stop between vectors (see KernelRunner::set_cancel).
+  void set_cancel(const CancelToken* token) noexcept { runner_.set_cancel(token); }
 
  private:
   const Netlist& nl_;

@@ -28,6 +28,32 @@ std::string_view diag_code_name(DiagCode c) noexcept {
       return "budget-downgrade";
     case DiagCode::EngineSelected:
       return "engine-selected";
+    case DiagCode::ProgramWordSize:
+      return "program-word-size";
+    case DiagCode::ProgramOpBounds:
+      return "program-op-bounds";
+    case DiagCode::ProgramInputBounds:
+      return "program-input-bounds";
+    case DiagCode::ProgramShiftRange:
+      return "program-shift-range";
+    case DiagCode::ProgramInitBounds:
+      return "program-init-bounds";
+    case DiagCode::ProgramScratchRead:
+      return "program-scratch-read";
+    case DiagCode::ProgramProbeBounds:
+      return "program-probe-bounds";
+    case DiagCode::ProgramInputUnused:
+      return "program-input-unused";
+    case DiagCode::ProgramAccepted:
+      return "program-accepted";
+    case DiagCode::ShardRetry:
+      return "shard-retry";
+    case DiagCode::ShardQuarantined:
+      return "shard-quarantined";
+    case DiagCode::RunCancelled:
+      return "run-cancelled";
+    case DiagCode::CheckpointResumed:
+      return "checkpoint-resumed";
   }
   return "?";
 }

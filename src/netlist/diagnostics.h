@@ -39,6 +39,21 @@ enum class DiagCode : std::uint8_t {
   GapWordFallback,    ///< trimming filled gap words by broadcast fallback
   BudgetDowngrade,    ///< an engine was rejected because of a CompileBudget
   EngineSelected,     ///< the engine a fallback chain settled on
+  // Program validation (resilience/program_validator.h).
+  ProgramWordSize,    ///< word_bits is neither 32 nor 64
+  ProgramOpBounds,    ///< op touches an arena word outside the arena
+  ProgramInputBounds, ///< Load* references an input word outside the span
+  ProgramShiftRange,  ///< shift immediate >= word size / zero funnel shift
+  ProgramInitBounds,  ///< arena_init index outside the arena
+  ProgramScratchRead, ///< scratch word read before any write
+  ProgramProbeBounds, ///< output probe outside the arena / word size
+  ProgramInputUnused, ///< input word never loaded (coverage warning)
+  ProgramAccepted,    ///< validation passed (note)
+  // Resilient execution (resilience/, core/batch_runner.h).
+  ShardRetry,         ///< a failed shard was retried from its seam
+  ShardQuarantined,   ///< retries exhausted; shard replayed sequentially
+  RunCancelled,       ///< a run stopped at a cancel/deadline poll
+  CheckpointResumed,  ///< a run continued from a snapshot
 };
 
 [[nodiscard]] std::string_view diag_code_name(DiagCode c) noexcept;

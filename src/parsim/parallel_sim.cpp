@@ -451,10 +451,12 @@ ParallelCompiled compile_parallel(const Netlist& nl, const ParallelOptions& opti
   ParallelCompiled out;
   out.options = options;
   {
+    guard.check_cancel("compile.levelize");
     TraceSpan span(reg, "compile.levelize");
     out.lv = levelize(nl);
   }
   {
+    guard.check_cancel("compile.alignment");
     TraceSpan span(reg, "compile.alignment");
     switch (options.shift_elim) {
       case ShiftElim::None:
@@ -471,6 +473,7 @@ ParallelCompiled compile_parallel(const Netlist& nl, const ParallelOptions& opti
   }
   const bool uniform = options.shift_elim == ShiftElim::None;
   {
+    guard.check_cancel("compile.trimming");
     TraceSpan span(reg, "compile.trimming");
     out.widths = field_widths(nl, out.lv, out.plan, uniform);
     if (options.trimming) {
@@ -487,6 +490,7 @@ ParallelCompiled compile_parallel(const Netlist& nl, const ParallelOptions& opti
   out.program.word_bits = options.word_bits;
 
   {
+    guard.check_cancel("compile.emit");
     TraceSpan span(reg, "compile.emit");
     ParallelEmitter emitter(nl, out);
     emitter.run();

@@ -147,6 +147,8 @@ class ParallelSim {
   void set_metrics(MetricsRegistry* reg) {
     runner_.set_metrics(reg, metric_extras());
   }
+  /// Cooperative stop between vectors (see KernelRunner::set_cancel).
+  void set_cancel(const CancelToken* token) noexcept { runner_.set_cancel(token); }
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
   metric_extras() const {
     return {{"exec.trimmed_stores_skipped", compiled_.stats.suppressed_stores},

@@ -61,13 +61,16 @@ PCSetCompiled compile_pcset(const Netlist& nl, std::span<const NetId> monitored,
   }
 
   const Levelization lv = [&] {
+    guard.check_cancel("compile.levelize");
     TraceSpan span(reg, "compile.levelize");
     return levelize(nl);
   }();
   PCSets pc = [&] {
+    guard.check_cancel("compile.pcset");
     TraceSpan span(reg, "compile.pcset");
     return compute_pc_sets(nl, lv);
   }();
+  guard.check_cancel("compile.emit");
   TraceSpan emit_span_outer(reg, "compile.emit");
   insert_zeros(nl, lv, out.monitored, pc);
   // If any monitored net retains its previous value (element 0), the PRINT

@@ -1,0 +1,40 @@
+#include "resilience/cancel.h"
+
+namespace udsim {
+
+std::string_view stop_reason_name(StopReason r) noexcept {
+  switch (r) {
+    case StopReason::None:
+      return "none";
+    case StopReason::Cancelled:
+      return "cancelled";
+    case StopReason::Deadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string cancelled_message(StopReason reason, const std::string& site,
+                              std::uint64_t vector_index) {
+  std::string m(stop_reason_name(reason));
+  m += " at ";
+  m += site;
+  if (vector_index != 0) {
+    m += " (vector ";
+    m += std::to_string(vector_index);
+    m += ")";
+  }
+  return m;
+}
+
+}  // namespace
+
+Cancelled::Cancelled(StopReason reason, std::string site, std::uint64_t vector_index)
+    : std::runtime_error(cancelled_message(reason, site, vector_index)),
+      reason_(reason),
+      site_(std::move(site)),
+      vector_(vector_index) {}
+
+}  // namespace udsim

@@ -1,0 +1,131 @@
+// Cooperative cancellation for long-running simulation work.
+//
+// A `CancelToken` is the one shared flag a controller flips to stop a run:
+// the execution layers (KernelRunner, BatchRunner, the event engines, the
+// guarded compilers) poll it once per vector pass / compile phase and stop
+// at the next boundary — never mid-pass, so the settled arena is always a
+// consistent prefix of the uninterrupted run and checkpointing stays free.
+// Polling follows the observability layer's overhead policy (DESIGN.md §5e,
+// §5f): one relaxed atomic load and one predictable branch per pass when a
+// token is attached, exactly one dead branch when none is. Deadlines ride on
+// the same token; the clock is only read every `CancelPoll::kClockStride`
+// polls so a deadline costs no per-pass clock read.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace udsim {
+
+/// Why an execution stopped early.
+enum class StopReason : std::uint8_t {
+  None,      ///< still running / ran to completion
+  Cancelled, ///< CancelToken::request_cancel()
+  Deadline,  ///< the token's deadline passed (or an injected overrun)
+};
+
+[[nodiscard]] std::string_view stop_reason_name(StopReason r) noexcept;
+
+/// Sticky cancellation flag plus an optional monotonic deadline. The token
+/// must outlive every run polling it; one token may be shared by any number
+/// of concurrent shards/engines (all reads are relaxed atomics).
+class CancelToken {
+ public:
+  /// Request cancellation. Sticky: there is no un-cancel.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop the run `budget` from now (steady clock). A zero/negative budget
+  /// expires immediately; call clear_deadline() to remove.
+  void set_deadline_after(std::chrono::nanoseconds budget) noexcept {
+    deadline_ns_.store(now_ns() + budget.count(), std::memory_order_relaxed);
+  }
+  void clear_deadline() noexcept {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+  /// Reads the clock; prefer CancelPoll on hot paths.
+  [[nodiscard]] bool deadline_expired() const noexcept {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != kNoDeadline && now_ns() >= d;
+  }
+
+  /// The reason a poll would stop right now (clock read when a deadline is
+  /// set) — for cold paths like compile-phase boundaries.
+  [[nodiscard]] StopReason stop_reason() const noexcept {
+    if (cancel_requested()) return StopReason::Cancelled;
+    if (deadline_expired()) return StopReason::Deadline;
+    return StopReason::None;
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = INT64_MAX;
+  [[nodiscard]] static std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+/// Per-run polling helper: amortizes the deadline's clock read over
+/// kClockStride passes while the cancel flag itself is checked every pass.
+/// With a null token poll() is a single predictable branch.
+class CancelPoll {
+ public:
+  static constexpr unsigned kClockStride = 64;
+
+  explicit CancelPoll(const CancelToken* token) noexcept : token_(token) {}
+
+  [[nodiscard]] StopReason poll() noexcept {
+    if (token_ == nullptr) return StopReason::None;
+    if (token_->cancel_requested()) return StopReason::Cancelled;
+    if (token_->has_deadline() && ++since_clock_ >= kClockStride) {
+      since_clock_ = 0;
+      if (token_->deadline_expired()) return StopReason::Deadline;
+    }
+    return StopReason::None;
+  }
+
+  /// Forces the next poll() to read the clock (used right before waits).
+  void force_clock_check() noexcept { since_clock_ = kClockStride; }
+
+  [[nodiscard]] const CancelToken* token() const noexcept { return token_; }
+
+ private:
+  const CancelToken* token_;
+  unsigned since_clock_ = 0;
+};
+
+/// Thrown by layers whose API has no structured-result channel (KernelRunner
+/// runs, event-engine steps, the guarded compilers). The batch layer never
+/// throws this from its resilient entry point — it returns a structured
+/// ResilientBatch with a checkpoint instead.
+class Cancelled : public std::runtime_error {
+ public:
+  Cancelled(StopReason reason, std::string site, std::uint64_t vector_index = 0);
+
+  [[nodiscard]] StopReason reason() const noexcept { return reason_; }
+  /// Where the run stopped ("kernel.run", "compile.levelize", ...).
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+  /// Vector index the stop preceded (0 when not vector-indexed).
+  [[nodiscard]] std::uint64_t vector_index() const noexcept { return vector_; }
+
+ private:
+  StopReason reason_;
+  std::string site_;
+  std::uint64_t vector_;
+};
+
+}  // namespace udsim

@@ -1,0 +1,106 @@
+#include "resilience/resilient_run.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/program.h"
+#include "netlist/diagnostics.h"
+#include "resilience/program_validator.h"
+
+namespace udsim {
+
+namespace {
+
+std::size_t vector_count_of(const Netlist& nl, std::span<const Bit> vectors) {
+  const std::size_t pis = nl.primary_inputs().size();
+  if (pis == 0) {
+    if (!vectors.empty()) {
+      throw std::invalid_argument(
+          "run_batch_resilient: vector stream given but the netlist has no "
+          "primary inputs");
+    }
+    return 0;
+  }
+  if (vectors.size() % pis != 0) {
+    throw std::invalid_argument(
+        "run_batch_resilient: stream size " + std::to_string(vectors.size()) +
+        " is not a multiple of the primary-input count " + std::to_string(pis));
+  }
+  return vectors.size() / pis;
+}
+
+}  // namespace
+
+ResilientResult run_batch_resilient(const Simulator& sim,
+                                    std::span<const Bit> vectors,
+                                    const ResilientOptions& opts) {
+  const Netlist& nl = sim.netlist();
+  const std::size_t count = vector_count_of(nl, vectors);
+  ResilientResult r;
+  r.batch.outputs = nl.primary_outputs();
+  r.batch.vectors = count;
+
+  const Program* program = sim.compiled_program();
+  if (program == nullptr) {
+    // Interpreted engine: cancellation still works (the engine polls between
+    // vectors), but there is no word arena to snapshot, so an early stop
+    // cannot checkpoint — partial rows are discarded.
+    try {
+      r.batch = sim.run_batch(vectors, opts.num_threads);
+      r.vectors_done = count;
+    } catch (const Cancelled& e) {
+      r.status = e.reason() == StopReason::Deadline ? RunStatus::DeadlineExpired
+                                                    : RunStatus::Cancelled;
+      r.batch.values.clear();
+      r.vectors_done = e.vector_index() > 0 ? e.vector_index() - 1 : 0;
+      if (opts.diag) {
+        opts.diag->report(DiagCode::RunCancelled, DiagSeverity::Note,
+                          "run_batch_resilient",
+                          std::string(stop_reason_name(e.reason())) +
+                              " in interpreted engine; no checkpoint (not "
+                              "resumable)");
+      }
+    }
+    return r;
+  }
+
+  std::vector<ArenaProbe> probes = sim.output_probes();
+  if (opts.validate) {
+    const ValidateOptions vopts{.probes = probes};
+    Diagnostics local;
+    Diagnostics& vdiag = opts.diag ? *opts.diag : local;
+    if (!validate_program(*program, vopts, vdiag)) {
+      throw ProgramRejected(validate_program_brief(*program, vopts));
+    }
+  }
+
+  const std::size_t pis = nl.primary_inputs().size();
+  if (program->input_words != pis) {
+    throw std::logic_error(
+        "run_batch_resilient: program is not in scalar input mode");
+  }
+  std::vector<std::uint64_t> in(count * pis);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = vectors[i] & 1;
+
+  BatchRunner runner(*program, std::move(probes),
+                     BatchOptions{.num_threads = opts.num_threads,
+                                  .metrics = opts.metrics,
+                                  .cancel = opts.cancel,
+                                  .inject = opts.inject,
+                                  .retry_limit = opts.retry_limit,
+                                  .diag = opts.diag});
+  ResilientBatch b = runner.run_resilient(in, count, opts.resume);
+  r.status = b.status;
+  r.batch.values = std::move(b.values);
+  r.batch.threads = runner.num_threads();
+  r.checkpoint = std::move(b.checkpoint);
+  r.resumable = true;
+  r.vectors_done = b.vectors_done;
+  r.retries = b.retries;
+  r.quarantined = b.quarantined;
+  return r;
+}
+
+}  // namespace udsim

@@ -1,0 +1,57 @@
+// Engine-agnostic resilient batch execution over the Simulator facade.
+//
+// run_batch_resilient() is the one entry point that composes the whole
+// resilience stack (DESIGN.md §5f): pre-flight ProgramValidator, cooperative
+// cancellation, checkpoint/resume, deterministic fault injection and shard
+// retry-with-quarantine. For a compiled engine it validates the engine's
+// program, then drives BatchRunner::run_resilient; for the interpreted event
+// engines (no compiled program, state not captured in a word arena) it still
+// honors cancellation but cannot produce a checkpoint — `resumable` is false
+// and an early stop discards the partial rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/batch_runner.h"
+#include "core/simulator.h"
+#include "resilience/cancel.h"
+#include "resilience/checkpoint.h"
+#include "resilience/fault_injection.h"
+
+namespace udsim {
+
+struct ResilientOptions {
+  unsigned num_threads = 0;  ///< worker threads; 0 = all hardware threads
+  const CancelToken* cancel = nullptr;
+  FaultInjector* inject = nullptr;  ///< tests/bench only
+  unsigned retry_limit = 2;         ///< shard retries before quarantine
+  MetricsRegistry* metrics = nullptr;
+  Diagnostics* diag = nullptr;
+  /// Continue a previous early-stopped run; must match this run's geometry
+  /// (program, vector count, thread count) or CheckpointError(Geometry).
+  const BatchCheckpoint* resume = nullptr;
+  /// Run ProgramValidator before the first pass; a rejected program throws
+  /// ProgramRejected instead of executing.
+  bool validate = true;
+};
+
+struct ResilientResult {
+  RunStatus status = RunStatus::Complete;
+  BatchResult batch;  ///< rows beyond `vectors_done` are zero when stopped
+  BatchCheckpoint checkpoint;      ///< populated when stopped and resumable
+  bool resumable = false;          ///< compiled engines only
+  std::uint64_t vectors_done = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t quarantined = 0;
+};
+
+/// Batch-run `vectors` (row-major, one Bit per primary input per row)
+/// through `sim` with the full resilience stack. Always replays from the
+/// engine's reset state (plus `resume`, when given), like
+/// Simulator::run_batch.
+[[nodiscard]] ResilientResult run_batch_resilient(const Simulator& sim,
+                                                  std::span<const Bit> vectors,
+                                                  const ResilientOptions& opts = {});
+
+}  // namespace udsim

@@ -74,13 +74,26 @@ void expect_parse_error(const Netlist& nl, const std::string& text,
 TEST(PatternIo, MalformedInputsRaiseWithLineNumbers) {
   const Netlist nl = test::fig4_network();
   expect_parse_error(nl, "101\n1x1\n", "line 2", "bits must be 0 or 1");
-  expect_parse_error(nl, "# c\n101\n10\n", "line 3", "expected 3 bits");
+  expect_parse_error(nl, "# c\n10\n", "line 2", "expected 3 bits");
   expect_parse_error(nl, "inputs A B NOPE\n", "line 1", "unknown input 'NOPE'");
   expect_parse_error(nl, "inputs A B\n", "line 1",
                      "header must name every primary input once");
   expect_parse_error(nl, "101\ninputs A B C\n", "line 2",
                      "header must precede all vectors");
   expect_parse_error(nl, "101 junk\n", "line 1", "trailing tokens");
+}
+
+TEST(PatternIo, RowWidthChangeMidStreamNamesBothWidthsAndLines) {
+  const Netlist nl = test::fig4_network();  // 3 primary inputs
+  // A narrower AND a wider row must both be diagnosed as a mid-stream width
+  // change naming the offending width, the established width, and both line
+  // numbers — not as a generic wrong-width row.
+  expect_parse_error(nl, "101\n10\n", "line 2", "row width changed mid-stream");
+  expect_parse_error(nl, "# c\n101\n\n1010\n", "line 4",
+                     "4 bits here vs 3 on line 2");
+  // Comments and blank lines between rows must not reset the tracking.
+  expect_parse_error(nl, "101\n# note\n\n11\n", "line 4",
+                     "2 bits here vs 3 on line 1");
 }
 
 TEST(PatternIo, ResponsesCarryOutputHeader) {

@@ -136,6 +136,28 @@ TEST(ThreadPoolExceptions, ManyFailuresStillSurfaceOnce) {
   EXPECT_EQ(n.load(), 8);
 }
 
+// Fail-fast: once any body throws, remaining unclaimed indices are skipped
+// (they still count toward the barrier but their bodies never run). With the
+// throwing index first in the queue, only the handful of bodies already in
+// flight on other workers can slip through before the flag is seen.
+TEST(ThreadPoolExceptions, FailFastSkipsUnclaimedIndices) {
+  ThreadPool pool(4);
+  const std::size_t n = 100000;
+  std::atomic<std::size_t> processed{0};
+  EXPECT_THROW(pool.parallel_for(n,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("fail fast");
+                                   processed.fetch_add(1, std::memory_order_relaxed);
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(processed.load(), n / 2)
+      << "fail-fast did not short-circuit the remaining indices";
+  // The pool is still healthy afterwards.
+  std::atomic<std::size_t> clean{0};
+  pool.parallel_for(16, [&](std::size_t) { clean.fetch_add(1); });
+  EXPECT_EQ(clean.load(), 16u);
+}
+
 // The single-worker inline path propagates too (exactness of the inline
 // fallback the batch layer relies on for num_threads == 1).
 TEST(ThreadPoolExceptions, InlinePathPropagates) {
