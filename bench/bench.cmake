@@ -24,6 +24,12 @@ udsim_bench(ablation_threads)
 udsim_bench(ablation_observability)
 udsim_bench(ablation_resilience)
 
+udsim_bench(bench_report)
+# bench_report resolves circuit names through examples/common.h, which
+# falls back to the repo data directory (c17 loads from data/c17.bench).
+target_compile_definitions(bench_report PRIVATE
+  UDSIM_DATA_DIR="${CMAKE_SOURCE_DIR}/data")
+
 udsim_bench(ablation_wordsize)
 target_link_libraries(ablation_wordsize PRIVATE benchmark::benchmark)
 udsim_bench(ablation_dataparallel)
@@ -45,3 +51,18 @@ add_test(NAME bench_dataparallel_smoke COMMAND ablation_dataparallel --benchmark
 add_test(NAME bench_threads_smoke COMMAND ablation_threads --vectors 200 --trials 1 --circuits c432 --threads 1,2 --json ablation_threads_smoke.json)
 add_test(NAME bench_observability_smoke COMMAND ablation_observability --vectors 200 --trials 1 --circuits c432,c880 --json ablation_observability_smoke.json)
 add_test(NAME bench_resilience_smoke COMMAND ablation_resilience --vectors 200 --trials 1 --circuits c432,c880 --json ablation_resilience_smoke.json)
+
+# The report-label gate (ISSUE 5): bench_report must produce a valid report
+# and --check must fail on injected counter drift. The drift test writes a
+# fresh baseline, re-runs with --inject-drift against it, and must exit
+# non-zero (WILL_FAIL).
+add_test(NAME bench_report_smoke
+  COMMAND bench_report --vectors 24 --trials 1 --circuits c432,c17
+          --out bench_report_smoke.json)
+add_test(NAME bench_report_check_pass
+  COMMAND sh -c "$<TARGET_FILE:bench_report> --vectors 24 --trials 1 --circuits c432 --out bench_report_base.json && $<TARGET_FILE:bench_report> --vectors 24 --trials 1 --circuits c432 --no-throughput-check --out bench_report_cur.json --check bench_report_base.json")
+add_test(NAME bench_report_check_drift
+  COMMAND sh -c "$<TARGET_FILE:bench_report> --vectors 24 --trials 1 --circuits c432 --out bench_report_base2.json && $<TARGET_FILE:bench_report> --vectors 24 --trials 1 --circuits c432 --no-throughput-check --inject-drift --out bench_report_drift.json --check bench_report_base2.json")
+set_tests_properties(bench_report_check_drift PROPERTIES WILL_FAIL TRUE)
+set_tests_properties(bench_report_smoke bench_report_check_pass
+  bench_report_check_drift PROPERTIES LABELS "report")

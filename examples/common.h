@@ -1,0 +1,57 @@
+// Shared helpers for the example binaries and the bench_report driver:
+// resolve a circuit argument to a Netlist and generate the deterministic
+// xorshift input stream every walkthrough uses.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/iscas_profiles.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+
+namespace udsim::examples {
+
+inline bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Resolve a circuit argument: an ISCAS-85 profile name ("c432" builds the
+/// synthetic stand-in), a path to a .bench file, or a bare name found under
+/// the repo data directory (data/<name>.bench — how c17 loads). Throws
+/// NetlistError when nothing matches.
+inline Netlist load_circuit(const std::string& arg, std::uint64_t seed = 1) {
+  for (const IscasProfile& p : iscas85_profiles()) {
+    if (p.name == arg) return make_iscas85_like(arg, seed);
+  }
+  std::vector<std::string> candidates{arg, arg + ".bench"};
+#ifdef UDSIM_DATA_DIR
+  candidates.push_back(std::string(UDSIM_DATA_DIR) + "/" + arg + ".bench");
+#endif
+  candidates.push_back("data/" + arg + ".bench");
+  for (const std::string& path : candidates) {
+    if (file_exists(path)) return read_bench_file(path);
+  }
+  throw NetlistError("unknown circuit '" + arg +
+                     "': not an ISCAS-85 profile name and no matching .bench "
+                     "file found");
+}
+
+/// Deterministic input stream: `vectors` rows of one Bit per primary input,
+/// from the xorshift64 generator seeded like every repo walkthrough.
+inline std::vector<Bit> xorshift_stream(std::size_t vectors, std::size_t inputs,
+                                        std::uint64_t x = 88172645463325252ull) {
+  if (x == 0) x = 88172645463325252ull;
+  std::vector<Bit> stream(vectors * inputs);
+  for (Bit& b : stream) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<Bit>(x & 1);
+  }
+  return stream;
+}
+
+}  // namespace udsim::examples

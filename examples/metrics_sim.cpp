@@ -3,28 +3,47 @@
 // counters all land in the same object — then print it as a table and as
 // JSON.
 //
-//   metrics_sim [circuit] [vectors] [threads]     (defaults: c432 64 2)
+//   metrics_sim [circuit] [vectors] [threads] [--json <path>]
+//                                                  (defaults: c432 64 2)
+//
+// With --json the full RunReport (counters + histograms + program profile +
+// Chrome trace) is written to <path>; load the "trace" the registry also
+// exports via trace_to_json in Perfetto (ui.perfetto.dev).
 //
 // The counters are exact, not sampled: exec.ops below is provably
 // compile.ops × sim.vectors, and the batch run's payload counters are
 // identical for every thread count (DESIGN.md §5e).
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "core/simulator.h"
-#include "gen/iscas_profiles.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 
 int main(int argc, char** argv) {
   using namespace udsim;
-  const std::string circuit = argc > 1 ? argv[1] : "c432";
-  const std::size_t vectors = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
-  const unsigned threads = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 2;
+  std::vector<std::string> pos;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const std::string circuit = pos.size() > 0 ? pos[0] : "c432";
+  const std::size_t vectors =
+      pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 64;
+  const unsigned threads =
+      pos.size() > 2 ? static_cast<unsigned>(std::atoi(pos[2].c_str())) : 2;
 
-  const Netlist nl = make_iscas85_like(circuit);
+  const Netlist nl = examples::load_circuit(circuit);
   MetricsRegistry metrics;
 
   // Construct through a guard carrying the registry: the compiler traces
@@ -35,14 +54,8 @@ int main(int argc, char** argv) {
   auto sim = make_simulator(nl, EngineKind::ParallelCombined, guard);
 
   // A deterministic input stream, then one multi-threaded batch run.
-  std::vector<Bit> stream(vectors * nl.primary_inputs().size());
-  std::uint64_t x = 88172645463325252ull;
-  for (Bit& b : stream) {
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    b = static_cast<Bit>(x & 1);
-  }
+  const std::vector<Bit> stream =
+      examples::xorshift_stream(vectors, nl.primary_inputs().size());
   const BatchResult result = sim->run_batch(stream, threads);
 
   std::printf("%s: %zu vectors on %u thread(s), %zu outputs sampled\n\n",
@@ -50,10 +63,20 @@ int main(int argc, char** argv) {
               result.outputs.size());
   metrics.print(std::cout);
 
-  // Machine export; pass `false` to drop the wall-clock *.ns keys and keep
-  // only the deterministic subset (what tests/golden/ pins down).
+  // Machine export; pass `false` to drop the wall-clock *.ns/*.us keys and
+  // keep only the deterministic subset (what tests/golden/ pins down).
   std::printf("\nJSON (deterministic subset):\n%s\n",
               metrics.to_json(/*include_timings=*/false).c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    out << sim->report_to_json() << "\n";
+    std::printf("\nrun report written to %s\n", json_path.c_str());
+  }
 
   // The exactness law the observability tests enforce.
   const auto snap = metrics.snapshot();

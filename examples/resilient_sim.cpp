@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "gen/iscas_profiles.h"
+#include "common.h"
 #include "obs/metrics.h"
 #include "resilience/resilient_run.h"
 
@@ -24,18 +24,12 @@ int main(int argc, char** argv) {
   const std::size_t vectors = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 96;
   const unsigned threads = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 2;
 
-  const Netlist nl = make_iscas85_like(circuit);
+  const Netlist nl = examples::load_circuit(circuit);
   auto sim = make_simulator(nl, EngineKind::ParallelCombined);
 
   // A deterministic input stream.
-  std::vector<Bit> stream(vectors * nl.primary_inputs().size());
-  std::uint64_t x = 88172645463325252ull;
-  for (Bit& b : stream) {
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    b = static_cast<Bit>(x & 1);
-  }
+  const std::vector<Bit> stream =
+      examples::xorshift_stream(vectors, nl.primary_inputs().size());
 
   // Reference: the uninterrupted run.
   const BatchResult expect = sim->run_batch(stream, threads);

@@ -70,6 +70,13 @@ void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
   FaultInjector* const inj = options_.inject;
   const std::uint64_t t0 = reg ? shard_now_ns() : 0;
   const std::size_t start = slot.next;
+  // The span owns the batch.shard.ns / batch.shard.calls counters and the
+  // trace event; it closes after account() runs, covering the whole shard.
+  TraceSpan span(reg, "batch.shard");
+  span.arg("shard", shard_index);
+  span.arg("begin", slot.begin);
+  span.arg("end", slot.end);
+  span.arg("attempt", attempt);
 
   if (inj && inj->fire(FaultSite::AllocFail, shard_index, start, attempt)) {
     metric_add(reg, "resil.injected", 1);
@@ -109,9 +116,15 @@ void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
     }
     const std::uint64_t elapsed = shard_now_ns() - t0;
     reg->counter("batch.shards").add(1);
-    reg->counter("batch.shard.ns").add(elapsed);
     reg->counter("batch.shard_max.ns").set_max(elapsed);
     reg->counter("batch.shard_vectors_max").set_max(slot.end - slot.begin);
+    // Wall-time distributions (DESIGN.md §5g): per-shard latency and the
+    // amortized per-pass latency, from the two clock reads already taken.
+    reg->histogram("batch.shard.us").record(elapsed / 1000);
+    const std::uint64_t payload = v - start;
+    if (payload != 0) {
+      reg->histogram("batch.pass.ns").record(elapsed / payload);
+    }
   };
 
   for (; v < slot.end; ++v) {

@@ -114,6 +114,14 @@ class EngineAdapter final : public Simulator {
   [[nodiscard]] std::vector<ArenaProbe> output_probes() const override {
     return batch_probes(engine_, nl_);
   }
+  [[nodiscard]] ProgramProfile program_profile(std::size_t top_k) const override {
+    if constexpr (requires { attribution_for(engine_.compiled(), nl_); }) {
+      return profile_program(engine_.compiled().program,
+                             attribution_for(engine_.compiled(), nl_), top_k);
+    } else {
+      return {};  // interpreted event engines: no compiled program
+    }
+  }
   void set_cancel(const CancelToken* token) noexcept override {
     cancel_ = token;
     if constexpr (requires { engine_.set_cancel(token); }) {

@@ -14,6 +14,8 @@
 #include "netlist/diagnostics.h"
 #include "netlist/netlist.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/report.h"
 #include "resilience/cancel.h"
 
 namespace udsim {
@@ -84,6 +86,16 @@ class Simulator {
   /// Arena bits holding each primary output's settled value, in netlist
   /// primary-output order; empty for engines without a compiled program.
   [[nodiscard]] virtual std::vector<ArenaProbe> output_probes() const = 0;
+
+  /// Exact structural cost profile of the compiled program (per-level cost
+  /// breakdown, top-K hottest nets, shift-site ledger — obs/profiler.h).
+  /// Disengaged (empty) profile for the interpreted event engines.
+  [[nodiscard]] virtual ProgramProfile program_profile(
+      std::size_t top_k = 8) const = 0;
+
+  /// One JSON document composing the attached registry's counters,
+  /// histograms and trace with the program profile (obs/report.h).
+  [[nodiscard]] std::string report_to_json(const RunReportOptions& opts = {}) const;
 
   /// Attach (or detach, with nullptr) a cooperative cancel token: step()
   /// raises Cancelled between vectors once the token has stopped, and

@@ -66,6 +66,7 @@ class LccSim {
     return {compiled_.net_var[n.value], 0};
   }
   [[nodiscard]] const Program& program() const noexcept { return compiled_.program; }
+  [[nodiscard]] const LccCompiled& compiled() const noexcept { return compiled_; }
 
   /// Attach runtime execution counters (obs/pass_cost.h).
   void set_metrics(MetricsRegistry* reg) { runner_.set_metrics(reg); }

@@ -1,0 +1,351 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace udsim {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw JsonParseError(msg, pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) throw JsonParseError("unexpected end", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.string = string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue::make_bool(false);
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v = JsonValue::make_object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v = JsonValue::make_array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // ASCII pass-through is all our own emitters ever produce.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) fail("expected a value");
+    bool integral = text_[start] != '-';
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long u = std::strtoull(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size()) {
+        v.integer = u;
+        v.is_integer = true;
+      }
+    }
+    v.number = std::strtod(tok.c_str(), nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_impl(const JsonValue& v, std::string& out, int indent, int depth) {
+  const std::string pad = indent > 0 ? std::string(
+                                           static_cast<std::size_t>(indent) *
+                                               static_cast<std::size_t>(depth + 1),
+                                           ' ')
+                                     : std::string();
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth),
+                               ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (v.kind) {
+    case JsonValue::Kind::Null: out += "null"; break;
+    case JsonValue::Kind::Bool: out += v.boolean ? "true" : "false"; break;
+    case JsonValue::Kind::Number:
+      if (v.is_integer) {
+        out += std::to_string(v.integer);
+      } else {
+        char buf[40];
+        if (std::isfinite(v.number)) {
+          std::snprintf(buf, sizeof buf, "%.10g", v.number);
+        } else {
+          std::snprintf(buf, sizeof buf, "null");  // JSON has no NaN/Inf
+        }
+        out += buf;
+      }
+      break;
+    case JsonValue::Kind::String:
+      out += '"';
+      out += json_escape(v.string);
+      out += '"';
+      break;
+    case JsonValue::Kind::Array:
+      if (v.array.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        out += i == 0 ? nl : (indent > 0 ? ",\n" : ", ");
+        out += pad;
+        dump_impl(v.array[i], out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += ']';
+      break;
+    case JsonValue::Kind::Object:
+      if (v.object.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        out += i == 0 ? nl : (indent > 0 ? ",\n" : ", ");
+        out += pad;
+        out += '"';
+        out += json_escape(v.object[i].first);
+        out += "\": ";
+        dump_impl(v.object[i].second, out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad;
+      out += '}';
+      break;
+  }
+}
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (!v) throw std::out_of_range("missing JSON key: " + std::string(key));
+  return *v;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (is_integer) return integer;
+  return static_cast<std::uint64_t>(number);
+}
+
+double JsonValue::as_double() const {
+  if (is_integer) return static_cast<double>(integer);
+  return number;
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_impl(*this, out, indent, 0);
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace udsim

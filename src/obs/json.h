@@ -1,0 +1,118 @@
+// Minimal JSON DOM: just enough to parse the reports this repo emits
+// (bench baselines for `bench_report --check`, run reports in tests) and to
+// build them programmatically. Not a general-purpose library: no unicode
+// \uXXXX decoding beyond pass-through of ASCII, objects keep insertion
+// order, and unsigned 64-bit integers are preserved exactly (a double
+// cannot hold exec.ops for a long run without rounding, and exact-counter
+// drift checks must compare exactly).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace udsim {
+
+/// Parse failure: message plus byte offset into the input.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+/// One JSON value. A Number remembers whether the source text was a
+/// non-negative integer that fits uint64 (`is_integer`), in which case
+/// `integer` is exact and `number` is the (possibly rounded) double view.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::uint64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  /// Parse a complete document; trailing non-whitespace is an error.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  // -- constructors for building documents --
+  [[nodiscard]] static JsonValue make_object() {
+    JsonValue v;
+    v.kind = Kind::Object;
+    return v;
+  }
+  [[nodiscard]] static JsonValue make_array() {
+    JsonValue v;
+    v.kind = Kind::Array;
+    return v;
+  }
+  [[nodiscard]] static JsonValue make_string(std::string_view s) {
+    JsonValue v;
+    v.kind = Kind::String;
+    v.string = s;
+    return v;
+  }
+  [[nodiscard]] static JsonValue make_uint(std::uint64_t u) {
+    JsonValue v;
+    v.kind = Kind::Number;
+    v.integer = u;
+    v.number = static_cast<double>(u);
+    v.is_integer = true;
+    return v;
+  }
+  [[nodiscard]] static JsonValue make_double(double d) {
+    JsonValue v;
+    v.kind = Kind::Number;
+    v.number = d;
+    return v;
+  }
+  [[nodiscard]] static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind = Kind::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  /// Append a member to an Object (no duplicate-key check).
+  JsonValue& set(std::string key, JsonValue value) {
+    object.emplace_back(std::move(key), std::move(value));
+    return object.back().second;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object member lookup; throws std::out_of_range when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+
+  [[nodiscard]] bool is_object() const noexcept { return kind == Kind::Object; }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::Array; }
+  [[nodiscard]] bool is_string() const noexcept { return kind == Kind::String; }
+  [[nodiscard]] bool is_number() const noexcept { return kind == Kind::Number; }
+
+  /// Exact for integer-sourced numbers; truncates doubles.
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] double as_double() const;
+
+  /// Serialize. indent > 0 pretty-prints; 0 emits one line.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+};
+
+/// Escape a string for embedding between JSON quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace udsim

@@ -1,12 +1,15 @@
-// Observability layer: named monotonic counters, gauges and RAII trace
-// spans (DESIGN.md §5e).
+// Observability layer: named monotonic counters, gauges, log2-bucketed
+// histograms and RAII trace spans with Chrome-trace export (DESIGN.md §5e,
+// §5g).
 //
 // The paper's whole evaluation is counting — retained shifts, trimmed
 // words, gate evaluations — so the runtime exposes the same quantities as
 // *exact* counters instead of samples: a dynamic counter is always a
 // per-pass static cost times the number of passes, which makes every
 // counter double as a correctness oracle (executed ops == |Program| ×
-// vectors; see tests/metrics_invariant_test.cpp).
+// vectors; see tests/metrics_invariant_test.cpp). Histograms cover the one
+// family of values that is *not* a per-pass constant — wall time — with a
+// fixed 65-bucket log2 layout so recording stays a few relaxed atomics.
 //
 // Zero overhead when disabled: every producer takes a nullable
 // `MetricsRegistry*`; with nullptr the hot paths reduce to one predictable
@@ -16,14 +19,18 @@
 // `run_batch` can share one registry safely.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace udsim {
 
@@ -52,34 +59,159 @@ class MetricCounter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Registry of named counters. Registration is mutex-protected (safe from
-/// concurrent shards); reads and bumps are lock-free through the returned
-/// handles. See DESIGN.md §5e for the counter catalogue.
+/// One named log2-bucketed distribution. Bucket 0 holds value 0; value v>=1
+/// lands in bucket 1+floor(log2 v), so bucket b covers [2^(b-1), 2^b).
+/// Recording is a handful of relaxed atomics (no locks, no allocation), so
+/// concurrent batch shards can share one histogram; totals are exact even
+/// under contention because every field is an independent atomic.
+class MetricHistogram {
+ public:
+  static constexpr int kBuckets = 65;  ///< bucket 0 + one per bit of uint64
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == std::numeric_limits<std::uint64_t>::max() && count() == 0 ? 0 : m;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static int bucket_index(std::uint64_t v) noexcept {
+    if (v == 0) return 0;
+    int lg = 0;
+    while (v >>= 1) ++lg;  // floor(log2 v)
+    return 1 + lg;
+  }
+  /// Smallest value that lands in bucket b (inclusive lower bound).
+  [[nodiscard]] static std::uint64_t bucket_floor(int b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  void reset_values() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<std::uint64_t>::max(),
+               std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of one histogram: only the non-empty buckets, as
+/// (inclusive lower bound, count) pairs in ascending bound order.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+/// One finished trace span, buffered for Chrome Trace Event export. tid is
+/// a small per-process thread ordinal (stable per thread, assigned on first
+/// span), not the OS thread id — Perfetto only needs distinctness.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< steady-clock, process-relative
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+/// Small per-process thread ordinal (1, 2, ...) used as the trace tid.
+[[nodiscard]] std::uint32_t trace_thread_id() noexcept;
+
+/// Registry of named counters, histograms and buffered trace events.
+/// Registration is mutex-protected (safe from concurrent shards); reads and
+/// bumps are lock-free through the returned handles. See DESIGN.md §5e for
+/// the counter catalogue and §5g for the export formats.
 class MetricsRegistry {
  public:
   /// Create-or-get. The returned reference stays valid for the registry's
   /// lifetime (values live behind unique_ptr; rehashing never moves them).
   [[nodiscard]] MetricCounter& counter(std::string_view name);
 
+  /// Create-or-get a histogram; same lifetime guarantee as counter().
+  [[nodiscard]] MetricHistogram& histogram(std::string_view name);
+
   /// Point-in-time copy of every (name, value) pair, sorted by name.
   [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const;
 
-  /// Machine-readable export: a flat sorted JSON object, one counter per
-  /// line. `include_timings` = false drops every "*.ns" key — the subset
-  /// that is deterministic across runs (golden-metrics fixtures diff this).
+  /// Point-in-time copy of every histogram, sorted by name.
+  [[nodiscard]] std::map<std::string, HistogramSnapshot> snapshot_histograms()
+      const;
+
+  /// Machine-readable export: `{"counters": {...}, "histograms": {...}}`,
+  /// both sections sorted by name (deterministic for identically-driven
+  /// registries). `include_timings` = false drops every "*.ns"/"*.us" key —
+  /// the subset that is deterministic across runs (golden-metrics fixtures
+  /// diff this).
   [[nodiscard]] std::string to_json(bool include_timings = true) const;
+
+  /// Append one finished span to the trace buffer. Drops (and counts, in
+  /// "trace.dropped") beyond kMaxTraceEvents so a runaway loop cannot eat
+  /// the heap.
+  void record_trace(TraceEvent event);
+
+  /// Copy of the buffered trace, in completion order.
+  [[nodiscard]] std::vector<TraceEvent> trace_events() const;
+
+  /// Chrome Trace Event Format JSON ("X" complete events, µs timestamps) —
+  /// load the string in Perfetto (ui.perfetto.dev) or chrome://tracing.
+  [[nodiscard]] std::string trace_to_json() const;
+
+  void clear_trace();
 
   /// Human table (harness/table): counter | value, sorted by name.
   void print(std::ostream& out) const;
 
-  /// Zero every counter; existing handles stay valid.
+  /// Zero every counter and histogram and clear the trace buffer; existing
+  /// handles stay valid.
   void reset();
 
   [[nodiscard]] bool empty() const;
 
+  static constexpr std::size_t kMaxTraceEvents = std::size_t{1} << 20;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>, std::less<>>
+      histograms_;
+  mutable std::mutex trace_mu_;
+  std::vector<TraceEvent> trace_;
 };
 
 /// Convenience null-safe bump (registration cost per call; hot paths should
@@ -93,10 +225,13 @@ inline void metric_set_max(MetricsRegistry* reg, std::string_view name,
   if (reg) reg->counter(name).set_max(v);
 }
 
-/// RAII span: on destruction adds the elapsed wall time to `<name>.ns` and
-/// bumps `<name>.calls`. With a null registry the clock is never read.
+/// RAII span: on destruction adds the elapsed wall time to `<name>.ns`,
+/// bumps `<name>.calls`, and buffers a TraceEvent (name, tid, start, dur,
+/// args) for trace_to_json. The thread ordinal is captured at construction
+/// so spans from batch shards are attributable to their worker. With a null
+/// registry the clock is never read and arg() is a no-op.
 /// Used around every compile phase (levelize, PC-set, alignment, trimming,
-/// emit) and around batch runs.
+/// emit) and around batch runs and their shards.
 class TraceSpan {
  public:
   TraceSpan(MetricsRegistry* reg, std::string_view name);
@@ -104,10 +239,18 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Attach a (key, value) pair exported in the trace event's "args".
+  void arg(std::string_view key, std::uint64_t value);
+
+  /// Thread ordinal captured at construction; 0 when disengaged.
+  [[nodiscard]] std::uint32_t tid() const noexcept { return tid_; }
+
  private:
   MetricsRegistry* reg_;
   std::string name_;
   std::uint64_t start_ns_ = 0;
+  std::uint32_t tid_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> args_;
 };
 
 }  // namespace udsim

@@ -35,6 +35,27 @@ struct ProgramPassCost {
 /// movement and count only toward ops/words).
 [[nodiscard]] ProgramPassCost program_pass_cost(const Program& p);
 
+/// Cost of a single op (ops == 1). program_pass_cost is the sum of this
+/// over the op vector — the profiler leans on that to attribute cost to
+/// circuit structure with an exact, lossless decomposition.
+[[nodiscard]] ProgramPassCost op_pass_cost(const Op& op);
+
+inline ProgramPassCost& operator+=(ProgramPassCost& a,
+                                   const ProgramPassCost& b) {
+  a.ops += b.ops;
+  a.words_written += b.words_written;
+  a.words_read += b.words_read;
+  a.shift_ops += b.shift_ops;
+  a.load_ops += b.load_ops;
+  a.gate_ops += b.gate_ops;
+  return a;
+}
+inline bool operator==(const ProgramPassCost& a, const ProgramPassCost& b) {
+  return a.ops == b.ops && a.words_written == b.words_written &&
+         a.words_read == b.words_read && a.shift_ops == b.shift_ops &&
+         a.load_ops == b.load_ops && a.gate_ops == b.gate_ops;
+}
+
 /// Pre-resolved handles for the per-pass execution counters, plus optional
 /// engine-specific extras (per-pass constants the Program alone cannot
 /// supply, e.g. trimming's suppressed stores). Null-registry attach yields

@@ -1,0 +1,101 @@
+#include "obs/report.h"
+
+#include "core/simulator.h"
+#include "obs/json.h"
+
+namespace udsim {
+
+RunReport make_run_report(const Simulator& sim, const Diagnostics* diag,
+                          const RunReportOptions& opts) {
+  RunReport r;
+  r.engine = engine_name(sim.kind());
+  r.circuit = sim.netlist().name();
+  if (const MetricsRegistry* reg = sim.metrics()) {
+    r.counters = reg->snapshot();
+    r.histograms = reg->snapshot_histograms();
+    if (opts.include_trace) r.trace = reg->trace_events();
+  }
+  if (opts.include_profile) r.profile = sim.program_profile(opts.top_k);
+  if (diag) r.diagnostics = diag->records();
+  return r;
+}
+
+std::string RunReport::to_json(const RunReportOptions& opts) const {
+  const auto is_timing = [](const std::string& name) {
+    return name.size() >= 3 && (name.compare(name.size() - 3, 3, ".ns") == 0 ||
+                                name.compare(name.size() - 3, 3, ".us") == 0);
+  };
+  JsonValue v = JsonValue::make_object();
+  v.set("schema", JsonValue::make_string(schema));
+  v.set("engine", JsonValue::make_string(engine));
+  v.set("circuit", JsonValue::make_string(circuit));
+
+  JsonValue& cj = v.set("counters", JsonValue::make_object());
+  for (const auto& [name, value] : counters) {
+    if (!opts.include_timings && is_timing(name)) continue;
+    cj.set(name, JsonValue::make_uint(value));
+  }
+  JsonValue& hj = v.set("histograms", JsonValue::make_object());
+  for (const auto& [name, h] : histograms) {
+    if (!opts.include_timings && is_timing(name)) continue;
+    JsonValue e = JsonValue::make_object();
+    e.set("count", JsonValue::make_uint(h.count));
+    e.set("sum", JsonValue::make_uint(h.sum));
+    e.set("min", JsonValue::make_uint(h.min));
+    e.set("max", JsonValue::make_uint(h.max));
+    JsonValue& buckets = e.set("buckets", JsonValue::make_array());
+    for (const auto& [floor, n] : h.buckets) {
+      JsonValue pair = JsonValue::make_array();
+      pair.array.push_back(JsonValue::make_uint(floor));
+      pair.array.push_back(JsonValue::make_uint(n));
+      buckets.array.push_back(std::move(pair));
+    }
+    hj.set(name, std::move(e));
+  }
+
+  if (opts.include_profile && profile.engaged()) {
+    v.set("profile", JsonValue::parse(profile.to_json()));
+  }
+  if (opts.include_trace && opts.include_timings && !trace.empty()) {
+    JsonValue& tj = v.set("trace", JsonValue::make_array());
+    for (const TraceEvent& e : trace) {
+      JsonValue ev = JsonValue::make_object();
+      ev.set("name", JsonValue::make_string(e.name));
+      ev.set("ts_ns", JsonValue::make_uint(e.start_ns));
+      ev.set("dur_ns", JsonValue::make_uint(e.dur_ns));
+      ev.set("tid", JsonValue::make_uint(e.tid));
+      if (!e.args.empty()) {
+        JsonValue& args = ev.set("args", JsonValue::make_object());
+        for (const auto& [key, value] : e.args) {
+          args.set(key, JsonValue::make_uint(value));
+        }
+      }
+      tj.array.push_back(std::move(ev));
+    }
+  }
+  if (!diagnostics.empty()) {
+    JsonValue& dj = v.set("diagnostics", JsonValue::make_array());
+    for (const Diagnostic& d : diagnostics) {
+      JsonValue e = JsonValue::make_object();
+      e.set("code", JsonValue::make_string(std::string(diag_code_name(d.code))));
+      e.set("severity",
+            JsonValue::make_string(std::string(diag_severity_name(d.severity))));
+      e.set("subject", JsonValue::make_string(d.subject));
+      e.set("message", JsonValue::make_string(d.message));
+      if (d.line != 0) e.set("line", JsonValue::make_uint(d.line));
+      dj.array.push_back(std::move(e));
+    }
+  }
+  return v.dump();
+}
+
+std::string report_to_json(const Simulator& sim, const Diagnostics* diag,
+                           const RunReportOptions& opts) {
+  return make_run_report(sim, diag, opts).to_json(opts);
+}
+
+std::string Simulator::report_to_json(const RunReportOptions& opts) const {
+  return make_run_report(*this, nullptr, opts).to_json(opts);
+}
+
+}  // namespace udsim

@@ -1,0 +1,54 @@
+// RunReport: one JSON document telling the whole story of a simulation —
+// engine and circuit identity, the exact counter snapshot, histograms, the
+// structural cost profile, the Chrome trace, and any diagnostics the run
+// produced (DESIGN.md §5g). The Simulator facade exposes it as
+// `report_to_json()`; examples/metrics_sim writes it with `--json`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/diagnostics.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+namespace udsim {
+
+class Simulator;
+
+struct RunReportOptions {
+  bool include_timings = true;  ///< keep "*.ns"/"*.us" keys and the trace
+  bool include_trace = true;
+  bool include_profile = true;
+  std::size_t top_k = 8;  ///< hottest-net ranking size in the profile
+};
+
+/// Everything one run left behind, composed into a single document.
+struct RunReport {
+  std::string schema = "udsim-run-report-v1";
+  std::string engine;
+  std::string circuit;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+  ProgramProfile profile;
+  std::vector<TraceEvent> trace;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::string to_json(const RunReportOptions& opts = {}) const;
+};
+
+/// Assemble a report from a simulator (its attached registry supplies
+/// counters/histograms/trace; compiled engines supply the profile) plus an
+/// optional diagnostics sink.
+[[nodiscard]] RunReport make_run_report(const Simulator& sim,
+                                        const Diagnostics* diag = nullptr,
+                                        const RunReportOptions& opts = {});
+
+/// make_run_report + to_json in one call.
+[[nodiscard]] std::string report_to_json(const Simulator& sim,
+                                         const Diagnostics* diag = nullptr,
+                                         const RunReportOptions& opts = {});
+
+}  // namespace udsim

@@ -1,0 +1,109 @@
+// JSON DOM (obs/json.h): parse/dump round-trips, exact uint64 preservation
+// (the property the bench drift check depends on), lookup helpers, and the
+// hardening paths — trailing garbage, bad escapes, raw control characters.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace udsim {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(JsonValue::parse("null").kind, JsonValue::Kind::Null);
+  EXPECT_TRUE(JsonValue::parse("true").boolean);
+  EXPECT_FALSE(JsonValue::parse("false").boolean);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").string, "hi");
+  EXPECT_EQ(JsonValue::parse("42").as_u64(), 42u);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5").as_double(), -2.5);
+}
+
+TEST(Json, PreservesUint64Exactly) {
+  // 2^63 + 1025 is not representable as a double; the drift check must see
+  // it exactly.
+  const std::string big = "9223372036854776833";
+  const JsonValue v = JsonValue::parse(big);
+  ASSERT_TRUE(v.is_integer);
+  EXPECT_EQ(v.as_u64(), 9223372036854776833ull);
+  EXPECT_EQ(JsonValue::make_uint(9223372036854776833ull).dump(0), big);
+}
+
+TEST(Json, NegativeAndFractionalNumbersAreDoubles) {
+  EXPECT_FALSE(JsonValue::parse("-1").is_integer);
+  EXPECT_FALSE(JsonValue::parse("1.5").is_integer);
+  EXPECT_FALSE(JsonValue::parse("1e3").is_integer);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_double(), 1000.0);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = JsonValue::parse(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": true})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v.at("a").is_array());
+  EXPECT_EQ(v.at("a").array.size(), 3u);
+  EXPECT_EQ(v.at("a").array[2].at("b").string, "x");
+  EXPECT_EQ(v.at("c").at("d").kind, JsonValue::Kind::Null);
+  EXPECT_TRUE(v.has("e"));
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::out_of_range);
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  JsonValue v = JsonValue::make_object();
+  v.set("z", JsonValue::make_uint(1));
+  v.set("a", JsonValue::make_uint(2));
+  const std::string j = v.dump(0);
+  EXPECT_LT(j.find("\"z\""), j.find("\"a\""));
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  JsonValue v = JsonValue::make_object();
+  v.set("name", JsonValue::make_string("quote\" slash\\ tab\t"));
+  v.set("count", JsonValue::make_uint(1234567890123456789ull));
+  v.set("ratio", JsonValue::make_double(0.25));
+  JsonValue& arr = v.set("arr", JsonValue::make_array());
+  arr.array.push_back(JsonValue::make_bool(true));
+  arr.array.push_back(JsonValue());
+  for (int indent : {0, 2}) {
+    const JsonValue back = JsonValue::parse(v.dump(indent));
+    EXPECT_EQ(back.at("name").string, "quote\" slash\\ tab\t");
+    EXPECT_EQ(back.at("count").as_u64(), 1234567890123456789ull);
+    EXPECT_DOUBLE_EQ(back.at("ratio").as_double(), 0.25);
+    EXPECT_TRUE(back.at("arr").array[0].boolean);
+    EXPECT_EQ(back.at("arr").array[1].kind, JsonValue::Kind::Null);
+  }
+}
+
+TEST(Json, EscapeSequences) {
+  const JsonValue v = JsonValue::parse(R"("a\nb\t\"\\A")");
+  EXPECT_EQ(v.string, "a\nb\t\"\\A");
+  EXPECT_EQ(json_escape("a\nb\"c\\"), "a\\nb\\\"c\\\\");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)JsonValue::parse(""), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("{"), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("nul"), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("\"bad\\q\""), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("\"raw\ncontrol\""), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("1 trailing"), JsonParseError);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"), JsonParseError);
+}
+
+TEST(Json, ParseErrorCarriesOffset) {
+  try {
+    (void)JsonValue::parse("[1, x]");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("byte 4"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace udsim

@@ -57,14 +57,18 @@ TEST(MetricsRegistry, SnapshotIsSortedByName) {
   EXPECT_EQ(snap.at("c"), 3u);
 }
 
-TEST(MetricsRegistry, ToJsonIsFlatSortedObject) {
+TEST(MetricsRegistry, ToJsonHasSortedCountersAndHistogramSections) {
   MetricsRegistry reg;
   reg.counter("z.count").add(2);
   reg.counter("a.count").add(1);
+  reg.histogram("lat").record(5);
   const std::string j = reg.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
   EXPECT_NE(j.find("\"a.count\": 1"), std::string::npos);
   EXPECT_NE(j.find("\"z.count\": 2"), std::string::npos);
   EXPECT_LT(j.find("a.count"), j.find("z.count"));
+  EXPECT_NE(j.find("\"lat\""), std::string::npos);
   EXPECT_EQ(j.front(), '{');
   EXPECT_EQ(j.back(), '}');
 }
@@ -73,11 +77,34 @@ TEST(MetricsRegistry, ToJsonCanDropTimingKeys) {
   MetricsRegistry reg;
   reg.counter("phase.ns").add(123);
   reg.counter("phase.calls").add(1);
+  reg.histogram("shard.us").record(9);
+  reg.histogram("shape").record(4);
   const std::string all = reg.to_json(/*include_timings=*/true);
   const std::string det = reg.to_json(/*include_timings=*/false);
   EXPECT_NE(all.find("phase.ns"), std::string::npos);
+  EXPECT_NE(all.find("shard.us"), std::string::npos);
   EXPECT_EQ(det.find("phase.ns"), std::string::npos);
+  EXPECT_EQ(det.find("shard.us"), std::string::npos);
   EXPECT_NE(det.find("phase.calls"), std::string::npos);
+  EXPECT_NE(det.find("\"shape\""), std::string::npos);
+}
+
+// Satellite 1 (ISSUE 5): two registries driven identically must serialize
+// identically — map-ordered keys, no pointer- or time-dependent content.
+TEST(MetricsRegistry, ToJsonIsDeterministicAcrossRegistries) {
+  const auto drive = [](MetricsRegistry& reg) {
+    reg.counter("exec.ops").add(1234);
+    reg.counter("compile.ops").add(617);
+    reg.counter("sim.vectors").add(2);
+    reg.histogram("batch.shard.us").record(7);
+    reg.histogram("batch.shard.us").record(700);
+    reg.histogram("exec.program_ops").record(617);
+  };
+  MetricsRegistry a, b;
+  drive(a);
+  drive(b);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_json(false), b.to_json(false));
 }
 
 TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
@@ -88,6 +115,99 @@ TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
   EXPECT_EQ(c.value(), 0u);
   c.add(2);
   EXPECT_EQ(reg.counter("x").value(), 2u);
+}
+
+TEST(MetricsRegistry, ResetClearsHistogramsAndTrace) {
+  MetricsRegistry reg;
+  MetricHistogram& h = reg.histogram("h");
+  h.record(3);
+  reg.record_trace(TraceEvent{"span", 0, 10, 1, {}});
+  reg.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_TRUE(reg.trace_events().empty());
+  h.record(9);  // handle stays live after reset
+  EXPECT_EQ(reg.histogram("h").count(), 1u);
+}
+
+TEST(MetricHistogram, BucketPlacementIsLog2) {
+  EXPECT_EQ(MetricHistogram::bucket_index(0), 0);
+  EXPECT_EQ(MetricHistogram::bucket_index(1), 1);
+  EXPECT_EQ(MetricHistogram::bucket_index(2), 2);
+  EXPECT_EQ(MetricHistogram::bucket_index(3), 2);
+  EXPECT_EQ(MetricHistogram::bucket_index(4), 3);
+  EXPECT_EQ(MetricHistogram::bucket_index(1023), 10);
+  EXPECT_EQ(MetricHistogram::bucket_index(1024), 11);
+  EXPECT_EQ(MetricHistogram::bucket_index(~std::uint64_t{0}), 64);
+  EXPECT_EQ(MetricHistogram::bucket_floor(0), 0u);
+  EXPECT_EQ(MetricHistogram::bucket_floor(1), 1u);
+  EXPECT_EQ(MetricHistogram::bucket_floor(11), 1024u);
+  // Every value lands in the bucket whose floor does not exceed it.
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 63ull, 64ull, 12345ull}) {
+    const int b = MetricHistogram::bucket_index(v);
+    EXPECT_LE(MetricHistogram::bucket_floor(b), v);
+    if (b < MetricHistogram::kBuckets - 1) {
+      EXPECT_GT(MetricHistogram::bucket_floor(b + 1), v);
+    }
+  }
+}
+
+TEST(MetricHistogram, RecordTracksCountSumMinMax) {
+  MetricHistogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reads as all-zero
+  h.record(8);
+  h.record(3);
+  h.record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 111u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket(MetricHistogram::bucket_index(8)), 1u);
+  EXPECT_EQ(h.bucket(MetricHistogram::bucket_index(3)), 1u);
+  EXPECT_EQ(h.bucket(MetricHistogram::bucket_index(100)), 1u);
+}
+
+TEST(MetricHistogram, SnapshotKeepsOnlyNonEmptyBucketsInOrder) {
+  MetricsRegistry reg;
+  MetricHistogram& h = reg.histogram("lat");
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  h.record(300);
+  const auto snaps = reg.snapshot_histograms();
+  ASSERT_TRUE(snaps.contains("lat"));
+  const HistogramSnapshot& s = snaps.at("lat");
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 310u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 300u);
+  ASSERT_EQ(s.buckets.size(), 3u);  // buckets for 0, [4,8), [256,512)
+  EXPECT_EQ(s.buckets[0], (std::pair<std::uint64_t, std::uint64_t>{0, 1}));
+  EXPECT_EQ(s.buckets[1], (std::pair<std::uint64_t, std::uint64_t>{4, 2}));
+  EXPECT_EQ(s.buckets[2], (std::pair<std::uint64_t, std::uint64_t>{256, 1}));
+}
+
+TEST(MetricHistogram, ConcurrentRecordsAreExact) {
+  MetricsRegistry reg;
+  MetricHistogram& h = reg.histogram("contended");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kIters; ++i) h.record(static_cast<std::uint64_t>(t));
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  // sum = kIters * (0 + 1 + ... + kThreads-1)
+  EXPECT_EQ(h.sum(),
+            static_cast<std::uint64_t>(kIters) * kThreads * (kThreads - 1) / 2);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kThreads - 1));
 }
 
 TEST(MetricsRegistry, EmptyReflectsRegistrations) {
@@ -118,6 +238,50 @@ TEST(TraceSpan, RecordsCallsAndElapsed) {
 
 TEST(TraceSpan, NullRegistryIsInert) {
   TraceSpan span(nullptr, "phase");  // must not crash or allocate a registry
+  span.arg("k", 1);                  // args are no-ops too
+  EXPECT_EQ(span.tid(), 0u);
+}
+
+TEST(TraceSpan, BuffersTraceEventWithArgsAndTid) {
+  MetricsRegistry reg;
+  {
+    TraceSpan span(&reg, "phase");
+    span.arg("vectors", 64);
+    span.arg("shard", 2);
+    EXPECT_GT(span.tid(), 0u);
+  }
+  const auto events = reg.trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "phase");
+  EXPECT_GT(events[0].tid, 0u);
+  EXPECT_EQ(events[0].tid, trace_thread_id());  // same thread, same ordinal
+  ASSERT_EQ(events[0].args.size(), 2u);
+  EXPECT_EQ(events[0].args[0],
+            (std::pair<std::string, std::uint64_t>{"vectors", 64}));
+  EXPECT_EQ(events[0].args[1],
+            (std::pair<std::string, std::uint64_t>{"shard", 2}));
+}
+
+TEST(TraceSpan, ThreadOrdinalsAreStablePerThreadAndDistinctAcross) {
+  const std::uint32_t here = trace_thread_id();
+  EXPECT_EQ(trace_thread_id(), here);  // stable within a thread
+  std::uint32_t other = 0;
+  std::thread t([&other] { other = trace_thread_id(); });
+  t.join();
+  EXPECT_GT(other, 0u);
+  EXPECT_NE(other, here);
+}
+
+TEST(MetricsRegistry, TraceBufferDropsPastCapAndCounts) {
+  MetricsRegistry reg;
+  // Exercise the overflow path without 2^20 allocations: record into a
+  // registry whose buffer we fill via the public API in bulk.
+  for (std::size_t i = 0; i < 100; ++i) {
+    reg.record_trace(TraceEvent{"e", i, 1, 1, {}});
+  }
+  EXPECT_EQ(reg.trace_events().size(), 100u);
+  reg.clear_trace();
+  EXPECT_TRUE(reg.trace_events().empty());
 }
 
 TEST(MetricHelpers, NullSafe) {

@@ -1,0 +1,169 @@
+// Program profiler (obs/profiler.h): the lossless-decomposition invariant —
+// per-level costs plus the unattributed bucket sum *exactly* to
+// program_pass_cost — over every ISCAS profile × parallel variant, the
+// shift-site ledger against the compiler's own counters, the LCC and PC-set
+// attributions, top-K ordering, and the Simulator facade surface.
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/compile_budget.h"
+#include "core/simulator.h"
+#include "gen/iscas_profiles.h"
+#include "lcc/lcc.h"
+#include "obs/metrics.h"
+#include "obs/pass_cost.h"
+#include "parsim/parallel_sim.h"
+#include "pcsim/pcset_sim.h"
+
+namespace udsim {
+namespace {
+
+ProgramPassCost sum_profile(const ProgramProfile& prof) {
+  ProgramPassCost sum = prof.unattributed.cost;
+  for (const ProfileLevel& l : prof.levels) sum += l.cost;
+  return sum;
+}
+
+void expect_lossless(const ProgramProfile& prof, const Program& program,
+                     const std::string& what) {
+  const ProgramPassCost expect = program_pass_cost(program);
+  EXPECT_TRUE(prof.total == expect) << what << ": total != program_pass_cost";
+  EXPECT_TRUE(sum_profile(prof) == expect)
+      << what << ": levels + unattributed do not sum to program_pass_cost";
+}
+
+// The tentpole invariant (ISSUE 5): the profile is exact by construction
+// for every paper circuit and every parallel-technique variant.
+TEST(Profiler, LevelCostsSumToPassCostAcrossProfilesAndVariants) {
+  const std::vector<std::pair<std::string, ParallelOptions>> variants = {
+      {"parallel", {}},
+      {"trimmed", {.trimming = true}},
+      {"path-tracing", {.shift_elim = ShiftElim::PathTracing}},
+      {"cycle-breaking", {.shift_elim = ShiftElim::CycleBreaking}},
+      {"combined", {.trimming = true, .shift_elim = ShiftElim::PathTracing}},
+  };
+  for (const IscasProfile& p : iscas85_profiles()) {
+    const Netlist nl = make_iscas85_like(p.name);
+    for (const auto& [vname, options] : variants) {
+      const ParallelCompiled c = compile_parallel(nl, options);
+      const ProfileAttribution attr = attribution_for(c, nl);
+      const ProgramProfile prof = profile_program(c.program, attr);
+      expect_lossless(prof, c.program, p.name + "/" + vname);
+      EXPECT_EQ(prof.levels.size(), static_cast<std::size_t>(attr.depth) + 1);
+    }
+  }
+}
+
+// The ledger is the same walk as the compiler's record_shift_sites: its
+// per-level sums must equal the compile.shift_sites_* counters.
+TEST(Profiler, ShiftSiteLedgerMatchesCompileCounters) {
+  for (const char* name : {"c432", "c880", "c1908"}) {
+    const Netlist nl = make_iscas85_like(name);
+    for (const ShiftElim elim :
+         {ShiftElim::None, ShiftElim::PathTracing, ShiftElim::CycleBreaking}) {
+      MetricsRegistry reg;
+      const CompileGuard guard{CompileBudget{}, nullptr, &reg};
+      const ParallelCompiled c =
+          compile_parallel(nl, {.shift_elim = elim}, guard);
+      const ProfileAttribution attr = attribution_for(c, nl);
+      std::uint64_t retained = 0, eliminated = 0;
+      for (const std::uint64_t v : attr.level_shift_sites_retained) retained += v;
+      for (const std::uint64_t v : attr.level_shift_sites_eliminated) {
+        eliminated += v;
+      }
+      EXPECT_EQ(retained, reg.counter("compile.shift_sites_retained").value())
+          << name;
+      EXPECT_EQ(eliminated, reg.counter("compile.shift_sites_eliminated").value())
+          << name;
+      // The same sums flow through profile_program into the level rows.
+      const ProgramProfile prof = profile_program(c.program, attr);
+      std::uint64_t prof_retained = 0;
+      for (const ProfileLevel& l : prof.levels) {
+        prof_retained += l.shift_sites_retained;
+      }
+      EXPECT_EQ(prof_retained, retained) << name;
+    }
+  }
+}
+
+TEST(Profiler, LccAttributionIsLossless) {
+  const Netlist nl = make_iscas85_like("c880");
+  const LccCompiled c = compile_lcc(nl);
+  const ProfileAttribution attr = attribution_for(c, nl);
+  const ProgramProfile prof = profile_program(c.program, attr);
+  expect_lossless(prof, c.program, "c880/lcc");
+  // One variable word per net in the zero-delay compiled form.
+  for (const ProfileNet& n : prof.top_by_arena_words) {
+    EXPECT_EQ(n.arena_words, 1u);
+  }
+}
+
+TEST(Profiler, PCSetAttributionIsLossless) {
+  const Netlist nl = make_iscas85_like("c499");
+  const PCSetCompiled c = compile_pcset(nl);
+  const ProfileAttribution attr = attribution_for(c, nl);
+  const ProgramProfile prof = profile_program(c.program, attr);
+  expect_lossless(prof, c.program, "c499/pcset");
+  // PC-set variables exist at distinct times; the hottest nets by arena
+  // words are the ones with the widest PC-sets.
+  ASSERT_FALSE(prof.top_by_arena_words.empty());
+  EXPECT_GE(prof.top_by_arena_words.front().arena_words, 1u);
+}
+
+TEST(Profiler, TopKIsOrderedBoundedAndNonZero) {
+  const Netlist nl = make_iscas85_like("c1355");
+  const ParallelCompiled c = compile_parallel(nl, {.trimming = true});
+  const ProgramProfile prof =
+      profile_program(c.program, attribution_for(c, nl), /*top_k=*/5);
+  EXPECT_LE(prof.top_by_ops.size(), 5u);
+  EXPECT_LE(prof.top_by_arena_words.size(), 5u);
+  ASSERT_FALSE(prof.top_by_ops.empty());
+  for (std::size_t i = 1; i < prof.top_by_ops.size(); ++i) {
+    EXPECT_GE(prof.top_by_ops[i - 1].ops, prof.top_by_ops[i].ops);
+  }
+  for (std::size_t i = 1; i < prof.top_by_arena_words.size(); ++i) {
+    EXPECT_GE(prof.top_by_arena_words[i - 1].arena_words,
+              prof.top_by_arena_words[i].arena_words);
+  }
+  for (const ProfileNet& n : prof.top_by_ops) {
+    EXPECT_GT(n.ops, 0u);
+    EXPECT_FALSE(n.name.empty());
+  }
+}
+
+TEST(Profiler, ToJsonCarriesTheDecomposition) {
+  const Netlist nl = make_iscas85_like("c432");
+  const ParallelCompiled c = compile_parallel(nl);
+  const ProgramProfile prof = profile_program(c.program, attribution_for(c, nl));
+  const std::string j = prof.to_json();
+  EXPECT_NE(j.find("\"total\""), std::string::npos);
+  EXPECT_NE(j.find("\"levels\""), std::string::npos);
+  EXPECT_NE(j.find("\"unattributed\""), std::string::npos);
+  EXPECT_NE(j.find("\"top_by_ops\""), std::string::npos);
+  EXPECT_NE(j.find("\"top_by_arena_words\""), std::string::npos);
+}
+
+TEST(Profiler, SimulatorFacadeExposesProfiles) {
+  const Netlist nl = make_iscas85_like("c432");
+  for (const EngineKind kind :
+       {EngineKind::ZeroDelayLcc, EngineKind::PCSet, EngineKind::Parallel,
+        EngineKind::ParallelTrimmed, EngineKind::ParallelCombined}) {
+    auto sim = make_simulator(nl, kind);
+    const ProgramProfile prof = sim->program_profile();
+    EXPECT_TRUE(prof.engaged()) << engine_name(kind);
+    ASSERT_NE(sim->compiled_program(), nullptr);
+    expect_lossless(prof, *sim->compiled_program(),
+                    std::string(engine_name(kind)));
+  }
+  // Interpreted event engines have no compiled program: disengaged profile.
+  auto ev = make_simulator(nl, EngineKind::Event2);
+  EXPECT_FALSE(ev->program_profile().engaged());
+}
+
+}  // namespace
+}  // namespace udsim
