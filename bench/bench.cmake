@@ -66,3 +66,10 @@ add_test(NAME bench_report_check_drift
 set_tests_properties(bench_report_check_drift PROPERTIES WILL_FAIL TRUE)
 set_tests_properties(bench_report_smoke bench_report_check_pass
   bench_report_check_drift PROPERTIES LABELS "report")
+
+# Native-backend cache hygiene (ISSUE 6): LRU eviction bounds the object
+# cache and evicted entries rebuild as misses. Exit 77 = no C compiler.
+udsim_bench(native_cache_smoke)
+add_test(NAME bench_native_cache_smoke COMMAND native_cache_smoke)
+set_tests_properties(bench_native_cache_smoke PROPERTIES
+  LABELS "native" SKIP_RETURN_CODE 77)

@@ -6,7 +6,7 @@
 // (BENCH_results.json) with throughput and the exact counters per row.
 //
 //   bench_report [--vectors N] [--trials T] [--seed S] [--circuits a,b]
-//                [--threads N] [--out PATH]
+//                [--threads N] [--out PATH] [--no-native]
 //                [--check BASELINE.json] [--max-regression-pct P]
 //                [--no-throughput-check] [--inject-drift]
 //
@@ -15,6 +15,12 @@
 // (default 25%; wall clocks are noisy, counters are not). --inject-drift
 // perturbs one exact counter after collection — the ctest drift smoke test
 // uses it to prove the gate actually fails.
+//
+// Native rows: the driver also measures EngineKind::Native (the dlopen
+// backend) per circuit, and prints the ir-vs-native throughput ratio — the
+// interpreter tax. The row is simply absent on machines without a usable C
+// compiler; --no-native skips it explicitly. Extra rows never trip --check:
+// the baseline's rows are what is compared.
 //
 // Circuits accept ISCAS-85 profile names and .bench files (data/c17.bench
 // loads as "c17").
@@ -34,6 +40,7 @@ int main(int argc, char** argv) {
   BenchRunConfig cfg;
   cfg.vectors = 256;
   cfg.trials = 3;
+  cfg.with_native = true;
   std::vector<std::string> circuit_names;
   std::string out_path = "BENCH_results.json";
   std::string check_path;
@@ -76,12 +83,14 @@ int main(int argc, char** argv) {
       check_cfg.check_throughput = false;
     } else if (arg == "--inject-drift") {
       inject_drift = true;
+    } else if (arg == "--no-native") {
+      cfg.with_native = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "bench_report [--vectors N] [--trials T] [--seed S] "
-          "[--circuits a,b] [--threads N] [--out PATH] [--check BASELINE] "
-          "[--max-regression-pct P] [--no-throughput-check] "
-          "[--inject-drift]\n");
+          "[--circuits a,b] [--threads N] [--out PATH] [--no-native] "
+          "[--check BASELINE] [--max-regression-pct P] "
+          "[--no-throughput-check] [--inject-drift]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
@@ -123,6 +132,24 @@ int main(int argc, char** argv) {
               report.circuits.size(),
               report.circuits.empty() ? 0 : report.circuits.front().engines.size(),
               out_path.c_str());
+
+  // The interpreter tax: native vs IR throughput of the same combined
+  // program, per circuit (both rows single-threaded).
+  for (const BenchCircuitResult& c : report.circuits) {
+    const BenchEngineResult* ir = nullptr;
+    const BenchEngineResult* native = nullptr;
+    for (const BenchEngineResult& e : c.engines) {
+      if (e.threads != 1) continue;
+      if (e.engine == "parallel-combined") ir = &e;
+      if (e.engine == "native") native = &e;
+    }
+    if (ir && native && ir->vectors_per_sec > 0.0) {
+      std::printf("  %-8s ir %.0f vec/s, native %.0f vec/s (%.2fx)\n",
+                  c.circuit.c_str(), ir->vectors_per_sec,
+                  native->vectors_per_sec,
+                  native->vectors_per_sec / ir->vectors_per_sec);
+    }
+  }
 
   if (check_path.empty()) return 0;
 

@@ -1,0 +1,90 @@
+// Cache-eviction smoke test for the native backend's object cache
+// (ctest label "native", wired in bench/bench.cmake): build more distinct
+// programs than `max_cache_entries` allows into a fresh cache directory and
+// verify the LRU eviction actually bounds the directory — at most the
+// configured number of .so entries remain, the evicted counter ticks, and a
+// rebuilt-after-eviction program is a miss again.
+//
+// Exit codes: 0 = pass, 1 = fail (details on stderr), 77 = skipped (no
+// usable C compiler; ctest SKIP_RETURN_CODE).
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gen/iscas_profiles.h"
+#include "native/native_backend.h"
+#include "parsim/parallel_sim.h"
+
+int main() {
+  using namespace udsim;
+  namespace fs = std::filesystem;
+
+  NativeOptions opts;
+  opts.compile_flags = "-O0";
+  opts.max_cache_entries = 2;
+  if (!native_available(opts)) {
+    std::fprintf(stderr, "skip: no usable C compiler (UDSIM_CC)\n");
+    return 77;
+  }
+  std::error_code ec;
+  const fs::path dir = fs::temp_directory_path(ec) /
+                       ("udsim-evict-smoke-" + std::to_string(::getpid()));
+  fs::remove_all(dir, ec);
+  opts.cache_dir = dir.string();
+
+  // Four distinct programs (different seeds → different fingerprints) into
+  // a cache capped at two entries.
+  const Netlist nl = make_iscas85_like("c432", 1);
+  std::vector<Program> programs;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ParallelOptions po;
+    po.trimming = true;
+    po.shift_elim = ShiftElim::PathTracing;
+    programs.push_back(
+        compile_parallel(make_iscas85_like("c432", seed), po).program);
+  }
+  MetricsRegistry reg;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    const NativeModule mod(programs[i], "evict-smoke", opts, &reg);
+    std::printf("built %zu/%zu -> %s\n", i + 1, programs.size(),
+                mod.so_path().c_str());
+  }
+
+  std::size_t remaining = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (e.path().extension() == ".so") ++remaining;
+  }
+  const auto snap = reg.snapshot();
+  const std::uint64_t evicted = snap.count("native.cache.evicted")
+                                    ? snap.at("native.cache.evicted")
+                                    : 0;
+  std::printf("cache entries remaining: %zu (cap 2), evicted counter: %llu\n",
+              remaining, static_cast<unsigned long long>(evicted));
+
+  int rc = 0;
+  if (remaining > opts.max_cache_entries) {
+    std::fprintf(stderr, "FAIL: %zu .so entries remain, cap is %zu\n",
+                 remaining, opts.max_cache_entries);
+    rc = 1;
+  }
+  if (evicted < 2) {
+    std::fprintf(stderr, "FAIL: expected >= 2 evictions, counter says %llu\n",
+                 static_cast<unsigned long long>(evicted));
+    rc = 1;
+  }
+
+  // The first program was evicted; rebuilding it must be a miss, not a hit.
+  const std::uint64_t miss_before = snap.at("native.cache.miss");
+  { const NativeModule again(programs.front(), "evict-smoke", opts, &reg); }
+  if (reg.snapshot().at("native.cache.miss") != miss_before + 1) {
+    std::fprintf(stderr, "FAIL: evicted program was not rebuilt as a miss\n");
+    rc = 1;
+  }
+
+  fs::remove_all(dir, ec);
+  if (rc == 0) std::printf("native cache eviction: OK\n");
+  return rc;
+}

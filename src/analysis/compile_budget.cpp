@@ -258,6 +258,11 @@ CompileCostEstimate estimate_compile_cost(const Netlist& nl, EngineKind kind,
     case EngineKind::ParallelCombined:
       c = estimate_parallel(nl, kind, word_bits);
       break;
+    case EngineKind::Native:
+      // The native engine's arena/code cost is its ParallelCombined base
+      // program; the external compiler's memory is not modelled.
+      c = estimate_parallel(nl, EngineKind::ParallelCombined, word_bits);
+      break;
   }
   c.kind = kind;
   return c;

@@ -18,6 +18,7 @@ enum class EngineKind {
   ParallelCycleBreaking,///< + cycle-breaking shift elimination (Fig. 23)
   ParallelCombined,     ///< path tracing + trimming (Fig. 24)
   ZeroDelayLcc,         ///< zero-delay compiled simulation (context exp.)
+  Native,               ///< dlopen'd machine code over the combined program (§5h)
 };
 
 [[nodiscard]] std::string_view engine_name(EngineKind k) noexcept;

@@ -4,6 +4,7 @@
 
 #include "core/batch_runner.h"
 #include "eventsim/event_sim.h"
+#include "native/native_sim.h"
 #include "resilience/program_validator.h"
 #include "lcc/lcc.h"
 #include "parsim/parallel_sim.h"
@@ -31,6 +32,8 @@ std::string_view engine_name(EngineKind k) noexcept {
       return "parallel + path tracing + trimming";
     case EngineKind::ZeroDelayLcc:
       return "zero-delay LCC";
+    case EngineKind::Native:
+      return "native (dlopen)";
   }
   return "?";
 }
@@ -211,8 +214,10 @@ ParallelOptions parallel_options(EngineKind kind) {
 }
 
 std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kind,
-                                               const CompileGuard* guard) {
+                                               const CompileGuard* guard,
+                                               const NativeOptions* native = nullptr) {
   std::unique_ptr<Simulator> sim = [&]() -> std::unique_ptr<Simulator> {
+    const NativeOptions nopts = native ? *native : NativeOptions{};
     switch (kind) {
       case EngineKind::Event2:
         return std::make_unique<EngineAdapter<EventSim2>>(kind, nl);
@@ -240,6 +245,11 @@ std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kin
         }
         return std::make_unique<EngineAdapter<ParallelSim<>>>(
             kind, nl, parallel_options(kind));
+      case EngineKind::Native:
+        if (guard) {
+          return std::make_unique<NativeSimulator>(nl, nopts, *guard);
+        }
+        return std::make_unique<NativeSimulator>(nl, nopts);
     }
     throw NetlistError("make_simulator: unknown engine kind");
   }();
@@ -276,6 +286,7 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
   }
   const CompileGuard guard{policy.budget, diag, policy.metrics, policy.cancel};
   std::size_t downgrades = 0;
+  std::size_t native_fallbacks = 0;
   for (EngineKind kind : policy.chain) {
     const bool last = kind == policy.chain.back();
     // Cheap pre-check: reject on the structural prediction before paying
@@ -297,8 +308,18 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
         continue;
       }
     }
+    // A native attempt compiles its base program *before* the external
+    // toolchain can fail, so on failure the registry would describe a
+    // program that never runs; snapshot compile.* and roll it back in the
+    // NativeError handler so `exec.ops == compile.ops × passes` survives
+    // the IR fallback (tests/fallback_chain_test.cpp).
+    std::map<std::string, std::uint64_t> compile_before;
+    if (kind == EngineKind::Native && policy.metrics) {
+      compile_before = policy.metrics->snapshot();
+    }
     try {
-      std::unique_ptr<Simulator> sim = make_simulator_impl(nl, kind, &guard);
+      std::unique_ptr<Simulator> sim =
+          make_simulator_impl(nl, kind, &guard, &policy.native);
       // Pre-flight validation (DESIGN.md §5f): a compiled program must pass
       // the structural checks before it is allowed near an arena — and the
       // check re-runs after every downgrade, since each downgrade built a
@@ -322,12 +343,37 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
       if (diag) {
         diag->report(DiagCode::EngineSelected, DiagSeverity::Note,
                      std::string(engine_name(kind)),
-                     downgrades == 0
-                         ? "selected (first choice)"
-                         : "selected after " + std::to_string(downgrades) +
-                               " budget downgrade(s)");
+                     downgrades != 0
+                         ? "selected after " + std::to_string(downgrades) +
+                               " budget downgrade(s)"
+                         : native_fallbacks != 0 ? "selected after native fallback"
+                                                 : "selected (first choice)");
       }
       return sim;
+    } catch (const NativeError& e) {
+      // An environment failure (no compiler, bad cache dir, corrupt object,
+      // missing symbol), not a resource miss: record the structured stage
+      // and continue down the IR chain.
+      if (diag) {
+        diag->report(DiagCode::NativeFallback, DiagSeverity::Warning,
+                     std::string(engine_name(kind)),
+                     std::string(native_stage_name(e.stage())) +
+                         " stage failed (" + e.what() + "); trying next engine");
+      }
+      metric_add(policy.metrics, "native.fallback", 1);
+      if (policy.metrics) {
+        // Roll back compile.* to the pre-attempt values: the native.* audit
+        // trail stays (the build really happened), but the compile counters
+        // must describe the program the selected engine actually runs.
+        for (const auto& [name, value] : policy.metrics->snapshot()) {
+          if (name.rfind("compile.", 0) != 0) continue;
+          const auto it = compile_before.find(name);
+          policy.metrics->counter(name).set(
+              it == compile_before.end() ? 0 : it->second);
+        }
+      }
+      ++native_fallbacks;
+      if (last) throw;
     } catch (const BudgetExceeded& e) {
       if (diag) {
         diag->report(DiagCode::BudgetDowngrade, DiagSeverity::Warning,
@@ -341,6 +387,13 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
     }
   }
   throw NetlistError("make_simulator_with_fallback: no engine fits the budget");
+}
+
+SimPolicy native_sim_policy(NativeOptions opts) {
+  SimPolicy policy;
+  policy.chain.insert(policy.chain.begin(), EngineKind::Native);
+  policy.native = std::move(opts);
+  return policy;
 }
 
 }  // namespace udsim

@@ -11,6 +11,7 @@
 #include "analysis/compile_budget.h"
 #include "core/engine_kind.h"
 #include "core/kernel_runner.h"
+#include "native/native_backend.h"
 #include "netlist/diagnostics.h"
 #include "netlist/netlist.h"
 #include "obs/metrics.h"
@@ -137,6 +138,12 @@ struct SimPolicy {
   /// the chain builds (including after each downgrade); a rejected program
   /// is treated like a budget miss — diagnosed, then the next engine tried.
   bool validate = true;
+  /// Options for any EngineKind::Native entry in the chain (compiler, cache
+  /// directory, ...). A native pipeline failure (emit/compile/dlopen) is
+  /// recorded as DiagCode::NativeFallback plus a `native.fallback` counter
+  /// and the walk continues with the IR engines — native is never allowed
+  /// to be silently absent.
+  NativeOptions native{};
 };
 
 /// Walk `policy.chain`, skipping engines whose compile cost exceeds
@@ -147,5 +154,11 @@ struct SimPolicy {
 /// no engine in the chain fits.
 [[nodiscard]] std::unique_ptr<Simulator> make_simulator_with_fallback(
     const Netlist& nl, const SimPolicy& policy = {}, Diagnostics* diag = nullptr);
+
+/// The default SimPolicy with EngineKind::Native prepended as the preferred
+/// engine: native machine code when the toolchain cooperates, the IR chain
+/// (ParallelCombined → ... → Event2) otherwise, with the switch recorded as
+/// a NativeFallback diagnostic. See DESIGN.md §5h.
+[[nodiscard]] SimPolicy native_sim_policy(NativeOptions opts = {});
 
 }  // namespace udsim

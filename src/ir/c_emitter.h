@@ -17,13 +17,23 @@ struct CEmitOptions {
   std::string arena_name = "udsim_arena";
   /// Emit `/* name */` comments on ops whose dst has a symbolic name.
   bool comments = true;
+  /// Entry-point mode (the native backend, DESIGN.md §5h): the arena becomes
+  /// the first parameter of every function instead of a global, and a batch
+  /// entry point `<fn>_run(arena, in, n_vectors)` is emitted after
+  /// `<fn>_init(arena)` and `<fn>(arena, in)` — one `_run` call simulates a
+  /// whole row-major vector stream against a caller-owned arena, so a single
+  /// dlopen'd symbol drives any number of vectors.
+  bool batch_entry = false;
 };
 
-/// Emit:
+/// Emit (batch_entry = false, the historical layout):
 ///   #include <stdint.h>
-///   uintN_t <arena>[arena_words] = { ...constant init... };
+///   uintN_t <arena>[arena_words];
+///   void <fn>_init(void) { ...constant init... }
 ///   void <fn>(const uintN_t *in) { ...one statement per op...; }
-/// where N = program.word_bits.
+/// where N = program.word_bits. With batch_entry = true the arena is a
+/// parameter and `<fn>_run(arena, in, n_vectors)` is appended (see
+/// CEmitOptions::batch_entry).
 void emit_c(std::ostream& os, const Program& p, const CEmitOptions& opts = {});
 
 /// The single C statement for one op (used by emit_c and by tests that

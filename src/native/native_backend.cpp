@@ -1,0 +1,339 @@
+#include "native/native_backend.h"
+
+#include <dlfcn.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+#include "ir/c_emitter.h"
+
+namespace udsim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Symbol stem baked into every generated translation unit; the emitter
+/// appends `_init` / `_run` for the other two entry points.
+constexpr const char* kEntryName = "udsim_kernel";
+
+[[nodiscard]] std::string env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v && *v ? v : fallback;
+}
+
+/// Process-unique stem for in-flight build artifacts, so concurrent
+/// processes (and the unlocked no-cache path) never collide.
+[[nodiscard]] std::string scratch_stem() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "build-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1));
+}
+
+/// flock-based exclusive lock on `<dir>/.lock`, held across the
+/// probe → compile → install → evict critical section so concurrent
+/// processes sharing one cache directory serialize their builds.
+class CacheLock {
+ public:
+  explicit CacheLock(const fs::path& dir) {
+    const fs::path lockfile = dir / ".lock";
+    fd_ = ::open(lockfile.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ < 0) {
+      throw NativeError(NativeStage::Cache,
+                        "cannot open lockfile " + lockfile.string());
+    }
+    if (::flock(fd_, LOCK_EX) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw NativeError(NativeStage::Cache,
+                        "cannot lock " + lockfile.string());
+    }
+  }
+  ~CacheLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  CacheLock(const CacheLock&) = delete;
+  CacheLock& operator=(const CacheLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+void write_source(const fs::path& path, const Program& p) {
+  std::ofstream out(path);
+  if (!out) {
+    throw NativeError(NativeStage::Emit,
+                      "cannot create C source file " + path.string());
+  }
+  CEmitOptions opts;
+  opts.function_name = kEntryName;
+  opts.arena_name = "a";
+  opts.comments = false;  // names are debug aid only; keep cache entries lean
+  opts.batch_entry = true;
+  emit_c(out, p, opts);
+  out.flush();
+  if (!out) {
+    throw NativeError(NativeStage::Emit,
+                      "short write emitting C source to " + path.string());
+  }
+}
+
+/// `cc <flags> -shared -fPIC -o out src`, stderr captured for the error.
+void compile_source(const std::string& compiler, const std::string& flags,
+                    const fs::path& src, const fs::path& out,
+                    MetricsRegistry* metrics) {
+  const fs::path errfile = out.string() + ".err";
+  std::ostringstream cmd;
+  cmd << compiler << " " << flags << " -shared -fPIC -o \"" << out.string()
+      << "\" \"" << src.string() << "\" 2>\"" << errfile.string() << "\"";
+  int rc = 0;
+  {
+    TraceSpan span(metrics, "native.compile");
+    rc = std::system(cmd.str().c_str());
+  }
+  metric_add(metrics, "native.builds", 1);
+  if (rc != 0) {
+    std::string detail = "compiler '" + compiler + "' failed (status " +
+                         std::to_string(rc) + ")";
+    std::ifstream err(errfile);
+    if (err) {
+      std::string line;
+      if (std::getline(err, line) && !line.empty()) {
+        detail += ": " + line;
+      }
+    }
+    std::error_code ec;
+    fs::remove(errfile, ec);
+    fs::remove(out, ec);
+    throw NativeError(NativeStage::Compile, detail);
+  }
+  std::error_code ec;
+  fs::remove(errfile, ec);
+}
+
+/// Drop the oldest `.so` entries beyond `max_entries` (0 = unbounded).
+/// Caller holds the cache lock.
+std::size_t evict_cache(const fs::path& dir, std::size_t max_entries) {
+  if (max_entries == 0) return 0;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (e.path().extension() == ".so") {
+      entries.push_back({e.path(), fs::last_write_time(e.path(), ec)});
+    }
+  }
+  if (entries.size() <= max_entries) return 0;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  const std::size_t excess = entries.size() - max_entries;
+  for (std::size_t i = 0; i < excess; ++i) {
+    fs::remove(entries[i].path, ec);
+    fs::remove(fs::path(entries[i].path).replace_extension(".c"), ec);
+  }
+  return excess;
+}
+
+}  // namespace
+
+std::string_view native_stage_name(NativeStage s) noexcept {
+  switch (s) {
+    case NativeStage::Emit:
+      return "emit";
+    case NativeStage::Compile:
+      return "compile";
+    case NativeStage::Cache:
+      return "cache";
+    case NativeStage::Load:
+      return "load";
+    case NativeStage::Symbol:
+      return "symbol";
+  }
+  return "?";
+}
+
+NativeError::NativeError(NativeStage stage, std::string detail)
+    : std::runtime_error("native backend (" +
+                         std::string(native_stage_name(stage)) + " stage): " +
+                         detail),
+      stage_(stage) {}
+
+std::string resolved_compiler(const NativeOptions& opts) {
+  return opts.compiler.empty() ? env_or("UDSIM_CC", "cc") : opts.compiler;
+}
+
+std::string resolved_cache_dir(const NativeOptions& opts) {
+  if (!opts.cache_dir.empty()) return opts.cache_dir;
+  const std::string env = env_or("UDSIM_NATIVE_CACHE", "");
+  if (!env.empty()) return env;
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) tmp = "/tmp";
+  return (tmp / "udsim-native-cache").string();
+}
+
+bool native_available(const NativeOptions& opts) {
+  const std::string cmd =
+      resolved_compiler(opts) + " --version >/dev/null 2>&1";
+  return std::system(cmd.c_str()) == 0;
+}
+
+std::uint64_t program_fingerprint(const Program& p) noexcept {
+  // FNV-1a, same constants as the checkpoint hasher. Ops are hashed
+  // field-by-field: Op carries two padding bytes whose contents are
+  // indeterminate, so a raw byte hash would make equal programs miss.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(p.word_bits));
+  mix(p.arena_words);
+  mix(p.input_words);
+  mix(p.ops.size());
+  for (const Op& op : p.ops) {
+    mix(static_cast<std::uint64_t>(op.code) | std::uint64_t{op.imm} << 8);
+    mix(std::uint64_t{op.dst} | std::uint64_t{op.a} << 32);
+    mix(op.b);
+  }
+  mix(p.arena_init.size());
+  for (const Program::InitWord& iw : p.arena_init) {
+    mix(iw.index);
+    mix(iw.value);
+  }
+  return h;
+}
+
+std::string native_cache_key(const Program& p, std::string_view engine_label) {
+  std::ostringstream os;
+  os << std::hex << program_fingerprint(p) << std::dec << "-";
+  for (char c : engine_label) {
+    os << (std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+  }
+  os << "-w" << p.word_bits;
+  return os.str();
+}
+
+NativeModule::NativeModule(const Program& p, std::string_view engine_label,
+                           const NativeOptions& opts, MetricsRegistry* metrics) {
+  word_bits_ = p.word_bits;
+  const std::string compiler = resolved_compiler(opts);
+  const std::string flags =
+      opts.compile_flags.empty() ? env_or("UDSIM_CC_FLAGS", "-O2")
+                                 : opts.compile_flags;
+  const std::string key = native_cache_key(p, engine_label);
+
+  if (opts.use_cache) {
+    const fs::path dir = resolved_cache_dir(opts);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec || !fs::is_directory(dir)) {
+      throw NativeError(NativeStage::Cache, "cache directory " + dir.string() +
+                                                " is not usable" +
+                                                (ec ? ": " + ec.message() : ""));
+    }
+    const fs::path so = dir / (key + ".so");
+    const fs::path src = dir / (key + ".c");
+    {
+      const CacheLock lock(dir);
+      if (fs::exists(so, ec) && !ec) {
+        metric_add(metrics, "native.cache.hit", 1);
+        from_cache_ = true;
+        // Refresh mtime so LRU eviction sees the hit.
+        fs::last_write_time(so, fs::file_time_type::clock::now(), ec);
+      } else {
+        metric_add(metrics, "native.cache.miss", 1);
+        const fs::path tmp_src = dir / (scratch_stem() + ".c");
+        const fs::path tmp_so = dir / (scratch_stem() + ".so.tmp");
+        write_source(tmp_src, p);
+        compile_source(compiler, flags, tmp_src, tmp_so, metrics);
+        // Atomic install: a concurrent reader either sees the complete old
+        // entry or the complete new one, never a half-written object.
+        fs::rename(tmp_so, so, ec);
+        if (ec) {
+          fs::remove(tmp_src, ec);
+          throw NativeError(NativeStage::Cache,
+                            "cannot install " + so.string() + ": " + ec.message());
+        }
+        if (opts.keep_source) {
+          fs::rename(tmp_src, src, ec);
+        } else {
+          fs::remove(tmp_src, ec);
+        }
+        const std::size_t evicted = evict_cache(dir, opts.max_cache_entries);
+        if (evicted != 0) metric_add(metrics, "native.cache.evicted", evicted);
+      }
+      if (opts.keep_source && fs::exists(src, ec)) source_path_ = src.string();
+      so_path_ = so.string();
+    }
+  } else {
+    std::error_code ec;
+    fs::path tmp = fs::temp_directory_path(ec);
+    if (ec) tmp = "/tmp";
+    const std::string stem = "udsim-" + key + "-" + scratch_stem();
+    const fs::path src = tmp / (stem + ".c");
+    const fs::path so = tmp / (stem + ".so");
+    write_source(src, p);
+    compile_source(compiler, flags, src, so, metrics);
+    if (opts.keep_source) {
+      source_path_ = src.string();
+    } else {
+      fs::remove(src, ec);
+    }
+    so_path_ = so.string();
+  }
+
+  handle_ = ::dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    const char* err = ::dlerror();
+    throw NativeError(NativeStage::Load,
+                      "dlopen(" + so_path_ + ") failed" +
+                          (err ? ": " + std::string(err) : "") +
+                          (from_cache_ ? " [cached object]" : ""));
+  }
+  const auto resolve = [this](const std::string& sym) {
+    void* fn = ::dlsym(handle_, sym.c_str());
+    if (fn == nullptr) {
+      const char* err = ::dlerror();
+      ::dlclose(handle_);
+      handle_ = nullptr;
+      throw NativeError(NativeStage::Symbol,
+                        "dlsym(" + sym + ") failed in " + so_path_ +
+                            (err ? ": " + std::string(err) : ""));
+    }
+    return fn;
+  };
+  fn_step_ = resolve(kEntryName);
+  fn_init_ = resolve(std::string(kEntryName) + "_init");
+  fn_run_ = resolve(std::string(kEntryName) + "_run");
+}
+
+NativeModule::~NativeModule() {
+  if (handle_ != nullptr) ::dlclose(handle_);
+}
+
+void NativeModule::check_word_bits(std::size_t bits) const {
+  if (static_cast<int>(bits) != word_bits_) {
+    throw std::logic_error("NativeModule: word size mismatch with program");
+  }
+}
+
+}  // namespace udsim

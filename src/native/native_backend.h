@@ -1,0 +1,149 @@
+// Native-code backend (DESIGN.md §5h): emit a compiled Program as C through
+// ir/c_emitter's batch-entry mode, shell out to the system C compiler, and
+// dlopen the resulting shared object — the out-of-process realization of the
+// paper's premise that compiled simulation is just straight-line machine
+// code. The in-process IR executor stays the semantic reference: every
+// NativeModule is differentially tested bit-identical against execute<Word>
+// (tests/native_backend_test.cpp), and every failure in the emit → compile →
+// cache → dlopen → dlsym pipeline surfaces as a structured NativeError so
+// the engine fallback chain can drop to the IR path instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ir/program.h"
+#include "obs/metrics.h"
+
+namespace udsim {
+
+/// Pipeline stage a native build failed in — the failure taxonomy of
+/// DESIGN.md §5h. Each stage has a forced-failure test
+/// (tests/native_fallback_test.cpp) proving the fallback chain catches it.
+enum class NativeStage : std::uint8_t {
+  Emit,     ///< C source generation / temp-file write failed
+  Compile,  ///< the external compiler was missing or returned non-zero
+  Cache,    ///< cache directory unusable (not creatable / not writable)
+  Load,     ///< dlopen rejected the shared object (e.g. corrupted cache entry)
+  Symbol,   ///< dlsym could not resolve an entry point
+};
+
+[[nodiscard]] std::string_view native_stage_name(NativeStage s) noexcept;
+
+/// Structured failure of the native pipeline. Deliberately NOT derived from
+/// BudgetExceeded: a missing compiler is an environment problem, not a
+/// resource-limit problem, and the fallback chain records it as
+/// DiagCode::NativeFallback instead of a budget downgrade.
+class NativeError : public std::runtime_error {
+ public:
+  NativeError(NativeStage stage, std::string detail);
+  [[nodiscard]] NativeStage stage() const noexcept { return stage_; }
+
+ private:
+  NativeStage stage_;
+};
+
+/// Knobs of the native pipeline. Empty strings defer to the environment
+/// (README "Native backend"): UDSIM_CC, UDSIM_CC_FLAGS, UDSIM_NATIVE_CACHE.
+struct NativeOptions {
+  /// C compiler driver; "" = $UDSIM_CC, else "cc".
+  std::string compiler;
+  /// Flags before the fixed `-shared -fPIC -o`; "" = $UDSIM_CC_FLAGS, else "-O2".
+  std::string compile_flags;
+  /// Compiled-object cache directory; "" = $UDSIM_NATIVE_CACHE, else
+  /// <system tmp>/udsim-native-cache.
+  std::string cache_dir;
+  /// Reuse cached shared objects (keyed by program fingerprint × engine ×
+  /// word size). Off = always rebuild into a fresh temp path.
+  bool use_cache = true;
+  /// Oldest cache entries are evicted beyond this count (0 = unbounded).
+  std::size_t max_cache_entries = 64;
+  /// Keep the generated .c next to the .so (mismatch forensics).
+  bool keep_source = false;
+  /// Vectors per cancellation chunk of NativeSimulator::run_batch.
+  std::size_t batch_chunk = 1024;
+};
+
+/// Option/environment resolution (exposed for tests and diagnostics).
+[[nodiscard]] std::string resolved_compiler(const NativeOptions& opts);
+[[nodiscard]] std::string resolved_cache_dir(const NativeOptions& opts);
+
+/// True when the resolved compiler responds to `--version` — the cheap
+/// availability probe tests use to skip rather than fail on bare machines.
+[[nodiscard]] bool native_available(const NativeOptions& opts = {});
+
+/// FNV-1a over every semantically meaningful field of the program (ops
+/// field-by-field — Op has padding bytes — plus arena geometry, word size
+/// and init words; symbolic names excluded). Two programs with equal
+/// fingerprints generate identical C.
+[[nodiscard]] std::uint64_t program_fingerprint(const Program& p) noexcept;
+
+/// Cache-entry stem: `<fingerprint hex>-<engine label>-w<word_bits>`.
+[[nodiscard]] std::string native_cache_key(const Program& p,
+                                           std::string_view engine_label);
+
+/// One emitted + compiled + dlopen'd program. Construction runs the full
+/// pipeline (or takes a cache hit) and throws NativeError on any stage;
+/// destruction dlcloses. The entry points operate on a caller-owned arena,
+/// so one module serves any number of independent arenas.
+class NativeModule {
+ public:
+  /// `engine_label` names the base compiler for the cache key (e.g. "lcc",
+  /// "pcset", "parallel-combined"). Counters (when `metrics` is non-null):
+  /// native.builds, native.cache.{hit,miss,evicted}, and a native.compile
+  /// trace span around the external compiler invocation.
+  NativeModule(const Program& p, std::string_view engine_label,
+               const NativeOptions& opts = {}, MetricsRegistry* metrics = nullptr);
+  ~NativeModule();
+  NativeModule(const NativeModule&) = delete;
+  NativeModule& operator=(const NativeModule&) = delete;
+
+  /// Zero `arena` and apply the program's constant init words
+  /// (`udsim_kernel_init`).
+  template <class Word>
+  void init(Word* arena) const {
+    check_word_bits(sizeof(Word) * 8);
+    reinterpret_cast<void (*)(Word*)>(fn_init_)(arena);
+  }
+
+  /// One vector pass (`udsim_kernel`): `in` is one word per program input.
+  template <class Word>
+  void step(Word* arena, const Word* in) const {
+    check_word_bits(sizeof(Word) * 8);
+    reinterpret_cast<void (*)(Word*, const Word*)>(fn_step_)(arena, in);
+  }
+
+  /// Whole-stream entry (`udsim_kernel_run`): runs `n_vectors` row-major
+  /// vectors of `input_words` words each — the ISSUE's
+  /// `(arena, inputs, n_vectors)` signature; one call, no per-vector FFI.
+  template <class Word>
+  void run(Word* arena, const Word* in, std::uint64_t n_vectors) const {
+    check_word_bits(sizeof(Word) * 8);
+    reinterpret_cast<void (*)(Word*, const Word*, std::uint64_t)>(fn_run_)(
+        arena, in, n_vectors);
+  }
+
+  [[nodiscard]] const std::string& so_path() const noexcept { return so_path_; }
+  /// Generated C source path; empty unless NativeOptions::keep_source.
+  [[nodiscard]] const std::string& source_path() const noexcept {
+    return source_path_;
+  }
+  [[nodiscard]] bool from_cache() const noexcept { return from_cache_; }
+  [[nodiscard]] int word_bits() const noexcept { return word_bits_; }
+
+ private:
+  void check_word_bits(std::size_t bits) const;
+
+  void* handle_ = nullptr;
+  void* fn_init_ = nullptr;
+  void* fn_step_ = nullptr;
+  void* fn_run_ = nullptr;
+  std::string so_path_;
+  std::string source_path_;
+  bool from_cache_ = false;
+  int word_bits_ = 32;
+};
+
+}  // namespace udsim

@@ -28,6 +28,8 @@ std::string_view diag_code_name(DiagCode c) noexcept {
       return "budget-downgrade";
     case DiagCode::EngineSelected:
       return "engine-selected";
+    case DiagCode::NativeFallback:
+      return "native-fallback";
     case DiagCode::ProgramWordSize:
       return "program-word-size";
     case DiagCode::ProgramOpBounds:

@@ -39,6 +39,7 @@ enum class DiagCode : std::uint8_t {
   GapWordFallback,    ///< trimming filled gap words by broadcast fallback
   BudgetDowngrade,    ///< an engine was rejected because of a CompileBudget
   EngineSelected,     ///< the engine a fallback chain settled on
+  NativeFallback,     ///< native pipeline failed; chain dropped to the IR path
   // Program validation (resilience/program_validator.h).
   ProgramWordSize,    ///< word_bits is neither 32 nor 64
   ProgramOpBounds,    ///< op touches an arena word outside the arena

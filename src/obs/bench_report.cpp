@@ -19,8 +19,11 @@ namespace {
            name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
   };
   // Wall-clock counters and span call counts (calls vary with attach/detach
-  // choreography, not simulation behavior); everything else the registry
-  // holds is a per-pass constant times a deterministic pass count.
+  // choreography, not simulation behavior); native.* describes toolchain and
+  // cache state (hit vs miss depends on what earlier runs left in the cache
+  // directory); everything else the registry holds is a per-pass constant
+  // times a deterministic pass count.
+  if (name.rfind("native.", 0) == 0) return true;
   return ends_with(".ns") || ends_with(".us") || ends_with(".calls");
 }
 
@@ -103,6 +106,7 @@ std::string bench_engine_slug(EngineKind k) {
     case EngineKind::ParallelCycleBreaking: return "parallel-cycle-breaking";
     case EngineKind::ParallelCombined: return "parallel-combined";
     case EngineKind::ZeroDelayLcc: return "zero-delay-lcc";
+    case EngineKind::Native: return "native";
   }
   return "unknown";
 }
@@ -129,6 +133,16 @@ BenchReport run_bench_report(
     if (cfg.with_batch && cfg.batch_threads > 1) {
       cr.engines.push_back(measure_engine(*nl, EngineKind::ParallelCombined,
                                           cfg.batch_threads, stream, cfg));
+    }
+    if (cfg.with_native) {
+      try {
+        cr.engines.push_back(
+            measure_engine(*nl, EngineKind::Native, 1, stream, cfg));
+      } catch (const NativeError&) {
+        // No usable C compiler (or cache) on this machine: the native row
+        // is absent rather than fabricated; check_bench_report only flags
+        // rows the *baseline* has, so IR baselines still check clean.
+      }
     }
     report.circuits.push_back(std::move(cr));
   }

@@ -71,6 +71,12 @@ struct BenchRunConfig {
                                   EngineKind::ParallelCombined};
   /// Also measure ParallelCombined sharded across batch_threads workers.
   bool with_batch = true;
+  /// Also measure EngineKind::Native (the dlopen backend) with 1 thread —
+  /// the ir-vs-native row quantifying the interpreter tax. Opt-in (the
+  /// driver enables it): the row is appended, so a baseline without it
+  /// still checks clean (check_bench_report walks the baseline's rows), and
+  /// a machine without a C compiler just skips the row.
+  bool with_native = false;
 };
 
 /// Measure every circuit × engine. Timing runs detached from metrics (the

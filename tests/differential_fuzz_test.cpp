@@ -16,6 +16,7 @@
 #include "gen/random_dag.h"
 #include "gen/rng.h"
 #include "harness/vectors.h"
+#include "native/native_sim.h"
 #include "netlist/bench_io.h"
 #include "oracle/oracle.h"
 
@@ -127,6 +128,40 @@ TEST(DifferentialFuzz, AllEnginesAgreeWithOracleOnRandomCircuits) {
   // in isolation reproduces them.
   for (std::uint64_t seed = 1000; seed < 1040; ++seed) {
     if (!run_case(seed)) break;  // one readable dump, not forty
+  }
+}
+
+TEST(DifferentialFuzz, NativeBackendAgreesWithOracleOnRandomCircuits) {
+  // Native leg of the fuzz harness (DESIGN.md §5h): the dlopen'd machine
+  // code must agree with OracleSim on the same seeded random DAGs the IR
+  // engines are fuzzed with. Fewer seeds than the IR sweep — each case
+  // shells out to the C compiler — but the same reproduction contract: a
+  // failure names the seed, the netlist, and the emitted C file.
+  NativeOptions opts;
+  opts.compile_flags = "-O0";
+  opts.keep_source = true;
+  if (!native_available(opts)) {
+    GTEST_SKIP() << "no usable C compiler (UDSIM_CC) on this machine";
+  }
+  for (std::uint64_t seed = 1000; seed < 1006; ++seed) {
+    const RandomDagParams params = fuzz_params(seed);
+    const Netlist nl = random_dag(params);
+    OracleSim oracle(nl);
+    NativeSimulator native(nl, opts);
+    RandomVectorSource src(nl.primary_inputs().size(), seed + 0x5151);
+    std::vector<Bit> row(nl.primary_inputs().size());
+    for (int v = 0; v < 6; ++v) {
+      src.next(row);
+      const Waveform wf = oracle.step(row);
+      native.step(row);
+      for (NetId po : nl.primary_outputs()) {
+        ASSERT_EQ(wf.final_value(po), native.final_value(po))
+            << "native backend disagrees with oracle on net '"
+            << nl.net(po).name << "' at vector " << v << "\n"
+            << "emitted C: " << native.module().source_path() << "\n"
+            << describe(seed, params, nl);
+      }
+    }
   }
 }
 

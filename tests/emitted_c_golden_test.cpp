@@ -1,0 +1,139 @@
+// Golden-shape test for the C emitter: the exact statement op_to_c produces
+// for every opcode at both word sizes, plus the full translation unit
+// emit_c produces in both layouts (historical global-arena and the native
+// backend's batch-entry mode), diffed against tests/golden/emitted_c_ops.txt.
+//
+// The emitted text is ABI: the native backend compiles it with the system C
+// compiler and the cache keys assume equal programs emit equal C. A drift
+// here is either a codegen regression or an intentional change — refresh
+// with
+//
+//   ./udsim_native_tests --update-golden      (or UDSIM_UPDATE_GOLDEN=1)
+//
+// and commit the diff.
+//
+// This file also provides main() for the native test binary so the refresh
+// flag is intercepted before gtest sees it.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "golden_flag.h"
+#include "ir/c_emitter.h"
+#include "ir/program.h"
+
+namespace udsim {
+namespace {
+
+struct OpCase {
+  const char* label;
+  Op op;
+};
+
+/// Every opcode once, operands chosen so the statement is legal at both
+/// word sizes (shift immediates stay below 32).
+const OpCase kOpCases[] = {
+    {"Const0", {OpCode::Const, 0, 2, 0, 0}},
+    {"Const1", {OpCode::Const, 1, 2, 0, 0}},
+    {"Copy", {OpCode::Copy, 0, 2, 0, 0}},
+    {"Not", {OpCode::Not, 0, 2, 0, 0}},
+    {"And", {OpCode::And, 0, 2, 0, 1}},
+    {"Or", {OpCode::Or, 0, 2, 0, 1}},
+    {"Xor", {OpCode::Xor, 0, 2, 0, 1}},
+    {"Nand", {OpCode::Nand, 0, 2, 0, 1}},
+    {"Nor", {OpCode::Nor, 0, 2, 0, 1}},
+    {"Xnor", {OpCode::Xnor, 0, 2, 0, 1}},
+    {"AccAnd", {OpCode::AccAnd, 0, 2, 0, 0}},
+    {"AccOr", {OpCode::AccOr, 0, 2, 0, 0}},
+    {"AccXor", {OpCode::AccXor, 0, 2, 0, 0}},
+    {"MaskedCopy", {OpCode::MaskedCopy, 0, 2, 0, 1}},
+    {"LoadBit", {OpCode::LoadBit, 0, 2, 1, 0}},
+    {"LoadBcast", {OpCode::LoadBcast, 0, 2, 1, 0}},
+    {"LoadWord", {OpCode::LoadWord, 0, 2, 1, 0}},
+    {"ExtractBit", {OpCode::ExtractBit, 5, 2, 0, 0}},
+    {"BcastBit", {OpCode::BcastBit, 5, 2, 0, 0}},
+    {"Shl", {OpCode::Shl, 3, 2, 0, 0}},
+    {"Shr", {OpCode::Shr, 3, 2, 0, 0}},
+    {"ShlOr", {OpCode::ShlOr, 3, 2, 0, 0}},
+    {"MaskShlOr", {OpCode::MaskShlOr, 3, 2, 0, 0}},
+    {"FunnelL", {OpCode::FunnelL, 3, 2, 0, 1}},
+    {"FunnelR", {OpCode::FunnelR, 3, 2, 0, 1}},
+};
+
+/// Small fixed program exercising names, init words and input loads.
+Program tiny_program(int word_bits) {
+  Program p;
+  p.word_bits = word_bits;
+  p.arena_words = 4;
+  p.input_words = 2;
+  p.ops = {
+      {OpCode::LoadBit, 0, 0, 0, 0},
+      {OpCode::LoadBit, 0, 1, 1, 0},
+      {OpCode::Nand, 0, 2, 0, 1},
+  };
+  p.arena_init = {{3, 1}};
+  p.names = {"", "", "G3"};
+  return p;
+}
+
+std::string render_golden() {
+  std::ostringstream os;
+  for (const int wb : {32, 64}) {
+    Program p;
+    p.word_bits = wb;
+    p.arena_words = 4;
+    p.input_words = 2;
+    CEmitOptions opts;
+    opts.arena_name = "w";
+    opts.comments = false;
+    os << "== op_to_c w" << wb << " ==\n";
+    for (const OpCase& c : kOpCases) {
+      os << c.label << ": " << op_to_c(p, c.op, opts) << "\n";
+    }
+  }
+  for (const int wb : {32, 64}) {
+    const Program p = tiny_program(wb);
+    os << "== emit_c w" << wb << " (historical layout) ==\n";
+    CEmitOptions opts;
+    emit_c(os, p, opts);
+    os << "== emit_c w" << wb << " (batch entry) ==\n";
+    opts.function_name = "udsim_kernel";
+    opts.arena_name = "a";
+    opts.comments = false;
+    opts.batch_entry = true;
+    emit_c(os, p, opts);
+  }
+  return os.str();
+}
+
+TEST(EmittedCGoldenTest, MatchesFixture) {
+  const std::string actual = render_golden();
+  const std::string path =
+      std::string(UDSIM_GOLDEN_DIR) + "/emitted_c_ops.txt";
+  if (test::g_update_golden) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    SUCCEED() << "refreshed " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " — run with --update-golden to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "emitted C drifted from " << path
+      << " — a codegen regression, or refresh with --update-golden";
+}
+
+}  // namespace
+}  // namespace udsim
+
+int main(int argc, char** argv) {
+  udsim::test::consume_update_golden_flag(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

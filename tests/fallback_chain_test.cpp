@@ -120,6 +120,54 @@ TEST(FallbackChain, EmptyChainIsAnError) {
                NetlistError);
 }
 
+// Native entries in the chain (DESIGN.md §5h): a native pipeline failure is
+// not a budget miss — it produces a NativeFallback record ordered before
+// the EngineSelected note, the chain lands on the IR first choice, and the
+// facade's exec.ops == compile.ops × passes invariant still holds on the IR
+// path (the abandoned native attempt's compile counters are rolled back).
+TEST(FallbackChain, NativeFailureFallsBackToIrWithOrderedDiagnostics) {
+  const Netlist nl = test::fig4_network();
+  SimPolicy policy = native_sim_policy();
+  policy.native.compiler = "/nonexistent/udsim-no-such-cc";  // force Compile
+  MetricsRegistry reg;
+  policy.metrics = &reg;
+  Diagnostics diag;
+  const auto sim = make_simulator_with_fallback(nl, policy, &diag);
+
+  EXPECT_EQ(sim->kind(), EngineKind::ParallelCombined);
+  EXPECT_EQ(diag.count(DiagCode::NativeFallback), 1u);
+  EXPECT_EQ(diag.count(DiagCode::BudgetDowngrade), 0u)
+      << "a toolchain failure must not masquerade as a budget miss";
+
+  // Record order: the fallback explains the selection that follows it.
+  std::size_t fallback_at = diag.records().size();
+  std::size_t selected_at = diag.records().size();
+  for (std::size_t i = 0; i < diag.records().size(); ++i) {
+    if (diag.records()[i].code == DiagCode::NativeFallback) fallback_at = i;
+    if (diag.records()[i].code == DiagCode::EngineSelected) selected_at = i;
+  }
+  ASSERT_LT(selected_at, diag.records().size());
+  EXPECT_LT(fallback_at, selected_at);
+  EXPECT_EQ(diag.records()[fallback_at].subject,
+            engine_name(EngineKind::Native));
+  const Diagnostic& sel = diag.records()[selected_at];
+  EXPECT_EQ(sel.subject, engine_name(EngineKind::ParallelCombined));
+  EXPECT_NE(sel.message.find("after native fallback"), std::string::npos)
+      << sel.message;
+
+  // The invariant the observability layer pins for every IR engine must
+  // survive the detour: only the selected engine's compile is on the books.
+  EXPECT_EQ(reg.snapshot().at("native.fallback"), 1u);
+  constexpr std::uint64_t kPasses = 3;
+  std::vector<Bit> row(nl.primary_inputs().size(), 0);
+  for (std::uint64_t i = 0; i < kPasses; ++i) sim->step(row);
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.at("compile.ops"), 0u);
+  EXPECT_EQ(snap.at("exec.ops"), snap.at("compile.ops") * kPasses);
+
+  expect_matches_oracle(*sim, nl, 8, 0xabcdull);
+}
+
 // Diagnostics are optional: the chain works with a null sink.
 TEST(FallbackChain, NullDiagnosticsSinkIsAccepted) {
   const Netlist nl = deep_reconvergent();

@@ -1,0 +1,35 @@
+// Shared --update-golden plumbing for test binaries that own golden
+// fixtures (udsim_observability_tests, udsim_native_tests). Each binary's
+// main() calls consume_update_golden_flag() before InitGoogleTest so the
+// flag never reaches gtest's argument parser; tests read g_update_golden.
+//
+//   ./<binary> --update-golden      (or UDSIM_UPDATE_GOLDEN=1)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace udsim::test {
+
+inline bool g_update_golden = false;
+
+/// Strip --update-golden from argv (compacting in place) and honor the
+/// UDSIM_UPDATE_GOLDEN environment variable. Sets and returns
+/// g_update_golden.
+inline bool consume_update_golden_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      g_update_golden = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (const char* env = std::getenv("UDSIM_UPDATE_GOLDEN");
+      env && *env && std::string(env) != "0") {
+    g_update_golden = true;
+  }
+  return g_update_golden;
+}
+
+}  // namespace udsim::test

@@ -13,7 +13,6 @@
 // refresh flag can be intercepted before gtest sees it.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -21,12 +20,11 @@
 
 #include "core/simulator.h"
 #include "gen/iscas_profiles.h"
+#include "golden_flag.h"
 #include "obs/metrics.h"
 
 namespace udsim {
 namespace {
-
-bool g_update_golden = false;
 
 constexpr std::size_t kVectors = 8;
 
@@ -66,7 +64,7 @@ TEST_P(GoldenMetricsTest, MatchesFixture) {
   const std::string circuit = GetParam();
   const std::string actual = collect_metrics(circuit);
   const std::string path = golden_path(circuit);
-  if (g_update_golden) {
+  if (test::g_update_golden) {
     std::ofstream out(path);
     ASSERT_TRUE(out) << "cannot write " << path;
     out << actual;
@@ -91,18 +89,7 @@ INSTANTIATE_TEST_SUITE_P(Circuits, GoldenMetricsTest,
 }  // namespace udsim
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--update-golden") {
-      udsim::g_update_golden = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
-    }
-  }
-  if (const char* env = std::getenv("UDSIM_UPDATE_GOLDEN");
-      env && *env && std::string(env) != "0") {
-    udsim::g_update_golden = true;
-  }
+  udsim::test::consume_update_golden_flag(argc, argv);
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();
 }

@@ -1,0 +1,208 @@
+// Forced-failure tests for every stage of the native pipeline (DESIGN.md
+// §5h failure taxonomy): a bad compiler path (Compile), an unusable cache
+// directory (Cache), a corrupted cached shared object (Load) and a cached
+// object missing the entry points (Symbol). Each stage is asserted twice —
+// directly (NativeModule throws a NativeError carrying the right stage) and
+// through the engine chain (native_sim_policy falls back to the IR path
+// with a DiagCode::NativeFallback record, a native.fallback counter, and
+// the exec.ops == compile.ops × passes invariant intact on the engine that
+// actually runs).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "gen/iscas_profiles.h"
+#include "native/native_sim.h"
+#include "netlist/diagnostics.h"
+#include "parsim/parallel_sim.h"
+
+namespace udsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per call, under the system temp dir.
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) tmp = "/tmp";
+  const fs::path dir = tmp / ("udsim-fallback-" + std::to_string(::getpid()) +
+                              "-" + tag + "-" + std::to_string(counter++));
+  fs::create_directories(dir, ec);
+  return dir.string();
+}
+
+/// The base program the facade's native engine compiles (must mirror
+/// native_sim.cpp's native_base_options so cache keys line up).
+Program facade_base_program(const Netlist& nl) {
+  ParallelOptions o;
+  o.trimming = true;
+  o.shift_elim = ShiftElim::PathTracing;
+  o.word_bits = 32;
+  return compile_parallel(nl, o).program;
+}
+
+/// Path the facade's native engine will probe in `cache_dir` for `nl`.
+std::string facade_cached_so(const Netlist& nl, const std::string& cache_dir) {
+  return (fs::path(cache_dir) /
+          (native_cache_key(facade_base_program(nl), "parallel-combined") +
+           ".so"))
+      .string();
+}
+
+/// Walk the native-first chain expecting the native attempt to fail: the
+/// selected engine must be the IR first choice, the failure must be a
+/// structured NativeFallback record ahead of EngineSelected, the counter
+/// must tick, and the compile/exec counters must describe the engine that
+/// runs, not the abandoned native attempt.
+void expect_structured_fallback(const Netlist& nl, const NativeOptions& opts,
+                                NativeStage stage) {
+  MetricsRegistry reg;
+  Diagnostics diag;
+  SimPolicy policy = native_sim_policy(opts);
+  policy.metrics = &reg;
+  auto sim = make_simulator_with_fallback(nl, policy, &diag);
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->kind(), EngineKind::ParallelCombined)
+      << "the chain must land on the first IR engine";
+
+  std::size_t fallback_at = diag.records().size();
+  std::size_t selected_at = diag.records().size();
+  for (std::size_t i = 0; i < diag.records().size(); ++i) {
+    const Diagnostic& d = diag.records()[i];
+    if (d.code == DiagCode::NativeFallback && fallback_at == diag.records().size()) {
+      fallback_at = i;
+      EXPECT_EQ(d.severity, DiagSeverity::Warning);
+      EXPECT_EQ(d.subject, "native (dlopen)");
+      EXPECT_NE(d.message.find(std::string(native_stage_name(stage)) +
+                               " stage failed"),
+                std::string::npos)
+          << "message must carry the failing stage: " << d.message;
+    }
+    if (d.code == DiagCode::EngineSelected) selected_at = i;
+  }
+  ASSERT_LT(fallback_at, diag.records().size()) << "no NativeFallback record";
+  ASSERT_LT(selected_at, diag.records().size()) << "no EngineSelected record";
+  EXPECT_LT(fallback_at, selected_at)
+      << "fallback must be recorded before selection";
+  EXPECT_NE(diag.records()[selected_at].message.find("after native fallback"),
+            std::string::npos)
+      << diag.records()[selected_at].message;
+
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("native.fallback"), 1u);
+  // The abandoned native attempt compiled its own base program; the
+  // rollback in the chain walk must leave compile.ops describing only the
+  // engine that runs, so the facade invariant survives the fallback.
+  ASSERT_NE(sim->compiled_program(), nullptr);
+  EXPECT_EQ(snap.at("compile.ops"), sim->compiled_program()->ops.size());
+  constexpr std::uint64_t kPasses = 2;
+  std::vector<Bit> row(nl.primary_inputs().size(), 1);
+  for (std::uint64_t i = 0; i < kPasses; ++i) sim->step(row);
+  snap = reg.snapshot();
+  EXPECT_EQ(snap.at("exec.ops"), snap.at("compile.ops") * kPasses);
+}
+
+TEST(NativeFallbackTest, BadCompilerFailsTheCompileStage) {
+  const Netlist nl = make_iscas85_like("c432", 1);
+  NativeOptions opts;
+  opts.compiler = "/nonexistent/udsim-no-such-cc";
+  opts.cache_dir = fresh_dir("compile");
+  try {
+    NativeModule mod(facade_base_program(nl), "parallel-combined", opts);
+    FAIL() << "expected NativeError";
+  } catch (const NativeError& e) {
+    EXPECT_EQ(e.stage(), NativeStage::Compile);
+    EXPECT_NE(std::string(e.what()).find("compile stage"), std::string::npos);
+  }
+  expect_structured_fallback(nl, opts, NativeStage::Compile);
+}
+
+TEST(NativeFallbackTest, FileAsCacheDirFailsTheCacheStage) {
+  const Netlist nl = make_iscas85_like("c432", 1);
+  const std::string dir = fresh_dir("cache");
+  const std::string file = dir + "/not-a-directory";
+  { std::ofstream(file) << "occupied\n"; }
+  NativeOptions opts;
+  opts.cache_dir = file;  // a regular file: create_directories must fail
+  try {
+    NativeModule mod(facade_base_program(nl), "parallel-combined", opts);
+    FAIL() << "expected NativeError";
+  } catch (const NativeError& e) {
+    EXPECT_EQ(e.stage(), NativeStage::Cache);
+  }
+  expect_structured_fallback(nl, opts, NativeStage::Cache);
+}
+
+TEST(NativeFallbackTest, CorruptedCachedObjectFailsTheLoadStage) {
+  NativeOptions probe;
+  if (!native_available(probe)) GTEST_SKIP() << "no usable C compiler";
+  const Netlist nl = make_iscas85_like("c432", 1);
+  NativeOptions opts;
+  opts.compile_flags = "-O0";
+  opts.cache_dir = fresh_dir("load");
+
+  // Populate the cache with a good build, then corrupt the entry in place.
+  const Program p = facade_base_program(nl);
+  { const NativeModule good(p, "parallel-combined", opts); }
+  const std::string so = facade_cached_so(nl, opts.cache_dir);
+  ASSERT_TRUE(fs::exists(so));
+  { std::ofstream(so, std::ios::trunc) << "this is not an ELF object\n"; }
+
+  try {
+    NativeModule mod(p, "parallel-combined", opts);
+    FAIL() << "expected NativeError";
+  } catch (const NativeError& e) {
+    EXPECT_EQ(e.stage(), NativeStage::Load);
+    EXPECT_NE(std::string(e.what()).find("[cached object]"), std::string::npos)
+        << "the error must say the bad object came from the cache: "
+        << e.what();
+  }
+  expect_structured_fallback(nl, opts, NativeStage::Load);
+}
+
+TEST(NativeFallbackTest, WrongSymbolsFailTheSymbolStage) {
+  NativeOptions opts;
+  if (!native_available(opts)) GTEST_SKIP() << "no usable C compiler";
+  const Netlist nl = make_iscas85_like("c432", 1);
+  opts.compile_flags = "-O0";
+  opts.cache_dir = fresh_dir("symbol");
+
+  // Hand-plant a valid shared object with the wrong symbols at the exact
+  // cache path the backend will probe: dlopen succeeds, dlsym must not.
+  const std::string so = facade_cached_so(nl, opts.cache_dir);
+  const std::string src = opts.cache_dir + "/decoy.c";
+  { std::ofstream(src) << "int udsim_decoy_symbol;\n"; }
+  const std::string cmd = resolved_compiler(opts) + " -shared -fPIC -o \"" +
+                          so + "\" \"" + src + "\"";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  try {
+    NativeModule mod(facade_base_program(nl), "parallel-combined", opts);
+    FAIL() << "expected NativeError";
+  } catch (const NativeError& e) {
+    EXPECT_EQ(e.stage(), NativeStage::Symbol);
+    EXPECT_NE(std::string(e.what()).find("udsim_kernel"), std::string::npos);
+  }
+  expect_structured_fallback(nl, opts, NativeStage::Symbol);
+}
+
+TEST(NativeFallbackTest, StageNamesAreStable) {
+  // The stage names are part of the diagnostic surface (DESIGN.md §5h).
+  EXPECT_EQ(native_stage_name(NativeStage::Emit), "emit");
+  EXPECT_EQ(native_stage_name(NativeStage::Compile), "compile");
+  EXPECT_EQ(native_stage_name(NativeStage::Cache), "cache");
+  EXPECT_EQ(native_stage_name(NativeStage::Load), "load");
+  EXPECT_EQ(native_stage_name(NativeStage::Symbol), "symbol");
+}
+
+}  // namespace
+}  // namespace udsim
