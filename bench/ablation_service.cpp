@@ -1,0 +1,192 @@
+// Service-layer ablation: offered-load sweep against one SimService per
+// (circuit, load point), reporting end-of-pipe latency percentiles and the
+// structured-refusal rates that replace crashes under overload.
+//
+// Each load point spawns C client threads that burst-submit R requests each
+// (no pacing — the worst case for the bounded queue), then waits for every
+// ticket. Per-request service latency = queue wait + run time, taken from
+// the SimResponse the service stamps; refusals (QueueFull at submit,
+// load-shed Rejected at schedule) are counted as rates, not latencies.
+// The sweep shows the designed degradation: light load completes everything,
+// saturation trades latency for throughput, overload converts the excess
+// into QueueFull/shed rejections while completed work stays bit-exact.
+//
+// Extra options on top of the shared harness flags:
+//   --json PATH   machine-readable results (default ablation_service.json)
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/table.h"
+#include "service/sim_service.h"
+
+namespace {
+
+std::string parse_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "ablation_service.json";
+}
+
+struct LoadPoint {
+  const char* label;
+  unsigned clients;
+  unsigned requests_per_client;
+};
+
+struct Row {
+  std::string name;
+  std::string load;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t queue_full = 0;
+  std::uint64_t shed_rejected = 0;
+  std::uint64_t other = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace udsim;
+  using namespace udsim::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  if (args.circuits.empty()) args.circuits = {"c432", "c880", "c1908"};
+  const std::string json_path = parse_json_path(argc, argv);
+  print_header("Ablation",
+               "service latency under offered load (p50/p95/p99, refusal rates)",
+               args);
+
+  // One fixed, deliberately small service: 2 request workers over a queue of
+  // 8 slots makes "overload" reachable with a handful of client threads.
+  const LoadPoint points[] = {
+      {"light", 1, 8},
+      {"saturate", 4, 8},
+      {"overload", 16, 8},
+  };
+
+  Table table({"circuit", "load", "offered", "done", "qfull", "shed",
+               "p50 us", "p95 us", "p99 us"});
+  std::vector<Row> rows;
+  for (const std::string& name : args.circuit_names()) {
+    const auto nl = std::make_shared<Netlist>(make_iscas85_like(name, args.seed));
+    const Workload w(nl->primary_inputs().size(), args.vectors, args.seed + 7);
+
+    for (const LoadPoint& pt : points) {
+      ServiceConfig cfg;
+      cfg.workers = 2;
+      cfg.queue_capacity = 8;
+      cfg.batch_threads = 1;
+      SimService svc(cfg);
+
+      std::vector<std::vector<ServiceTicket>> tickets(pt.clients);
+      std::vector<std::thread> clients;
+      for (unsigned c = 0; c < pt.clients; ++c) {
+        clients.emplace_back([&, c] {
+          tickets[c].reserve(pt.requests_per_client);
+          for (unsigned i = 0; i < pt.requests_per_client; ++i) {
+            tickets[c].push_back(svc.submit(
+                0, SimRequest{.netlist = nl, .vectors = w.bits}));
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+
+      Row row;
+      row.name = name;
+      row.load = pt.label;
+      std::vector<double> latencies_us;
+      for (std::vector<ServiceTicket>& per_client : tickets) {
+        for (ServiceTicket& t : per_client) {
+          const SimResponse r = t.result.get();
+          ++row.offered;
+          switch (r.outcome) {
+            case Outcome::Completed:
+              ++row.completed;
+              latencies_us.push_back(
+                  1e-3 * static_cast<double>(r.queue_ns + r.run_ns));
+              break;
+            case Outcome::QueueFull: ++row.queue_full; break;
+            case Outcome::Rejected: ++row.shed_rejected; break;
+            default: ++row.other; break;
+          }
+        }
+      }
+      svc.shutdown();
+
+      std::sort(latencies_us.begin(), latencies_us.end());
+      row.p50_us = percentile(latencies_us, 0.50);
+      row.p95_us = percentile(latencies_us, 0.95);
+      row.p99_us = percentile(latencies_us, 0.99);
+      table.add_row({row.name, row.load, std::to_string(row.offered),
+                     std::to_string(row.completed),
+                     std::to_string(row.queue_full),
+                     std::to_string(row.shed_rejected), Table::num(row.p50_us),
+                     Table::num(row.p95_us), Table::num(row.p99_us)});
+      rows.push_back(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n(latency = queue wait + run time as stamped by the service; "
+              "qfull/shed are structured refusals, never crashes. 'other' "
+              "outcomes would indicate a bug and are reported in the JSON.)\n");
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"ablation_service\",\n"
+                 "  \"vectors\": %zu,\n  \"seed\": %llu,\n  \"points\": [\n",
+                 args.vectors, static_cast<unsigned long long>(args.seed));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"load\": \"%s\", \"offered\": %llu, "
+                   "\"completed\": %llu, \"queue_full\": %llu, "
+                   "\"shed_rejected\": %llu, \"other\": %llu, "
+                   "\"p50_us\": %.3f, \"p95_us\": %.3f, \"p99_us\": %.3f}%s\n",
+                   r.name.c_str(), r.load.c_str(),
+                   static_cast<unsigned long long>(r.offered),
+                   static_cast<unsigned long long>(r.completed),
+                   static_cast<unsigned long long>(r.queue_full),
+                   static_cast<unsigned long long>(r.shed_rejected),
+                   static_cast<unsigned long long>(r.other), r.p50_us,
+                   r.p95_us, r.p99_us, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  // Sanity: every request resolved to a structured outcome.
+  for (const Row& r : rows) {
+    if (r.offered !=
+        r.completed + r.queue_full + r.shed_rejected + r.other) {
+      std::fprintf(stderr, "%s/%s: outcome counts do not sum to offered\n",
+                   r.name.c_str(), r.load.c_str());
+      return 1;
+    }
+    if (r.completed == 0) {
+      std::fprintf(stderr, "%s/%s: nothing completed\n", r.name.c_str(),
+                   r.load.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@ target_link_libraries(ablation_emitted_c PRIVATE ${CMAKE_DL_LIBS})
 udsim_bench(ablation_threads)
 udsim_bench(ablation_observability)
 udsim_bench(ablation_resilience)
+udsim_bench(ablation_service)
 
 udsim_bench(bench_report)
 # bench_report resolves circuit names through examples/common.h, which
@@ -51,6 +52,8 @@ add_test(NAME bench_dataparallel_smoke COMMAND ablation_dataparallel --benchmark
 add_test(NAME bench_threads_smoke COMMAND ablation_threads --vectors 200 --trials 1 --circuits c432 --threads 1,2 --json ablation_threads_smoke.json)
 add_test(NAME bench_observability_smoke COMMAND ablation_observability --vectors 200 --trials 1 --circuits c432,c880 --json ablation_observability_smoke.json)
 add_test(NAME bench_resilience_smoke COMMAND ablation_resilience --vectors 200 --trials 1 --circuits c432,c880 --json ablation_resilience_smoke.json)
+add_test(NAME bench_service_smoke COMMAND ablation_service --vectors 64 --circuits c432 --json ablation_service_smoke.json)
+set_tests_properties(bench_service_smoke PROPERTIES LABELS "service")
 
 # The report-label gate (ISSUE 5): bench_report must produce a valid report
 # and --check must fail on injected counter drift. The drift test writes a

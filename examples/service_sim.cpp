@@ -1,0 +1,112 @@
+// Serving walkthrough: stand up an in-process SimService and drive it the
+// way a long-lived client would — open a session, submit requests against
+// the shared compiled-program cache, watch a deadline expire and a
+// cancellation land as structured outcomes, and read the per-session report.
+//
+//   service_sim [circuit] [vectors] [requests]    (defaults: c880 64 4)
+//
+// Everything a request can do is visible in its SimResponse: the outcome,
+// the engine that served it, whether the program came from the cache, how
+// long it queued and ran, and (for interrupted batch runs) a resumable
+// checkpoint. The service never throws at the caller and never hangs a
+// ticket — overload, bad input, deadlines and shutdown all come back as
+// one of the seven Outcome values.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "service/sim_service.h"
+
+int main(int argc, char** argv) {
+  using namespace udsim;
+  const std::string circuit = argc > 1 ? argv[1] : "c880";
+  const std::size_t vectors =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const unsigned requests = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+
+  const auto nl =
+      std::make_shared<Netlist>(examples::load_circuit(circuit));
+  const std::vector<Bit> stream =
+      examples::xorshift_stream(vectors, nl->primary_inputs().size());
+
+  // A small service: two request workers, a bounded queue, default engine
+  // chain, program cache shared by every request.
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 16;
+  SimService svc(cfg);
+  const SessionId session = svc.open_session("walkthrough");
+
+  // 1. Repeated requests for the same circuit: the first compiles (cache
+  // miss), the rest reuse the cached program (hits).
+  for (unsigned i = 0; i < requests; ++i) {
+    const SimResponse r =
+        svc.run(session, SimRequest{.netlist = nl, .vectors = stream});
+    if (r.outcome != Outcome::Completed) {
+      std::fprintf(stderr, "request %u: unexpected outcome %s (%s)\n", i,
+                   std::string(outcome_name(r.outcome)).c_str(),
+                   r.detail.c_str());
+      return 1;
+    }
+    std::printf("request %u: %s via %s, cache %s, queued %.1f us, ran %.1f us, "
+                "%llu vectors\n",
+                i, std::string(outcome_name(r.outcome)).c_str(),
+                std::string(engine_name(r.engine)).c_str(),
+                r.cache_hit ? "hit" : "miss",
+                1e-3 * static_cast<double>(r.queue_ns),
+                1e-3 * static_cast<double>(r.run_ns),
+                static_cast<unsigned long long>(r.vectors_done));
+  }
+
+  // 2. A deadline the request cannot meet: a structured DeadlineExpired, not
+  // an exception and not a hang.
+  const SimResponse late = svc.run(
+      session, SimRequest{.netlist = nl,
+                          .vectors = stream,
+                          .deadline = std::chrono::nanoseconds(1)});
+  std::printf("1ns-deadline request: %s (%s)\n",
+              std::string(outcome_name(late.outcome)).c_str(),
+              late.detail.c_str());
+  if (late.outcome != Outcome::DeadlineExpired) return 1;
+
+  // 3. Cancellation by ticket id: submit asynchronously, cancel, collect.
+  ServiceTicket ticket =
+      svc.submit(session, SimRequest{.netlist = nl, .vectors = stream});
+  (void)svc.cancel(ticket.id);
+  const SimResponse cancelled = ticket.result.get();
+  std::printf("cancelled request: %s%s%s\n",
+              std::string(outcome_name(cancelled.outcome)).c_str(),
+              cancelled.detail.empty() ? "" : " — ",
+              cancelled.detail.c_str());
+  // Racing completion is legal: Completed and Cancelled are both valid here.
+  if (cancelled.outcome != Outcome::Cancelled &&
+      cancelled.outcome != Outcome::Completed) {
+    return 1;
+  }
+
+  // 4. Malformed input: a stream that is not a whole number of vectors is
+  // Rejected at submit, before it costs a queue slot.
+  std::vector<Bit> ragged(stream.begin(), stream.end() - 1);
+  const SimResponse bad =
+      svc.run(session, SimRequest{.netlist = nl, .vectors = ragged});
+  std::printf("ragged request: %s (%s)\n",
+              std::string(outcome_name(bad.outcome)).c_str(),
+              bad.detail.c_str());
+  if (bad.outcome != Outcome::Rejected) return 1;
+
+  // 5. What the service saw, per this session and overall.
+  const SimService::Stats stats = svc.stats();
+  std::printf("service: %zu cached program(s), %zu bytes resident, "
+              "queue %zu/%zu\n",
+              stats.cache_entries, stats.cache_bytes, stats.queue_depth,
+              stats.queue_capacity);
+  std::printf("session report: %s\n", svc.session_report(session).c_str());
+
+  svc.shutdown();
+  std::printf("ok\n");
+  return 0;
+}

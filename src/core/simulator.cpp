@@ -133,20 +133,25 @@ class EngineAdapter final : public Simulator {
   }
 
   [[nodiscard]] BatchResult run_batch(std::span<const Bit> vectors,
-                                      unsigned num_threads) const override {
+                                      const BatchRunOptions& opts) const override {
     const std::size_t count = batch_vector_count(nl_, vectors);
+    // Per-run overrides beat the instance-wide attachments (see
+    // BatchRunOptions): a shared cached engine stays immutable while each
+    // request brings its own token and registry.
+    MetricsRegistry* metrics = opts.metrics ? opts.metrics : metrics_;
+    const CancelToken* cancel = opts.cancel ? opts.cancel : cancel_;
     BatchResult r;
     r.outputs = nl_.primary_outputs();
     r.vectors = count;
     if (const Program* program = batch_program(engine_)) {
-      run_compiled(*program, vectors, count, num_threads, r);
+      run_compiled(*program, vectors, count, opts.num_threads, metrics, cancel, r);
     } else {
       // Interpreted fallback: single-threaded replay on a fresh engine, so
       // the reset-state semantics and this instance's state both hold.
       Engine fresh(nl_);
-      fresh.set_metrics(metrics_);
-      if constexpr (requires { fresh.set_cancel(cancel_); }) {
-        fresh.set_cancel(cancel_);
+      fresh.set_metrics(metrics);
+      if constexpr (requires { fresh.set_cancel(cancel); }) {
+        fresh.set_cancel(cancel);
       }
       const std::size_t pis = nl_.primary_inputs().size();
       r.values.reserve(count * r.outputs.size());
@@ -160,7 +165,9 @@ class EngineAdapter final : public Simulator {
 
  private:
   void run_compiled(const Program& program, std::span<const Bit> vectors,
-                    std::size_t count, unsigned num_threads, BatchResult& r) const {
+                    std::size_t count, unsigned num_threads,
+                    MetricsRegistry* metrics, const CancelToken* cancel,
+                    BatchResult& r) const {
     const std::size_t pis = nl_.primary_inputs().size();
     if (program.input_words != pis) {
       throw std::logic_error("run_batch: program is not in scalar input mode");
@@ -169,9 +176,9 @@ class EngineAdapter final : public Simulator {
     for (std::size_t i = 0; i < in.size(); ++i) in[i] = vectors[i] & 1;
     BatchRunner batch(program, batch_probes(engine_, nl_),
                       BatchOptions{.num_threads = num_threads,
-                                   .metrics = metrics_,
+                                   .metrics = metrics,
                                    .extra_pass_cost = batch_extras(engine_),
-                                   .cancel = cancel_});
+                                   .cancel = cancel});
     r.values = batch.run(in, count);
     r.threads = batch.num_threads();
   }

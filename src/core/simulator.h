@@ -36,6 +36,18 @@ struct BatchResult {
   }
 };
 
+/// Per-run knobs of Simulator::run_batch. `cancel` and `metrics` override
+/// the instance-wide set_cancel / set_metrics attachments *for this run
+/// only* (nullptr = inherit the attachment). The overrides are what lets a
+/// long-lived service (src/service/) share one cached const Simulator
+/// across concurrent sessions: each request brings its own deadline token
+/// and registry without mutating the shared engine.
+struct BatchRunOptions {
+  unsigned num_threads = 0;            ///< worker threads; 0 = all hardware
+  const CancelToken* cancel = nullptr; ///< per-run cancel/deadline override
+  MetricsRegistry* metrics = nullptr;  ///< per-run counter sink override
+};
+
 /// Minimal common surface: feed vectors, read settled values.
 /// (Waveform-level access is engine-specific; use the engine classes
 /// directly — ParallelSim::value_at, PCSetSim::value_at, OracleSim::step.)
@@ -56,11 +68,23 @@ class Simulator {
   /// count). Always computed from the engine's initial (reset) state,
   /// independent of prior step() calls, and never disturbs this instance's
   /// incremental state. Compiled engines shard the stream across
-  /// `num_threads` workers (0 = all hardware threads) with bit-identical
-  /// results for every thread count; the interpreted event engines fall
-  /// back to a single-threaded replay. See DESIGN.md §5c.
+  /// `opts.num_threads` workers (0 = all hardware threads) with
+  /// bit-identical results for every thread count; the interpreted event
+  /// engines fall back to a single-threaded replay. See DESIGN.md §5c.
+  ///
+  /// Thread safety: run_batch touches no mutable instance state, so any
+  /// number of concurrent run_batch calls may share one Simulator as long
+  /// as nobody concurrently calls the mutating entry points (step,
+  /// set_metrics, set_cancel) — the contract the service layer's
+  /// compiled-program cache relies on.
   [[nodiscard]] virtual BatchResult run_batch(std::span<const Bit> vectors,
-                                              unsigned num_threads = 0) const = 0;
+                                              const BatchRunOptions& opts) const = 0;
+
+  /// Convenience overload with only a thread count.
+  [[nodiscard]] BatchResult run_batch(std::span<const Bit> vectors,
+                                      unsigned num_threads = 0) const {
+    return run_batch(vectors, BatchRunOptions{.num_threads = num_threads});
+  }
 
   /// The netlist this engine simulates.
   [[nodiscard]] virtual const Netlist& netlist() const noexcept = 0;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 namespace udsim {
@@ -20,18 +21,43 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(ShutdownMode::Drain); }
+
+std::size_t ThreadPool::shutdown(ShutdownMode mode) {
+  std::deque<std::function<void()>> discarded;
   {
     std::lock_guard lock(mu_);
     stop_ = true;
+    if (mode == ShutdownMode::Cancel) discarded.swap(queue_);
   }
   work_cv_.notify_all();
+  // Cancelled tasks are destroyed here, outside the lock and on the
+  // caller's thread — deterministic destruction order for captured state
+  // (a promise in a discarded task is abandoned *now*, not whenever a
+  // worker happens to die).
+  const std::size_t cancelled = discarded.size();
+  discarded.clear();
+  {
+    std::lock_guard lock(mu_);
+    if (joined_) return cancelled;
+    joined_ = true;
+  }
   for (std::thread& w : workers_) w.join();
+  return cancelled;
+}
+
+bool ThreadPool::stopped() const noexcept {
+  std::lock_guard lock(mu_);
+  return stop_;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mu_);
+    if (stop_) {
+      throw std::runtime_error(
+          "ThreadPool::submit: pool is stopped; the task would never run");
+    }
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
@@ -54,6 +80,13 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) {
+      throw std::runtime_error(
+          "ThreadPool::parallel_for: pool is stopped; the loop would never run");
+    }
+  }
   if (threads() <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
@@ -67,23 +100,41 @@ void ThreadPool::parallel_for(std::size_t n,
   };
   auto barrier = std::make_shared<Barrier>();
   barrier->remaining = n;
+  std::exception_ptr submit_error;
+  std::size_t submitted = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    submit([barrier, &body, i] {
-      try {
-        // Fail-fast: once any body has thrown, indices not yet started are
-        // skipped (they still count toward the barrier).
-        if (!barrier->failed.load(std::memory_order_acquire)) body(i);
-      } catch (...) {
-        barrier->failed.store(true, std::memory_order_release);
+    try {
+      submit([barrier, &body, i] {
+        try {
+          // Fail-fast: once any body has thrown, indices not yet started are
+          // skipped (they still count toward the barrier).
+          if (!barrier->failed.load(std::memory_order_acquire)) body(i);
+        } catch (...) {
+          barrier->failed.store(true, std::memory_order_release);
+          std::lock_guard lock(barrier->mu);
+          if (!barrier->error) barrier->error = std::current_exception();
+        }
         std::lock_guard lock(barrier->mu);
-        if (!barrier->error) barrier->error = std::current_exception();
-      }
+        if (--barrier->remaining == 0) barrier->done_cv.notify_all();
+      });
+      ++submitted;
+    } catch (...) {
+      // Pool shut down mid-loop. Tasks already queued still reference
+      // `body` and the barrier, so we must NOT leave this frame until they
+      // have drained: mark the run failed (unstarted tasks skip their
+      // body), settle the barrier for the never-submitted tail, and fall
+      // through to the normal wait below.
+      submit_error = std::current_exception();
+      barrier->failed.store(true, std::memory_order_release);
       std::lock_guard lock(barrier->mu);
-      if (--barrier->remaining == 0) barrier->done_cv.notify_all();
-    });
+      barrier->remaining -= n - submitted;
+      if (barrier->remaining == 0) barrier->done_cv.notify_all();
+      break;
+    }
   }
   std::unique_lock lock(barrier->mu);
   barrier->done_cv.wait(lock, [&] { return barrier->remaining == 0; });
+  if (submit_error) std::rethrow_exception(submit_error);
   if (barrier->error) std::rethrow_exception(barrier->error);
 }
 

@@ -252,37 +252,56 @@ NativeModule::NativeModule(const Program& p, std::string_view engine_label,
     }
     const fs::path so = dir / (key + ".so");
     const fs::path src = dir / (key + ".c");
-    {
-      const CacheLock lock(dir);
-      if (fs::exists(so, ec) && !ec) {
-        metric_add(metrics, "native.cache.hit", 1);
-        from_cache_ = true;
-        // Refresh mtime so LRU eviction sees the hit.
-        fs::last_write_time(so, fs::file_time_type::clock::now(), ec);
-      } else {
-        metric_add(metrics, "native.cache.miss", 1);
-        const fs::path tmp_src = dir / (scratch_stem() + ".c");
-        const fs::path tmp_so = dir / (scratch_stem() + ".so.tmp");
-        write_source(tmp_src, p);
-        compile_source(compiler, flags, tmp_src, tmp_so, metrics);
-        // Atomic install: a concurrent reader either sees the complete old
-        // entry or the complete new one, never a half-written object.
-        fs::rename(tmp_so, so, ec);
-        if (ec) {
-          fs::remove(tmp_src, ec);
-          throw NativeError(NativeStage::Cache,
-                            "cannot install " + so.string() + ": " + ec.message());
-        }
-        if (opts.keep_source) {
-          fs::rename(tmp_src, src, ec);
+    // Two rounds at most: a cached object that dlopen/dlsym rejects (a
+    // truncated or bit-flipped .so from a killed process) is *corruption,
+    // not failure* — evict it, recompile as a miss, and only a failure of
+    // the freshly built object escapes as NativeError.
+    for (int round = 0;; ++round) {
+      {
+        const CacheLock lock(dir);
+        if (fs::exists(so, ec) && !ec) {
+          metric_add(metrics, "native.cache.hit", 1);
+          from_cache_ = true;
+          // Refresh mtime so LRU eviction sees the hit.
+          fs::last_write_time(so, fs::file_time_type::clock::now(), ec);
         } else {
-          fs::remove(tmp_src, ec);
+          metric_add(metrics, "native.cache.miss", 1);
+          from_cache_ = false;
+          const fs::path tmp_src = dir / (scratch_stem() + ".c");
+          const fs::path tmp_so = dir / (scratch_stem() + ".so.tmp");
+          write_source(tmp_src, p);
+          compile_source(compiler, flags, tmp_src, tmp_so, metrics);
+          // Atomic install: a concurrent reader either sees the complete old
+          // entry or the complete new one, never a half-written object.
+          fs::rename(tmp_so, so, ec);
+          if (ec) {
+            fs::remove(tmp_src, ec);
+            throw NativeError(NativeStage::Cache, "cannot install " +
+                                                      so.string() + ": " +
+                                                      ec.message());
+          }
+          if (opts.keep_source) {
+            fs::rename(tmp_src, src, ec);
+          } else {
+            fs::remove(tmp_src, ec);
+          }
+          const std::size_t evicted = evict_cache(dir, opts.max_cache_entries);
+          if (evicted != 0) metric_add(metrics, "native.cache.evicted", evicted);
         }
-        const std::size_t evicted = evict_cache(dir, opts.max_cache_entries);
-        if (evicted != 0) metric_add(metrics, "native.cache.evicted", evicted);
+        if (opts.keep_source && fs::exists(src, ec)) source_path_ = src.string();
+        so_path_ = so.string();
       }
-      if (opts.keep_source && fs::exists(src, ec)) source_path_ = src.string();
-      so_path_ = so.string();
+      try {
+        open_module();
+        break;
+      } catch (const NativeError&) {
+        if (!from_cache_ || round != 0) throw;
+        // Corrupted cache entry: treat as a miss. Evict under the lock so a
+        // concurrent process cannot hit the same bad object, then rebuild.
+        metric_add(metrics, "native.cache.corrupt", 1);
+        const CacheLock lock(dir);
+        fs::remove(so, ec);
+      }
     }
   } else {
     std::error_code ec;
@@ -299,8 +318,11 @@ NativeModule::NativeModule(const Program& p, std::string_view engine_label,
       fs::remove(src, ec);
     }
     so_path_ = so.string();
+    open_module();
   }
+}
 
+void NativeModule::open_module() {
   handle_ = ::dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle_ == nullptr) {
     const char* err = ::dlerror();
@@ -312,12 +334,14 @@ NativeModule::NativeModule(const Program& p, std::string_view engine_label,
   const auto resolve = [this](const std::string& sym) {
     void* fn = ::dlsym(handle_, sym.c_str());
     if (fn == nullptr) {
+      // Copy the message before dlclose: dlerror() may point into the
+      // module's own memory, gone once it is unloaded.
       const char* err = ::dlerror();
+      const std::string detail = err ? ": " + std::string(err) : "";
       ::dlclose(handle_);
       handle_ = nullptr;
       throw NativeError(NativeStage::Symbol,
-                        "dlsym(" + sym + ") failed in " + so_path_ +
-                            (err ? ": " + std::string(err) : ""));
+                        "dlsym(" + sym + ") failed in " + so_path_ + detail);
     }
     return fn;
   };

@@ -92,8 +92,12 @@ class NativeModule {
  public:
   /// `engine_label` names the base compiler for the cache key (e.g. "lcc",
   /// "pcset", "parallel-combined"). Counters (when `metrics` is non-null):
-  /// native.builds, native.cache.{hit,miss,evicted}, and a native.compile
-  /// trace span around the external compiler invocation.
+  /// native.builds, native.cache.{hit,miss,evicted,corrupt}, and a
+  /// native.compile trace span around the external compiler invocation.
+  /// A cached object that dlopen/dlsym rejects (truncated or bit-flipped on
+  /// disk) is treated as a cache miss: the entry is evicted, the program is
+  /// recompiled, and native.cache.corrupt is bumped — corruption of the
+  /// on-disk cache never surfaces as a hard failure.
   NativeModule(const Program& p, std::string_view engine_label,
                const NativeOptions& opts = {}, MetricsRegistry* metrics = nullptr);
   ~NativeModule();
@@ -135,6 +139,9 @@ class NativeModule {
 
  private:
   void check_word_bits(std::size_t bits) const;
+  /// dlopen so_path_ and resolve the three entry points; throws
+  /// NativeError(Load|Symbol) with handle_ left null on failure.
+  void open_module();
 
   void* handle_ = nullptr;
   void* fn_init_ = nullptr;

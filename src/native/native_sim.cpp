@@ -90,7 +90,7 @@ ProgramProfile NativeSimulator::program_profile(std::size_t top_k) const {
 }
 
 BatchResult NativeSimulator::run_batch(std::span<const Bit> vectors,
-                                       unsigned /*num_threads*/) const {
+                                       const BatchRunOptions& opts) const {
   const std::size_t pis = nl_.primary_inputs().size();
   if (pis == 0) {
     if (!vectors.empty()) {
@@ -118,17 +118,27 @@ BatchResult NativeSimulator::run_batch(std::span<const Bit> vectors,
   std::vector<std::uint32_t> in(pis);
   const std::vector<ArenaProbe> probes = output_probes();
 
+  // Per-run overrides (BatchRunOptions): a request-scoped token/registry
+  // beats the instance attachments, so a cached const NativeSimulator can
+  // serve concurrent service sessions.
+  MetricsRegistry* metrics = opts.metrics ? opts.metrics : metrics_;
+  const ExecCounters exec =
+      opts.metrics && opts.metrics != metrics_
+          ? ExecCounters::attach(opts.metrics, compiled_.program,
+                                 native_extras(compiled_))
+          : exec_;
+
   // Chunked execution: the cancel token is polled at every chunk boundary
   // (resilience contract — a native run stops within `batch_chunk` vectors
   // of a cancel request), and the exact per-pass counters are settled per
   // chunk so a cancelled run reports exactly the passes that completed.
   const std::size_t chunk = opts_.batch_chunk == 0 ? 1024 : opts_.batch_chunk;
-  CancelPoll poll(poll_.token());
+  CancelPoll poll(opts.cancel ? opts.cancel : poll_.token());
   std::size_t since_chunk = 0;
   for (std::size_t v = 0; v < count; ++v) {
     if (v % chunk == 0) {
-      metric_add(metrics_, "native.batch.chunks", 1);
-      exec_.on_passes(since_chunk);
+      metric_add(metrics, "native.batch.chunks", 1);
+      exec.on_passes(since_chunk);
       since_chunk = 0;
       const StopReason reason = poll.poll();
       if (reason != StopReason::None) throw Cancelled(reason, "native.batch", v);
@@ -140,7 +150,7 @@ BatchResult NativeSimulator::run_batch(std::span<const Bit> vectors,
       r.values.push_back(static_cast<Bit>((arena[pr.word] >> pr.bit) & 1u));
     }
   }
-  exec_.on_passes(since_chunk);
+  exec.on_passes(since_chunk);
   return r;
 }
 

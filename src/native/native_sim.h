@@ -29,8 +29,9 @@ class NativeSimulator final : public Simulator {
 
   void step(std::span<const Bit> pi_values) override;
   [[nodiscard]] Bit final_value(NetId n) const override;
+  using Simulator::run_batch;
   [[nodiscard]] BatchResult run_batch(std::span<const Bit> vectors,
-                                      unsigned num_threads) const override;
+                                      const BatchRunOptions& opts) const override;
   [[nodiscard]] const Netlist& netlist() const noexcept override { return nl_; }
   [[nodiscard]] EngineKind kind() const noexcept override {
     return EngineKind::Native;

@@ -27,6 +27,34 @@ CircuitStats circuit_stats(const Netlist& nl) {
   return s;
 }
 
+std::uint64_t netlist_fingerprint(const Netlist& nl) noexcept {
+  // FNV-1a, same constants as program_fingerprint / the checkpoint hasher.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(nl.net_count());
+  mix(nl.gate_count());
+  for (std::size_t g = 0; g < nl.gate_count(); ++g) {
+    const GateId id{static_cast<std::uint32_t>(g)};
+    const Gate& gate = nl.gate(id);
+    mix(static_cast<std::uint64_t>(gate.type) |
+        std::uint64_t{gate.output.value} << 8);
+    mix(static_cast<std::uint64_t>(nl.delay(id)));
+    mix(gate.inputs.size());
+    for (NetId in : gate.inputs) mix(in.value);
+  }
+  for (const Net& n : nl.nets()) mix(static_cast<std::uint64_t>(n.wired));
+  mix(nl.primary_inputs().size());
+  for (NetId pi : nl.primary_inputs()) mix(pi.value);
+  mix(nl.primary_outputs().size());
+  for (NetId po : nl.primary_outputs()) mix(po.value);
+  return h;
+}
+
 std::ostream& operator<<(std::ostream& os, const CircuitStats& s) {
   return os << "PI=" << s.primary_inputs << " PO=" << s.primary_outputs
             << " gates=" << s.gates << " nets=" << s.nets << " pins=" << s.pins

@@ -23,6 +23,13 @@ struct CircuitStats {
 
 [[nodiscard]] CircuitStats circuit_stats(const Netlist& nl);
 
+/// FNV-1a 64 over the structural content of the netlist: gate types, pin
+/// lists, delays, wired kinds, and the primary-input/output lists. Net and
+/// circuit *names* are excluded — two netlists that differ only in naming
+/// compile to identical programs, so they share one fingerprint (and one
+/// compiled-program cache entry in the service layer, src/service/).
+[[nodiscard]] std::uint64_t netlist_fingerprint(const Netlist& nl) noexcept;
+
 std::ostream& operator<<(std::ostream& os, const CircuitStats& s);
 
 }  // namespace udsim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,31 @@ std::size_t vector_count_of(const Netlist& nl, std::span<const Bit> vectors) {
 
 }  // namespace
 
+std::chrono::nanoseconds RetryPolicy::backoff_for(unsigned retry) const noexcept {
+  if (retry == 0) return std::chrono::nanoseconds{0};
+  double ns = static_cast<double>(base_backoff.count());
+  for (unsigned i = 1; i < retry; ++i) ns *= multiplier;
+  const double cap = static_cast<double>(max_backoff.count());
+  if (ns > cap) ns = cap;
+  return std::chrono::nanoseconds{static_cast<std::int64_t>(ns)};
+}
+
+StopReason backoff_sleep(std::chrono::nanoseconds d, const CancelToken* cancel) {
+  using clock = std::chrono::steady_clock;
+  const auto until = clock::now() + d;
+  constexpr auto kSlice = std::chrono::milliseconds(1);
+  for (;;) {
+    if (cancel != nullptr) {
+      const StopReason r = cancel->stop_reason();
+      if (r != StopReason::None) return r;
+    }
+    const auto now = clock::now();
+    if (now >= until) return StopReason::None;
+    const auto left = until - now;
+    std::this_thread::sleep_for(left < kSlice ? left : kSlice);
+  }
+}
+
 ResilientResult run_batch_resilient(const Simulator& sim,
                                     std::span<const Bit> vectors,
                                     const ResilientOptions& opts) {
@@ -46,9 +72,15 @@ ResilientResult run_batch_resilient(const Simulator& sim,
   if (program == nullptr) {
     // Interpreted engine: cancellation still works (the engine polls between
     // vectors), but there is no word arena to snapshot, so an early stop
-    // cannot checkpoint — partial rows are discarded.
+    // cannot checkpoint — partial rows are discarded. The token and registry
+    // ride in as per-run overrides so a shared const engine needs no
+    // set_cancel/set_metrics mutation (service layer contract).
     try {
-      r.batch = sim.run_batch(vectors, opts.num_threads);
+      r.batch = sim.run_batch(vectors, BatchRunOptions{
+                                           .num_threads = opts.num_threads,
+                                           .cancel = opts.cancel,
+                                           .metrics = opts.metrics,
+                                       });
       r.vectors_done = count;
     } catch (const Cancelled& e) {
       r.status = e.reason() == StopReason::Deadline ? RunStatus::DeadlineExpired

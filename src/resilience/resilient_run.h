@@ -10,6 +10,7 @@
 // and an early stop discards the partial rows.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 
@@ -20,6 +21,28 @@
 #include "resilience/fault_injection.h"
 
 namespace udsim {
+
+/// Bounded retry-with-backoff schedule for *transient* failures (a native
+/// toolchain hiccup, an injected shard fault that escaped quarantine, a
+/// failed allocation). Complements the per-shard retry/quarantine machinery
+/// in BatchRunner: that layer retries a shard from its seam within one run,
+/// this one schedules whole-run re-attempts with growing pauses — the knob
+/// the service layer (src/service/) turns.
+struct RetryPolicy {
+  unsigned max_retries = 1;  ///< re-attempts after the first try (0 = none)
+  std::chrono::nanoseconds base_backoff{std::chrono::milliseconds(2)};
+  double multiplier = 2.0;   ///< backoff growth per attempt
+  std::chrono::nanoseconds max_backoff{std::chrono::milliseconds(250)};
+
+  /// Pause before re-attempt `retry` (1-based): base × multiplier^(retry-1),
+  /// clamped to max_backoff.
+  [[nodiscard]] std::chrono::nanoseconds backoff_for(unsigned retry) const noexcept;
+};
+
+/// Sleep `d`, waking early when `cancel` stops (polled in small slices so a
+/// deadline or cancel request never waits out a full backoff). Returns the
+/// reason the sleep ended early, or StopReason::None after a full sleep.
+StopReason backoff_sleep(std::chrono::nanoseconds d, const CancelToken* cancel);
 
 struct ResilientOptions {
   unsigned num_threads = 0;  ///< worker threads; 0 = all hardware threads

@@ -1,0 +1,110 @@
+#include "service/program_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace udsim {
+
+std::uint64_t engine_chain_fingerprint(
+    const std::vector<EngineKind>& chain) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(chain.size());
+  for (const EngineKind k : chain) mix(static_cast<std::uint64_t>(k) + 1);
+  return h;
+}
+
+ProgramCache::Acquired ProgramCache::acquire(const Key& key,
+                                             const Builder& build,
+                                             const CancelToken* cancel) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    auto it = slots_.find(key);
+    if (it == slots_.end()) break;  // this caller becomes the builder
+    if (it->second.ready != nullptr) {
+      it->second.tick = ++tick_;
+      metric_add(metrics_, "service.cache.hit", 1);
+      return {it->second.ready, true};
+    }
+    // Someone else is building this key: wait, but keep honoring our own
+    // deadline — a request must never be stuck behind a foreign compile
+    // past its budget. The wait re-checks in slices rather than relying on
+    // the builder to target our token.
+    metric_add(metrics_, "service.cache.wait", 1);
+    ready_cv_.wait_for(lock, std::chrono::milliseconds(20));
+    if (cancel != nullptr) {
+      const StopReason r = cancel->stop_reason();
+      if (r != StopReason::None) {
+        throw Cancelled(r, "service.cache.wait");
+      }
+    }
+  }
+
+  // Claim the build slot (ready == nullptr marks in-flight), then build
+  // outside the lock so waiters and unrelated keys are not serialized
+  // behind a compile.
+  slots_.emplace(key, Slot{});
+  metric_add(metrics_, "service.cache.miss", 1);
+  lock.unlock();
+
+  std::shared_ptr<Entry> built;
+  try {
+    metric_add(metrics_, "service.cache.build", 1);
+    built = build();
+  } catch (...) {
+    std::lock_guard relock(mu_);
+    slots_.erase(key);
+    ready_cv_.notify_all();  // next waiter becomes the builder
+    throw;
+  }
+
+  lock.lock();
+  Slot& slot = slots_[key];
+  slot.ready = built;
+  slot.tick = ++tick_;
+  bytes_ += built->bytes;
+  evict_over_budget_locked(key);
+  lock.unlock();
+  ready_cv_.notify_all();
+  return {std::move(built), false};
+}
+
+bool ProgramCache::contains(const Key& key) const {
+  std::lock_guard lock(mu_);
+  const auto it = slots_.find(key);
+  return it != slots_.end() && it->second.ready != nullptr;
+}
+
+std::size_t ProgramCache::size() const {
+  std::lock_guard lock(mu_);
+  return slots_.size();
+}
+
+std::size_t ProgramCache::bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+void ProgramCache::evict_over_budget_locked(const Key& keep) {
+  if (budget_bytes_ == 0) return;
+  while (bytes_ > budget_bytes_ && slots_.size() > 1) {
+    auto oldest = slots_.end();
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->second.ready == nullptr) continue;  // in-flight build
+      if (it->first < keep || keep < it->first) {
+        if (oldest == slots_.end() || it->second.tick < oldest->second.tick) {
+          oldest = it;
+        }
+      }
+    }
+    if (oldest == slots_.end()) return;  // only the kept / building entries
+    bytes_ -= oldest->second.ready->bytes;
+    slots_.erase(oldest);
+    metric_add(metrics_, "service.cache.evicted", 1);
+  }
+}
+
+}  // namespace udsim

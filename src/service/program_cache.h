@@ -1,0 +1,110 @@
+// Fingerprint-keyed cache of compiled simulators with single-flight builds
+// and a byte-budgeted LRU (DESIGN.md §5i).
+//
+// The expensive thing a service amortizes is compilation: two requests for
+// the same netlist × engine chain × word size must share one compiled
+// Program, and N concurrent first requests must trigger exactly one build
+// (single-flight) — the rest wait on the builder, polling their own cancel
+// token so a deadline is honored even while queued behind someone else's
+// compile. Entries are handed out as shared_ptr, so LRU eviction only
+// unlinks from the map; a simulator mid-run is never destroyed under its
+// users. The cache relies on the Simulator::run_batch thread-safety
+// contract (const, no mutable instance state) to let any number of requests
+// run one cached engine concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/engine_kind.h"
+#include "core/simulator.h"
+#include "netlist/diagnostics.h"
+#include "obs/metrics.h"
+#include "resilience/cancel.h"
+
+namespace udsim {
+
+class ProgramCache {
+ public:
+  /// What a compiled entry is keyed by: the structural netlist fingerprint
+  /// (netlist_fingerprint), a variant fingerprint over the engine chain the
+  /// request may use, and the word size.
+  struct Key {
+    std::uint64_t netlist_fp = 0;
+    std::uint64_t variant_fp = 0;
+    int word_bits = 32;
+
+    [[nodiscard]] friend bool operator<(const Key& a, const Key& b) noexcept {
+      if (a.netlist_fp != b.netlist_fp) return a.netlist_fp < b.netlist_fp;
+      if (a.variant_fp != b.variant_fp) return a.variant_fp < b.variant_fp;
+      return a.word_bits < b.word_bits;
+    }
+  };
+
+  /// One ready entry. `diag` preserves the build-time chain-walk records
+  /// (BudgetDowngrade / NativeFallback / EngineSelected) so every response
+  /// served from this entry can explain which engine ran and why.
+  struct Entry {
+    std::unique_ptr<Simulator> sim;
+    EngineKind engine = EngineKind::Event2;
+    std::size_t bytes = 0;  ///< resident-cost charge against the budget
+    Diagnostics diag;
+  };
+
+  /// Builds an Entry; throws to report failure (the throw propagates to the
+  /// acquiring caller and wakes the next waiter to try building).
+  using Builder = std::function<std::shared_ptr<Entry>()>;
+
+  struct Acquired {
+    std::shared_ptr<const Entry> entry;
+    bool hit = false;
+  };
+
+  /// `budget_bytes` caps the summed Entry::bytes (0 = unbounded; at least
+  /// one entry is always retained). Counters when `metrics` is non-null:
+  /// service.cache.{hit,miss,build,evicted,wait}.
+  explicit ProgramCache(std::size_t budget_bytes,
+                        MetricsRegistry* metrics = nullptr) noexcept
+      : budget_bytes_(budget_bytes), metrics_(metrics) {}
+
+  /// Get-or-build with single-flight semantics. At most one caller runs
+  /// `build` per key at a time; others block until the entry is ready,
+  /// polling `cancel` (throws Cancelled with site "service.cache.wait" when
+  /// it stops). A failed build releases the key so the next waiter retries.
+  [[nodiscard]] Acquired acquire(const Key& key, const Builder& build,
+                                 const CancelToken* cancel = nullptr);
+
+  /// True when a ready entry for `key` exists right now (the load-shed
+  /// cache-only admission probe; result is advisory under concurrency).
+  [[nodiscard]] bool contains(const Key& key) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const Entry> ready;  ///< null while building
+    std::uint64_t tick = 0;              ///< LRU stamp (monotonic use count)
+  };
+
+  void evict_over_budget_locked(const Key& keep);
+
+  const std::size_t budget_bytes_;
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::map<Key, Slot> slots_;
+  std::uint64_t tick_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+/// FNV-1a 64 over a span of engine kinds (the chain part of a cache key).
+[[nodiscard]] std::uint64_t engine_chain_fingerprint(
+    const std::vector<EngineKind>& chain) noexcept;
+
+}  // namespace udsim

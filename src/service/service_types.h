@@ -1,0 +1,101 @@
+// Request/response vocabulary of the simulation service (DESIGN.md §5i).
+//
+// The service's one hard promise is *exactly-once resolution*: every
+// submitted request ends in precisely one Outcome — never a hang, never a
+// silent drop, never a double completion. The Outcome enum is therefore the
+// complete taxonomy of how a request can end, and the soak test
+// (tests/service_soak_test.cpp) holds the sum-over-outcomes == submissions
+// invariant under concurrent clients, injected faults and random cancels.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine_kind.h"
+#include "core/simulator.h"
+#include "netlist/netlist.h"
+#include "resilience/checkpoint.h"
+
+namespace udsim {
+
+/// How a request ended. Exactly one of these per submission.
+enum class Outcome : std::uint8_t {
+  Completed,       ///< ran to the last vector; rows are full
+  Cancelled,       ///< SimService::cancel() or client token; may checkpoint
+  DeadlineExpired, ///< the request's deadline passed; may checkpoint
+  Rejected,        ///< structural/admission refusal (budget, bad shape,
+                   ///  load-shed cache-only mode) — never entered the queue
+                   ///  or was turned away before compiling
+  QueueFull,       ///< backpressure: the bounded queue had no room
+  Failed,          ///< retries exhausted on a non-transient or persistent fault
+  ShutDown,        ///< the service stopped before the request could run
+};
+
+[[nodiscard]] constexpr std::string_view outcome_name(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Completed:       return "completed";
+    case Outcome::Cancelled:       return "cancelled";
+    case Outcome::DeadlineExpired: return "deadline_expired";
+    case Outcome::Rejected:        return "rejected";
+    case Outcome::QueueFull:       return "queue_full";
+    case Outcome::Failed:          return "failed";
+    case Outcome::ShutDown:        return "shut_down";
+  }
+  return "unknown";
+}
+
+/// Client session handle (opaque id; the service keeps the state).
+using SessionId = std::uint64_t;
+
+/// One unit of client work: a netlist plus a row-major vector stream.
+/// The netlist rides in a shared_ptr because the request outlives the
+/// submit() call (it sits in the queue, then runs on a worker) and the
+/// compiled-program cache may keep the netlist's fingerprint alive longer
+/// than any one request.
+struct SimRequest {
+  std::shared_ptr<const Netlist> netlist{};
+  std::vector<Bit> vectors{};  ///< row-major, one Bit per primary input per row
+  /// Per-request deadline measured from submission; zero = none. The
+  /// deadline is inherited by every phase: queue wait, compile (via the
+  /// chain walk's cancel hook) and the batch run itself.
+  std::chrono::nanoseconds deadline{0};
+  /// Continue an earlier early-stopped run. The checkpoint's geometry pins
+  /// the thread count, so set `batch_threads` to the original run's count.
+  std::shared_ptr<const BatchCheckpoint> resume{};
+  /// Worker threads for the batch phase; 0 = service default (possibly
+  /// shed-capped). A non-zero value is honored exactly — required when
+  /// resuming, where geometry must match.
+  unsigned batch_threads = 0;
+};
+
+/// Everything the service has to say about one finished request.
+struct SimResponse {
+  Outcome outcome = Outcome::ShutDown;
+  std::string detail;          ///< human-readable cause for non-Completed
+  EngineKind engine = EngineKind::Event2;  ///< engine that ran (or would have)
+  std::size_t shed_level = 0;  ///< load-shed level in force when scheduled
+  bool cache_hit = false;      ///< compiled program came from the cache
+  BatchResult batch;           ///< rows (full when Completed, prefix otherwise)
+  BatchCheckpoint checkpoint;  ///< populated when stopped and resumable
+  bool resumable = false;
+  std::uint64_t vectors_done = 0;
+  std::uint64_t shard_retries = 0;   ///< within-run shard retries (PR 4 layer)
+  std::uint64_t quarantined = 0;     ///< vectors replaced by quarantine
+  unsigned attempts = 1;             ///< whole-run attempts (1 = no retry)
+  std::uint64_t queue_ns = 0;        ///< time spent waiting in the queue
+  std::uint64_t run_ns = 0;          ///< time spent executing (all attempts)
+};
+
+/// Submission receipt: the request id (usable with SimService::cancel) and
+/// the future that resolves to the response, exactly once.
+struct ServiceTicket {
+  std::uint64_t id = 0;
+  std::future<SimResponse> result;
+};
+
+}  // namespace udsim

@@ -1,0 +1,49 @@
+// Per-client session state: an id, a label, and a private MetricsRegistry
+// that accumulates this client's outcome counts and latency distributions
+// independently of the service-wide registry (DESIGN.md §5i). The per-
+// session registry is what SimService::session_report serializes — a
+// client-scoped RunReport in the same JSON shape as the global one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "service/service_types.h"
+
+namespace udsim {
+
+class ServiceSession {
+ public:
+  ServiceSession(SessionId id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  [[nodiscard]] SessionId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Record one resolved request: bumps session.outcome.<name> and the
+  /// latency / queue-wait histograms (µs). Thread-safe (atomic sinks).
+  void record(Outcome outcome, std::uint64_t latency_ns,
+              std::uint64_t queue_ns) {
+    metrics_.counter(std::string("session.outcome.") +
+                     std::string(outcome_name(outcome)))
+        .add(1);
+    metrics_.histogram("session.latency.us").record(latency_ns / 1000);
+    metrics_.histogram("session.queue_wait.us").record(queue_ns / 1000);
+  }
+
+  /// Client-scoped report (counters + histograms), same JSON shape as
+  /// MetricsRegistry::to_json.
+  [[nodiscard]] std::string report_to_json() const {
+    return metrics_.to_json();
+  }
+
+ private:
+  SessionId id_;
+  std::string name_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace udsim

@@ -1,0 +1,36 @@
+#include "service/shed_policy.h"
+
+namespace udsim {
+
+std::vector<ShedLevel> LoadShedPolicy::default_levels() {
+  return {
+      // L0: healthy — full chain, native allowed, uncapped threads.
+      {.queue_fill = 0.0},
+      // L1: half full — native's external-compiler cost is the first thing
+      // to go, and batch shares shrink so more requests run concurrently.
+      {.queue_fill = 0.50, .drop_native = true, .batch_threads = 2},
+      // L2: three quarters — also skip the widest IR engines (the default
+      // chain starts ParallelCombined, ParallelTrimmed; skipping 2 lands on
+      // PCSet), single-threaded batches.
+      {.queue_fill = 0.75, .drop_native = true, .chain_skip = 2,
+       .batch_threads = 1},
+      // L3: nearly full — compiling anything new is off the table; cached
+      // programs still serve, everything else is a structured rejection.
+      {.queue_fill = 0.90, .drop_native = true, .chain_skip = 2,
+       .batch_threads = 1, .cache_only = true},
+  };
+}
+
+std::size_t LoadShedPolicy::decide(std::size_t depth,
+                                   std::size_t capacity) const noexcept {
+  if (capacity == 0 || levels.empty()) return 0;
+  const double fill =
+      static_cast<double>(depth) / static_cast<double>(capacity);
+  std::size_t winner = 0;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (fill >= levels[i].queue_fill) winner = i;
+  }
+  return winner;
+}
+
+}  // namespace udsim

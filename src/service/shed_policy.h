@@ -1,0 +1,53 @@
+// Graceful-degradation policy for the simulation service (DESIGN.md §5i).
+//
+// Overload is measured by queue fill (depth / capacity) and answered by
+// *degrading before rejecting*: first give up the expensive native engine,
+// then step down the IR fallback chain, then shrink per-request thread
+// shares, and only at the last level close compile admission (serve cache
+// hits, reject misses). Each level trades result latency/fidelity the
+// cheapest way available before the service says no — the same philosophy
+// as the compile-budget fallback chain, applied to load instead of memory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace udsim {
+
+/// One degradation level. Levels are cumulative in spirit: the table is
+/// sorted by `queue_fill` and the highest level whose threshold is at or
+/// below the current fill wins.
+struct ShedLevel {
+  double queue_fill = 0.0;   ///< activates at depth >= fill × capacity
+  bool drop_native = false;  ///< skip EngineKind::Native (compile cost)
+  std::size_t chain_skip = 0;///< drop this many engines off the chain front
+  unsigned batch_threads = 0;///< per-request worker cap (0 = uncapped)
+  bool cache_only = false;   ///< admit only compiled-program cache hits
+};
+
+/// The level table plus the decision function. The default table:
+///
+/// | level | fill  | native | chain          | threads | admission   |
+/// |-------|-------|--------|----------------|---------|-------------|
+/// | 0     | 0.00  | yes    | full           | uncapped| open        |
+/// | 1     | 0.50  | no     | full           | <= 2    | open        |
+/// | 2     | 0.75  | no     | skip 2 (PCSet+)| <= 1    | open        |
+/// | 3     | 0.90  | no     | skip 2         | <= 1    | cache only  |
+struct LoadShedPolicy {
+  std::vector<ShedLevel> levels;
+
+  LoadShedPolicy() : levels(default_levels()) {}
+
+  [[nodiscard]] static std::vector<ShedLevel> default_levels();
+
+  /// The level index in force for the given queue state (0 = no shedding).
+  [[nodiscard]] std::size_t decide(std::size_t depth,
+                                   std::size_t capacity) const noexcept;
+
+  [[nodiscard]] const ShedLevel& level(std::size_t i) const noexcept {
+    static const ShedLevel kNone{};
+    return i < levels.size() ? levels[i] : kNone;
+  }
+};
+
+}  // namespace udsim

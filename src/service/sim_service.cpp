@@ -1,0 +1,421 @@
+#include "service/sim_service.h"
+
+#include <new>
+#include <string>
+#include <utility>
+
+#include "native/native_backend.h"
+#include "netlist/stats.h"
+#include "resilience/program_validator.h"
+
+namespace udsim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+SimService::SimService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_budget_bytes, &metrics_),
+      queue_(cfg_.queue_capacity, &metrics_),
+      anonymous_session_(std::make_shared<ServiceSession>(0, "anonymous")) {
+  if (cfg_.chain.empty()) cfg_.chain = SimPolicy{}.chain;
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimService::~SimService() { shutdown(); }
+
+void SimService::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(mu_);
+    // Running requests stop at their next poll boundary and resolve as
+    // Cancelled (with a checkpoint when resumable); queued ones are drained
+    // by the workers below and resolve as ShutDown.
+    for (auto& [id, p] : active_) p->token.request_cancel();
+  }
+  queue_.close();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock(mu_);
+    if (!joined_) {
+      joined_ = true;
+      to_join.swap(workers_);
+    }
+  }
+  for (std::thread& w : to_join) w.join();
+}
+
+SessionId SimService::open_session(std::string name) {
+  std::lock_guard lock(mu_);
+  const SessionId id = ++next_session_;
+  if (name.empty()) name = "session-" + std::to_string(id);
+  sessions_.emplace(id, std::make_shared<ServiceSession>(id, std::move(name)));
+  return id;
+}
+
+std::string SimService::session_report(SessionId session) const {
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? std::string("{}")
+                               : it->second->report_to_json();
+}
+
+SimService::Stats SimService::stats() const {
+  Stats s;
+  s.queue_depth = queue_.depth();
+  s.queue_capacity = queue_.capacity();
+  s.cache_entries = cache_.size();
+  s.cache_bytes = cache_.bytes();
+  {
+    std::lock_guard lock(mu_);
+    s.active_requests = active_.size();
+  }
+  s.shed_level = metrics_.counter("service.shed.level").value();
+  return s;
+}
+
+bool SimService::cancel(std::uint64_t request_id) {
+  std::lock_guard lock(mu_);
+  const auto it = active_.find(request_id);
+  if (it == active_.end()) return false;
+  it->second->token.request_cancel();
+  metrics_.counter("service.cancel.requests").add(1);
+  return true;
+}
+
+void SimService::resolve(Pending& p, SimResponse&& resp) {
+  if (p.resolved.exchange(true, std::memory_order_acq_rel)) return;
+  const std::uint64_t latency_ns = elapsed_ns(p.submitted, Clock::now());
+  metrics_.histogram("service.latency.us").record(latency_ns / 1000);
+  if (resp.run_ns != 0) {
+    metrics_.histogram("service.run.us").record(resp.run_ns / 1000);
+  }
+  metrics_
+      .counter(std::string("service.outcome.") +
+               std::string(outcome_name(resp.outcome)))
+      .add(1);
+  if (p.session != nullptr) {
+    p.session->record(resp.outcome, latency_ns, resp.queue_ns);
+  }
+  {
+    std::lock_guard lock(mu_);
+    active_.erase(p.id);
+    metrics_.counter("service.active").set(active_.size());
+  }
+  p.promise.set_value(std::move(resp));
+}
+
+ServiceTicket SimService::submit(SessionId session, SimRequest req) {
+  auto p = std::make_shared<Pending>();
+  p->id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  p->req = std::move(req);
+  p->submitted = Clock::now();
+  ServiceTicket ticket{p->id, p->promise.get_future()};
+  metrics_.counter("service.submitted").add(1);
+  {
+    std::lock_guard lock(mu_);
+    const auto it = sessions_.find(session);
+    p->session = it != sessions_.end() ? it->second : anonymous_session_;
+  }
+
+  const auto refuse = [&](Outcome o, std::string detail) {
+    SimResponse r;
+    r.outcome = o;
+    r.detail = std::move(detail);
+    resolve(*p, std::move(r));
+    return std::move(ticket);
+  };
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    return refuse(Outcome::ShutDown, "service is shut down");
+  }
+  if (p->req.netlist == nullptr) {
+    return refuse(Outcome::Rejected, "request carries no netlist");
+  }
+  const std::size_t pis = p->req.netlist->primary_inputs().size();
+  if (pis == 0 ? !p->req.vectors.empty()
+               : p->req.vectors.size() % pis != 0) {
+    return refuse(Outcome::Rejected,
+                  "vector stream size " +
+                      std::to_string(p->req.vectors.size()) +
+                      " is not a multiple of the primary-input count " +
+                      std::to_string(pis));
+  }
+
+  // Admission control: at least one engine of the configured chain must fit
+  // the compile budget, predicted from structure alone — a request that
+  // cannot possibly compile is turned away before it costs a queue slot.
+  if (!cfg_.admission.unlimited()) {
+    std::vector<EngineKind> candidates = cfg_.chain;
+    if (cfg_.enable_native) {
+      candidates.insert(candidates.begin(), EngineKind::Native);
+    }
+    const char* last_violation = nullptr;
+    bool fits = false;
+    for (const EngineKind kind : candidates) {
+      const CompileCostEstimate est =
+          estimate_compile_cost(*p->req.netlist, kind, cfg_.word_bits);
+      const char* v = budget_violation(cfg_.admission, est);
+      if (v == nullptr) {
+        fits = true;
+        break;
+      }
+      last_violation = v;
+    }
+    if (!fits) {
+      metrics_.counter("service.admission.rejected").add(1);
+      return refuse(Outcome::Rejected,
+                    std::string("admission: no chain engine fits the compile "
+                                "budget (limit crossed: ") +
+                        (last_violation != nullptr ? last_violation : "?") +
+                        ")");
+    }
+  }
+
+  // The deadline starts at submission, so queue wait and compile time are
+  // charged against it (deadline inheritance across every phase).
+  if (p->req.deadline.count() > 0) {
+    p->token.set_deadline_after(p->req.deadline);
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    active_.emplace(p->id, p);
+    metrics_.counter("service.active").set(active_.size());
+  }
+  switch (queue_.try_push(p)) {
+    case BoundedQueue<std::shared_ptr<Pending>>::Push::Ok:
+      break;
+    case BoundedQueue<std::shared_ptr<Pending>>::Push::Full:
+      metrics_.counter("service.backpressure.full").add(1);
+      return refuse(Outcome::QueueFull,
+                    "request queue at capacity (" +
+                        std::to_string(queue_.capacity()) + ")");
+    case BoundedQueue<std::shared_ptr<Pending>>::Push::Closed:
+      return refuse(Outcome::ShutDown, "service is shut down");
+  }
+  return ticket;
+}
+
+SimResponse SimService::run(SessionId session, SimRequest req) {
+  ServiceTicket t = submit(session, std::move(req));
+  return t.result.get();
+}
+
+void SimService::worker_loop() {
+  for (;;) {
+    std::optional<std::shared_ptr<Pending>> item = queue_.pop();
+    if (!item.has_value()) return;  // closed and drained
+    const std::shared_ptr<Pending> p = std::move(*item);
+    if (stopping_.load(std::memory_order_acquire)) {
+      SimResponse r;
+      r.outcome = Outcome::ShutDown;
+      r.detail = "service shut down while the request was queued";
+      r.queue_ns = elapsed_ns(p->submitted, Clock::now());
+      resolve(*p, std::move(r));
+      continue;
+    }
+    run_one(p);
+  }
+}
+
+void SimService::run_one(const std::shared_ptr<Pending>& p) {
+  SimResponse resp;
+  resp.queue_ns = elapsed_ns(p->submitted, Clock::now());
+  metrics_.histogram("service.queue_wait.us").record(resp.queue_ns / 1000);
+
+  // A deadline or cancel that landed while the request was queued: resolve
+  // without touching the cache or the pool.
+  if (const StopReason r = p->token.stop_reason(); r != StopReason::None) {
+    resp.outcome = r == StopReason::Deadline ? Outcome::DeadlineExpired
+                                             : Outcome::Cancelled;
+    resp.detail = std::string(stop_reason_name(r)) + " while queued";
+    resolve(*p, std::move(resp));
+    return;
+  }
+
+  // Load-shed decision, from the queue state at schedule time.
+  const std::size_t level_i =
+      cfg_.shed.decide(queue_.depth(), queue_.capacity());
+  const ShedLevel& level = cfg_.shed.level(level_i);
+  resp.shed_level = level_i;
+  metrics_.counter("service.shed.level").set(level_i);
+  if (level_i > 0) metrics_.counter("service.shed.degraded").add(1);
+
+  std::vector<EngineKind> chain = cfg_.chain;
+  if (level.chain_skip > 0 && level.chain_skip < chain.size()) {
+    chain.erase(chain.begin(),
+                chain.begin() + static_cast<std::ptrdiff_t>(level.chain_skip));
+  }
+  if (cfg_.enable_native && !level.drop_native) {
+    chain.insert(chain.begin(), EngineKind::Native);
+  }
+
+  const Netlist& nl = *p->req.netlist;
+  const ProgramCache::Key key{netlist_fingerprint(nl),
+                              engine_chain_fingerprint(chain),
+                              cfg_.word_bits};
+
+  if (level.cache_only && !cache_.contains(key)) {
+    metrics_.counter("service.shed.rejected").add(1);
+    resp.outcome = Outcome::Rejected;
+    resp.detail = "load-shed level " + std::to_string(level_i) +
+                  ": compile admission closed (not in the program cache)";
+    resolve(*p, std::move(resp));
+    return;
+  }
+
+  ProgramCache::Acquired acq;
+  try {
+    acq = cache_.acquire(
+        key,
+        [&]() {
+          auto entry = std::make_shared<ProgramCache::Entry>();
+          SimPolicy policy;
+          policy.chain = chain;
+          policy.budget = cfg_.admission;
+          policy.metrics = &metrics_;
+          policy.cancel = &p->token;
+          policy.validate = cfg_.validate;
+          policy.native = cfg_.native;
+          entry->sim = make_simulator_with_fallback(nl, policy, &entry->diag);
+          entry->engine = entry->sim->kind();
+          const Program* prog = entry->sim->compiled_program();
+          entry->bytes =
+              prog != nullptr
+                  ? measure_compile_cost(*prog, entry->engine, nl.net_count())
+                        .peak_bytes
+                  : estimate_compile_cost(nl, entry->engine, cfg_.word_bits)
+                        .peak_bytes;
+          return entry;
+        },
+        &p->token);
+  } catch (const Cancelled& c) {
+    resp.outcome = c.reason() == StopReason::Deadline
+                       ? Outcome::DeadlineExpired
+                       : Outcome::Cancelled;
+    resp.detail = "stopped during compile (" + c.site() + ")";
+    resolve(*p, std::move(resp));
+    return;
+  } catch (const BudgetExceeded& e) {
+    // The structural admission estimate passed but the real emission (or a
+    // stricter prediction) did not: still a structured rejection.
+    metrics_.counter("service.admission.rejected").add(1);
+    resp.outcome = Outcome::Rejected;
+    resp.detail = e.what();
+    resolve(*p, std::move(resp));
+    return;
+  } catch (const std::exception& e) {
+    resp.outcome = Outcome::Failed;
+    resp.detail = std::string("compile failed: ") + e.what();
+    resolve(*p, std::move(resp));
+    return;
+  }
+  resp.cache_hit = acq.hit;
+  resp.engine = acq.entry->engine;
+
+  // Effective batch-thread share: an explicit request value wins (resume
+  // geometry must match the original run), otherwise the service default
+  // capped by the shed level.
+  unsigned threads = p->req.batch_threads;
+  if (threads == 0) {
+    threads = cfg_.batch_threads;
+    if (level.batch_threads != 0 &&
+        (threads == 0 || threads > level.batch_threads)) {
+      threads = level.batch_threads;
+    }
+  }
+
+  ResilientOptions ropts;
+  ropts.num_threads = threads;
+  ropts.cancel = &p->token;
+  ropts.inject = cfg_.inject;
+  ropts.retry_limit = cfg_.shard_retry_limit;
+  ropts.metrics = &metrics_;
+  ropts.resume = p->req.resume.get();
+  // The program was validated once at build time (cfg_.validate); re-running
+  // the validator per request would be pure overhead.
+  ropts.validate = false;
+
+  const Clock::time_point run_start = Clock::now();
+  for (unsigned attempt = 1;; ++attempt) {
+    resp.attempts = attempt;
+    // Either stops the loop with an outcome (returns false) or sleeps the
+    // backoff and asks for another attempt (returns true).
+    const auto retry_or_fail = [&](const char* what) {
+      if (attempt > cfg_.retry.max_retries) {
+        resp.outcome = Outcome::Failed;
+        resp.detail = std::string("retries exhausted: ") + what;
+        return false;
+      }
+      metrics_.counter("service.retry.attempts").add(1);
+      const StopReason r =
+          backoff_sleep(cfg_.retry.backoff_for(attempt), &p->token);
+      if (r != StopReason::None) {
+        resp.outcome = r == StopReason::Deadline ? Outcome::DeadlineExpired
+                                                 : Outcome::Cancelled;
+        resp.detail = std::string(stop_reason_name(r)) + " during backoff";
+        return false;
+      }
+      return true;
+    };
+    try {
+      ResilientResult rr =
+          run_batch_resilient(*acq.entry->sim, p->req.vectors, ropts);
+      resp.batch = std::move(rr.batch);
+      resp.checkpoint = std::move(rr.checkpoint);
+      resp.resumable = rr.resumable && rr.status != RunStatus::Complete;
+      resp.vectors_done = rr.vectors_done;
+      resp.shard_retries = rr.retries;
+      resp.quarantined = rr.quarantined;
+      switch (rr.status) {
+        case RunStatus::Complete:
+          resp.outcome = Outcome::Completed;
+          break;
+        case RunStatus::Cancelled:
+          resp.outcome = Outcome::Cancelled;
+          resp.detail = "cancelled during the batch phase";
+          break;
+        case RunStatus::DeadlineExpired:
+          resp.outcome = Outcome::DeadlineExpired;
+          resp.detail = "deadline expired during the batch phase";
+          break;
+      }
+      break;
+    } catch (const Cancelled& c) {
+      resp.outcome = c.reason() == StopReason::Deadline
+                         ? Outcome::DeadlineExpired
+                         : Outcome::Cancelled;
+      resp.detail = "stopped at " + c.site();
+      break;
+    } catch (const InjectedFault& e) {
+      if (!retry_or_fail(e.what())) break;
+    } catch (const std::bad_alloc&) {
+      if (!retry_or_fail("allocation failure")) break;
+    } catch (const NativeError& e) {
+      if (!retry_or_fail(e.what())) break;
+    } catch (const std::exception& e) {
+      // Non-transient (geometry-mismatched resume, rejected program, logic
+      // errors): retrying cannot help.
+      resp.outcome = Outcome::Failed;
+      resp.detail = e.what();
+      break;
+    }
+  }
+  resp.run_ns = elapsed_ns(run_start, Clock::now());
+  resolve(*p, std::move(resp));
+}
+
+}  // namespace udsim

@@ -1,0 +1,164 @@
+// Long-lived in-process simulation service (DESIGN.md §5i).
+//
+// SimService turns the library's one-shot entry points into a served
+// resource: it owns a fingerprint-keyed cache of compiled simulators
+// (single-flight builds, byte-budgeted LRU), a bounded request queue with
+// visible backpressure, and a small worker pool, and wraps every request in
+// the robustness envelope the lower layers provide — admission control via
+// CompileBudget, per-request deadlines via CancelToken (inherited by the
+// queue wait, the compile phase and the batch run), bounded whole-run
+// retry-with-backoff over the shard retry/quarantine machinery, and a
+// load-shed ladder that degrades (drop native, step down the chain, shrink
+// thread shares) before it rejects.
+//
+// The hard contract: every submitted request resolves exactly once, with
+// one Outcome — Completed, Cancelled, DeadlineExpired, Rejected, QueueFull,
+// Failed or ShutDown. Never a hang, never a silent drop, never a double
+// completion. tests/service_soak_test.cpp holds this under N concurrent
+// clients × mixed circuits × injected faults × random cancellations, and
+// checks admitted results bit-identical to a direct run_batch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/compile_budget.h"
+#include "core/simulator.h"
+#include "obs/metrics.h"
+#include "resilience/cancel.h"
+#include "resilience/fault_injection.h"
+#include "resilience/resilient_run.h"
+#include "service/program_cache.h"
+#include "service/request_queue.h"
+#include "service/service_types.h"
+#include "service/session.h"
+#include "service/shed_policy.h"
+
+namespace udsim {
+
+struct ServiceConfig {
+  /// Request worker threads (each runs one request at a time; the batch
+  /// phase of a request may fan out further, see `batch_threads`).
+  unsigned workers = 2;
+  /// Bounded queue capacity; a full queue is a structured QueueFull.
+  std::size_t queue_capacity = 64;
+  /// Compiled-program cache budget in resident bytes (0 = unbounded).
+  std::size_t cache_budget_bytes = 0;
+  /// Admission budget: a request none of whose chain engines fit is
+  /// Rejected at submit() — before it consumes a queue slot.
+  CompileBudget admission{};
+  /// Engine preference chain (defaults to SimPolicy's chain). The shed
+  /// ladder may skip its front under load.
+  std::vector<EngineKind> chain = SimPolicy{}.chain;
+  /// Allow EngineKind::Native at the chain front when the shed level
+  /// permits (off by default: a service should opt into the external
+  /// toolchain dependency).
+  bool enable_native = false;
+  NativeOptions native{};
+  /// Default per-request batch worker threads (0 = all hardware threads);
+  /// shed levels may cap it, SimRequest::batch_threads overrides it.
+  unsigned batch_threads = 2;
+  /// Per-shard retries before quarantine (the PR 4 layer inside one run).
+  unsigned shard_retry_limit = 2;
+  /// Whole-run re-attempts with backoff for transient failures
+  /// (InjectedFault, bad_alloc, NativeError).
+  RetryPolicy retry{};
+  LoadShedPolicy shed{};
+  /// Run the ProgramValidator over every compiled engine at build time.
+  bool validate = true;
+  /// Deterministic fault injection for the batch phase (tests/bench only).
+  FaultInjector* inject = nullptr;
+  /// Word size recorded in cache keys (the facade engines are 32-bit).
+  int word_bits = 32;
+};
+
+class SimService {
+ public:
+  explicit SimService(ServiceConfig cfg = {});
+  /// Destruction shuts down: cancels running requests, resolves queued
+  /// ones as ShutDown, joins the workers. No ticket is left unresolved.
+  ~SimService();
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Register a client session; its id scopes per-client metrics.
+  [[nodiscard]] SessionId open_session(std::string name = "");
+
+  /// Enqueue one request. Always returns a ticket whose future resolves
+  /// exactly once; structural refusals (bad shape, admission budget,
+  /// backpressure, shut down) resolve immediately.
+  [[nodiscard]] ServiceTicket submit(SessionId session, SimRequest req);
+
+  /// Synchronous convenience: submit and wait.
+  [[nodiscard]] SimResponse run(SessionId session, SimRequest req);
+
+  /// Request cancellation of a submitted request (best effort: the request
+  /// stops at its next poll boundary, resolving as Cancelled with a
+  /// checkpoint when the batch phase had started on a compiled engine).
+  /// Returns false when the id is unknown or already resolved.
+  bool cancel(std::uint64_t request_id);
+
+  /// Stop accepting work, cancel running requests, resolve queued ones as
+  /// ShutDown, join workers. Idempotent; also run by the destructor.
+  void shutdown();
+
+  /// Service-wide registry (service.*, plus compile/exec counters of the
+  /// engines built through the cache).
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+
+  /// Per-session report (counters + histograms as JSON), "{}" for an
+  /// unknown session.
+  [[nodiscard]] std::string session_report(SessionId session) const;
+
+  struct Stats {
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    std::size_t active_requests = 0;  ///< submitted, not yet resolved
+    std::size_t cache_entries = 0;
+    std::size_t cache_bytes = 0;
+    std::size_t shed_level = 0;  ///< level of the most recent schedule
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    std::shared_ptr<ServiceSession> session;
+    SimRequest req;
+    std::promise<SimResponse> promise;
+    std::atomic<bool> resolved{false};
+    CancelToken token;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void worker_loop();
+  void run_one(const std::shared_ptr<Pending>& p);
+  /// Exactly-once resolution: first caller wins, records outcome counters
+  /// and per-session metrics, erases the active entry, fulfills the future.
+  void resolve(Pending& p, SimResponse&& resp);
+
+  ServiceConfig cfg_;
+  mutable MetricsRegistry metrics_;  // internally thread-safe; const reads
+  ProgramCache cache_;
+  BoundedQueue<std::shared_ptr<Pending>> queue_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Pending>> active_;
+  std::map<SessionId, std::shared_ptr<ServiceSession>> sessions_;
+  std::shared_ptr<ServiceSession> anonymous_session_;
+  SessionId next_session_ = 0;
+  bool joined_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace udsim
