@@ -294,8 +294,12 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
   const CompileGuard guard{policy.budget, diag, policy.metrics, policy.cancel};
   std::size_t downgrades = 0;
   std::size_t native_fallbacks = 0;
-  for (EngineKind kind : policy.chain) {
-    const bool last = kind == policy.chain.back();
+  for (std::size_t i = 0; i < policy.chain.size(); ++i) {
+    const EngineKind kind = policy.chain[i];
+    // Positional, not by value: a chain may list the same kind twice (e.g. a
+    // user chain that already starts with Native plus a service-prepended
+    // Native), and only the true tail position is terminal.
+    const bool last = i + 1 == policy.chain.size();
     // Cheap pre-check: reject on the structural prediction before paying
     // for the compile. The guarded compile re-checks the prediction and
     // the emitted program, so a too-optimistic prediction still cannot

@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -92,6 +93,14 @@ void write_source(const fs::path& path, const Program& p) {
 }
 
 /// `cc <flags> -shared -fPIC -o out src`, stderr captured for the error.
+///
+/// The command runs through `std::system`, i.e. a shell: `compiler` and
+/// `flags` are interpolated unquoted *by design* so flag strings like
+/// `-O2 -fno-math-errno` split into arguments, which also means shell
+/// metacharacters in them are interpreted. Both come from the caller's own
+/// NativeOptions / UDSIM_CC / UDSIM_CC_FLAGS — local configuration, never
+/// request data — so treat them as trusted input (documented in
+/// native_backend.h).
 void compile_source(const std::string& compiler, const std::string& flags,
                     const fs::path& src, const fs::path& out,
                     MetricsRegistry* metrics) {
@@ -106,8 +115,19 @@ void compile_source(const std::string& compiler, const std::string& flags,
   }
   metric_add(metrics, "native.builds", 1);
   if (rc != 0) {
-    std::string detail = "compiler '" + compiler + "' failed (status " +
-                         std::to_string(rc) + ")";
+    // rc is a raw wait status: decode it so the message says "exit code 1"
+    // rather than "status 256", and distinguishes signal deaths.
+    std::string cause;
+    if (rc == -1) {
+      cause = "could not launch shell";
+    } else if (WIFEXITED(rc)) {
+      cause = "exit code " + std::to_string(WEXITSTATUS(rc));
+    } else if (WIFSIGNALED(rc)) {
+      cause = "killed by signal " + std::to_string(WTERMSIG(rc));
+    } else {
+      cause = "status " + std::to_string(rc);
+    }
+    std::string detail = "compiler '" + compiler + "' failed (" + cause + ")";
     std::ifstream err(errfile);
     if (err) {
       std::string line;

@@ -48,9 +48,12 @@ class NativeError : public std::runtime_error {
 /// Knobs of the native pipeline. Empty strings defer to the environment
 /// (README "Native backend"): UDSIM_CC, UDSIM_CC_FLAGS, UDSIM_NATIVE_CACHE.
 struct NativeOptions {
-  /// C compiler driver; "" = $UDSIM_CC, else "cc".
+  /// C compiler driver; "" = $UDSIM_CC, else "cc". Interpolated unquoted
+  /// into a shell command line (std::system), like `compile_flags` — both
+  /// are trusted local configuration, never request-derived data.
   std::string compiler;
   /// Flags before the fixed `-shared -fPIC -o`; "" = $UDSIM_CC_FLAGS, else "-O2".
+  /// Passed through the shell unquoted so multi-flag strings split.
   std::string compile_flags;
   /// Compiled-object cache directory; "" = $UDSIM_NATIVE_CACHE, else
   /// <system tmp>/udsim-native-cache.

@@ -49,7 +49,14 @@ class ProgramCache {
   /// One ready entry. `diag` preserves the build-time chain-walk records
   /// (BudgetDowngrade / NativeFallback / EngineSelected) so every response
   /// served from this entry can explain which engine ran and why.
+  ///
+  /// `netlist` keeps the circuit the simulator was compiled from alive:
+  /// `sim` holds only a `const Netlist&`, and a cache hit may come from a
+  /// different request than the one that built the entry (same fingerprint,
+  /// different — possibly already destroyed — netlist object). Builders must
+  /// set it.
   struct Entry {
+    std::shared_ptr<const Netlist> netlist;
     std::unique_ptr<Simulator> sim;
     EngineKind engine = EngineKind::Event2;
     std::size_t bytes = 0;  ///< resident-cost charge against the budget

@@ -283,6 +283,10 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
         key,
         [&]() {
           auto entry = std::make_shared<ProgramCache::Entry>();
+          // The entry owns the netlist it compiles from: the simulator keeps
+          // a reference into it, and the entry outlives the building request
+          // (a later hit may come from a client whose own netlist is gone).
+          entry->netlist = p->req.netlist;
           SimPolicy policy;
           policy.chain = chain;
           policy.budget = cfg_.admission;
@@ -291,6 +295,10 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
           policy.validate = cfg_.validate;
           policy.native = cfg_.native;
           entry->sim = make_simulator_with_fallback(nl, policy, &entry->diag);
+          // The compile-time token belongs to the building request and dies
+          // with it; detach so a cached simulator never polls freed memory
+          // (each run supplies its own token via BatchRunOptions::cancel).
+          entry->sim->set_cancel(nullptr);
           entry->engine = entry->sim->kind();
           const Program* prog = entry->sim->compiled_program();
           entry->bytes =

@@ -120,6 +120,29 @@ TEST(ServiceTest, ProgramCacheIsSingleFlightAcrossConcurrentRequests) {
   EXPECT_GT(svc.stats().cache_bytes, 0u);
 }
 
+TEST(ServiceTest, CachedEntryOutlivesBuildingClientsNetlist) {
+  // The cache key is the *structural* fingerprint, so a second client with
+  // its own (structurally identical) netlist object hits the entry built
+  // from the first client's — after the first client destroyed its netlist.
+  // The entry must own the netlist it compiled from; before it did, this
+  // test dereferenced freed memory (caught under ASan).
+  const std::vector<Bit> stream = stream_for(*circuit("c499"), 32);
+  SimService svc;
+  {
+    const auto first = circuit("c499");
+    SimResponse r = svc.run(0, SimRequest{.netlist = first, .vectors = stream});
+    ASSERT_EQ(r.outcome, Outcome::Completed) << r.detail;
+    EXPECT_FALSE(r.cache_hit);
+  }  // first client's netlist destroyed; the cached entry must not care
+
+  const auto second = circuit("c499");
+  const BatchResult expect = direct_run(*second, stream);
+  SimResponse r = svc.run(0, SimRequest{.netlist = second, .vectors = stream});
+  ASSERT_EQ(r.outcome, Outcome::Completed) << r.detail;
+  EXPECT_TRUE(r.cache_hit) << "identical structure must hit the cache";
+  EXPECT_EQ(r.batch.values, expect.values);
+}
+
 TEST(ServiceTest, BackpressureProducesStructuredQueueFull) {
   const auto heavy = circuit("c6288");
   const std::vector<Bit> heavy_stream = stream_for(*heavy, 50000);
