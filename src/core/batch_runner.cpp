@@ -6,11 +6,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/width_dispatch.h"
 #include "netlist/diagnostics.h"
 
 namespace udsim {
 
 namespace {
+
+/// uint64 carrier entries one checkpointed arena occupies (wide words carry
+/// word_bits/64 lanes each; see KernelRunner::save_arena).
+[[nodiscard]] std::size_t carrier_words(const Program& p) noexcept {
+  const std::size_t lanes =
+      p.word_bits > 64 ? static_cast<std::size_t>(p.word_bits) / 64 : 1;
+  return p.arena_words * lanes;
+}
 
 [[nodiscard]] std::uint64_t shard_now_ns() {
   return static_cast<std::uint64_t>(
@@ -39,12 +48,19 @@ BatchRunner::BatchRunner(const Program& program, std::vector<ArenaProbe> probes,
       probes_(std::move(probes)),
       options_(std::move(options)),
       pool_(options_.num_threads) {
-  if (program_.word_bits != 32 && program_.word_bits != 64) {
-    throw std::invalid_argument("BatchRunner: unsupported program word size");
+  if (!width_available(program_.word_bits)) {
+    const std::string msg = "BatchRunner: program word size " +
+                            std::to_string(program_.word_bits) +
+                            " is not executable on this build/CPU";
+    if (options_.diag) {
+      options_.diag->report(DiagCode::ProgramWordSize, DiagSeverity::Error,
+                            "BatchRunner", msg);
+    }
+    throw std::invalid_argument(msg);
   }
   for (const ArenaProbe& p : probes_) {
     if (p.word >= program_.arena_words ||
-        p.bit >= static_cast<std::uint8_t>(program_.word_bits)) {
+        static_cast<int>(p.bit) >= program_.word_bits) {
       throw std::invalid_argument("BatchRunner: probe outside the arena");
     }
   }
@@ -175,10 +191,21 @@ void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
 void BatchRunner::run_shard_any(std::span<const std::uint64_t> inputs,
                                 std::size_t shard_index, ShardSlot& slot,
                                 std::span<Bit> out, unsigned attempt) {
-  if (program_.word_bits == 64) {
-    run_shard<std::uint64_t>(inputs, shard_index, slot, out, attempt);
-  } else {
-    run_shard<std::uint32_t>(inputs, shard_index, slot, out, attempt);
+  switch (program_.word_bits) {
+    case 64:
+      run_shard<std::uint64_t>(inputs, shard_index, slot, out, attempt);
+      break;
+#if UDSIM_HAS_W128
+    case 128:
+      run_shard<u128>(inputs, shard_index, slot, out, attempt);
+      break;
+#endif
+    case 256:
+      run_shard<u256>(inputs, shard_index, slot, out, attempt);
+      break;
+    default:
+      run_shard<std::uint32_t>(inputs, shard_index, slot, out, attempt);
+      break;
   }
 }
 
@@ -278,7 +305,7 @@ ResilientBatch BatchRunner::run_resilient(std::span<const std::uint64_t> inputs,
         geometry("shard " + std::to_string(s) + " boundaries differ");
       }
       if (sc.next > sc.begin && sc.next < sc.end &&
-          sc.arena.size() != program_.arena_words) {
+          sc.arena.size() != carrier_words(program_)) {
         throw CheckpointError(CheckpointError::Kind::Corrupt,
                               "checkpoint shard " + std::to_string(s) +
                                   " is mid-stream but carries no arena");

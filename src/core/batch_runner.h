@@ -96,7 +96,8 @@ struct ResilientBatch {
 /// one private KernelRunner arena per shard, seam replay at shard
 /// boundaries, outputs merged in submission order. Works over any program
 /// the compiled engines produce (LCC, PC-set, parallel and its optimized
-/// variants) at either word size.
+/// variants) at any dispatched word size (32/64/128/256 bits; wide arenas
+/// checkpoint as word_bits/64 uint64 carrier lanes per word).
 class BatchRunner {
  public:
   /// `probes` are the arena bits to sample after every vector (one output

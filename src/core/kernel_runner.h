@@ -4,10 +4,12 @@
 
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ir/executor.h"
 #include "ir/program.h"
+#include "netlist/diagnostics.h"
 #include "netlist/logic.h"
 #include "obs/pass_cost.h"
 #include "resilience/cancel.h"
@@ -23,12 +25,42 @@ struct ArenaProbe {
   std::uint8_t bit = 0;
 };
 
+/// A program compiled for one word size handed to a runner instantiated at
+/// another. Carries both widths so callers can surface the mismatch as a
+/// structured diagnostic (DiagCode::ProgramWordSize) instead of a bare
+/// string.
+class WordSizeMismatch : public std::invalid_argument {
+ public:
+  WordSizeMismatch(int program_bits, int runner_bits)
+      : std::invalid_argument(
+            "KernelRunner: program compiled for " +
+            std::to_string(program_bits) + "-bit words, runner instantiated at " +
+            std::to_string(runner_bits) + " bits"),
+        program_bits_(program_bits),
+        runner_bits_(runner_bits) {}
+  [[nodiscard]] int program_bits() const noexcept { return program_bits_; }
+  [[nodiscard]] int runner_bits() const noexcept { return runner_bits_; }
+
+ private:
+  int program_bits_;
+  int runner_bits_;
+};
+
 template <class Word>
 class KernelRunner {
  public:
-  explicit KernelRunner(const Program& program) : program_(program) {
-    if (program.word_bits != static_cast<int>(sizeof(Word) * 8)) {
-      throw std::invalid_argument("KernelRunner: word size mismatch with program");
+  /// `diag`, when given, receives the structured record of a word-size
+  /// mismatch before WordSizeMismatch is thrown.
+  explicit KernelRunner(const Program& program, Diagnostics* diag = nullptr)
+      : program_(program) {
+    constexpr int kRunnerBits = static_cast<int>(sizeof(Word) * 8);
+    if (program.word_bits != kRunnerBits) {
+      const WordSizeMismatch err(program.word_bits, kRunnerBits);
+      if (diag) {
+        diag->report(DiagCode::ProgramWordSize, DiagSeverity::Error,
+                     "KernelRunner", err.what());
+      }
+      throw err;
     }
     arena_.assign(program.arena_words, 0);
     initialize_arena<Word>(program, std::span<Word>(arena_));
@@ -58,7 +90,7 @@ class KernelRunner {
 
   [[nodiscard]] Word word(std::uint32_t idx) const { return arena_.at(idx); }
   [[nodiscard]] Bit bit(std::uint32_t idx, unsigned bit_pos) const {
-    return static_cast<Bit>((arena_.at(idx) >> bit_pos) & 1u);
+    return static_cast<Bit>(word_bit(arena_.at(idx), bit_pos));
   }
   [[nodiscard]] std::span<const Word> arena() const noexcept { return arena_; }
   [[nodiscard]] const Program& program() const noexcept { return program_; }
@@ -70,19 +102,27 @@ class KernelRunner {
   [[nodiscard]] std::uint64_t passes() const noexcept { return passes_; }
 
   /// Copy the settled arena into a word-size-independent uint64 carrier
-  /// (the checkpoint representation; DESIGN.md §5f).
+  /// (the checkpoint representation; DESIGN.md §5f). Wide words occupy
+  /// kWordU64Lanes<Word> consecutive carrier entries, low lane first.
   void save_arena(std::vector<std::uint64_t>& out) const {
-    out.assign(arena_.begin(), arena_.end());
+    constexpr std::size_t L = kWordU64Lanes<Word>;
+    out.resize(arena_.size() * L);
+    for (std::size_t i = 0; i < arena_.size(); ++i) {
+      for (std::size_t l = 0; l < L; ++l) {
+        out[i * L + l] = word_u64_lane(arena_[i], l);
+      }
+    }
   }
 
   /// Restore an arena previously captured with save_arena — the one piece
   /// of cross-vector state, so a restored runner continues bit-identically.
   void load_arena(std::span<const std::uint64_t> saved) {
-    if (saved.size() != arena_.size()) {
+    constexpr std::size_t L = kWordU64Lanes<Word>;
+    if (saved.size() != arena_.size() * L) {
       throw std::invalid_argument("KernelRunner::load_arena: size mismatch");
     }
-    for (std::size_t i = 0; i < saved.size(); ++i) {
-      arena_[i] = static_cast<Word>(saved[i]);
+    for (std::size_t i = 0; i < arena_.size(); ++i) {
+      arena_[i] = word_from_u64_lanes<Word>(&saved[i * L]);
     }
   }
 

@@ -1,0 +1,96 @@
+#include "core/packed_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/kernel_runner.h"
+#include "core/width_dispatch.h"
+#include "ir/wide_word.h"
+#include "lcc/lcc.h"
+
+namespace udsim {
+
+namespace {
+
+template <class Word>
+PackedRunResult run_packed_impl(const Netlist& nl, std::span<const Bit> vectors,
+                                MetricsRegistry* metrics,
+                                const CompileGuard* guard) {
+  constexpr unsigned kLanes = sizeof(Word) * 8;
+  const std::size_t pis = nl.primary_inputs().size();
+  if (pis == 0 && !vectors.empty()) {
+    throw std::invalid_argument(
+        "run_packed_lcc: stream of " + std::to_string(vectors.size()) +
+        " bits given but the netlist has no primary inputs");
+  }
+  if (pis != 0 && vectors.size() % pis != 0) {
+    throw std::invalid_argument(
+        "run_packed_lcc: stream size " + std::to_string(vectors.size()) +
+        " is not a multiple of the primary-input count " + std::to_string(pis));
+  }
+  const std::size_t count = pis == 0 ? 0 : vectors.size() / pis;
+
+  const LccCompiled compiled =
+      guard ? compile_lcc(nl, /*packed=*/true, static_cast<int>(kLanes), *guard)
+            : compile_lcc(nl, /*packed=*/true, static_cast<int>(kLanes));
+  KernelRunner<Word> runner(compiled.program);
+  if (metrics) runner.set_metrics(metrics);
+
+  PackedRunResult r;
+  r.outputs = nl.primary_outputs();
+  r.vectors = count;
+  r.word_bits = static_cast<int>(kLanes);
+  r.values.reserve(count * r.outputs.size());
+
+  std::vector<Word> in(pis);
+  for (std::size_t base = 0; base < count; base += kLanes) {
+    const std::size_t lanes = std::min<std::size_t>(kLanes, count - base);
+    for (std::size_t i = 0; i < pis; ++i) in[i] = Word{0};
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::span<const Bit> row = vectors.subspan((base + lane) * pis, pis);
+      for (std::size_t i = 0; i < pis; ++i) {
+        if (row[i] & 1) {
+          in[i] |= static_cast<Word>(std::uint64_t{1})
+                   << static_cast<unsigned>(lane);
+        }
+      }
+    }
+    runner.run(in);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      for (const NetId po : r.outputs) {
+        r.values.push_back(runner.bit(compiled.net_var[po.value],
+                                      static_cast<unsigned>(lane)));
+      }
+    }
+  }
+  r.passes = runner.passes();
+  if (metrics) {
+    metrics->counter("packed.lanes").set(kLanes);
+    metric_add(metrics, "packed.vectors", count);
+  }
+  return r;
+}
+
+}  // namespace
+
+PackedRunResult run_packed_lcc(const Netlist& nl, std::span<const Bit> vectors,
+                               int word_bits, MetricsRegistry* metrics,
+                               const CompileGuard* guard) {
+  const WidthChoice w =
+      dispatch_width(word_bits, guard ? guard->diag : nullptr, metrics);
+  switch (w.word_bits) {
+    case 64:
+      return run_packed_impl<std::uint64_t>(nl, vectors, metrics, guard);
+#if UDSIM_HAS_W128
+    case 128:
+      return run_packed_impl<u128>(nl, vectors, metrics, guard);
+#endif
+    case 256:
+      return run_packed_impl<u256>(nl, vectors, metrics, guard);
+    default:
+      return run_packed_impl<std::uint32_t>(nl, vectors, metrics, guard);
+  }
+}
+
+}  // namespace udsim

@@ -1,0 +1,54 @@
+// Packed (data-parallel) batch execution: one independent input vector per
+// bit lane of the executor word (DESIGN.md §5j).
+//
+// Scalar compiled simulation leaves word_bits - 1 lanes of every logical op
+// idle; the packed LCC program (compile_lcc packed mode, paper §1) instead
+// loads whole input words — one vector per bit — so a single executor pass
+// settles word_bits independent vectors. Throughput therefore scales with
+// the dispatched lane width: a 256-bit pass retires 8× the vectors of a
+// 32-bit pass over the same op stream, which is where the wide executors
+// pay off (a *scalar* wide run computes the same one vector with wider,
+// slower words).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/compile_budget.h"
+#include "netlist/logic.h"
+#include "netlist/netlist.h"
+#include "obs/metrics.h"
+
+namespace udsim {
+
+/// Result of run_packed_lcc: settled primary-output values per vector, in
+/// submission order (identical to Simulator::run_batch rows).
+struct PackedRunResult {
+  std::vector<NetId> outputs;  ///< nets sampled (primary outputs, netlist order)
+  std::vector<Bit> values;     ///< row-major: one row of outputs per vector
+  std::size_t vectors = 0;
+  int word_bits = 32;          ///< dispatched lane width the run executed at
+  std::uint64_t passes = 0;    ///< executor passes = ceil(vectors / word_bits)
+
+  [[nodiscard]] Bit value(std::size_t vector, std::size_t output) const {
+    return values.at(vector * outputs.size() + output);
+  }
+};
+
+/// Compile the zero-delay LCC program in packed mode at the dispatched lane
+/// width and run the whole stream through it, word_bits vectors per pass.
+/// `vectors` is row-major, one Bit per primary input per row; `word_bits`
+/// follows the dispatch_width convention (0 = 32-bit default, kWidthWidest,
+/// or an explicit width; UDSIM_FORCE_WIDTH overrides). With `metrics` set
+/// the run records the exact exec.* pass counters plus `packed.lanes` (the
+/// lane count) and `packed.vectors`. Results are bit-identical to a scalar
+/// run_batch over the same stream for every lane width (enforced by
+/// tests/width_matrix_test.cpp).
+[[nodiscard]] PackedRunResult run_packed_lcc(const Netlist& nl,
+                                             std::span<const Bit> vectors,
+                                             int word_bits = 0,
+                                             MetricsRegistry* metrics = nullptr,
+                                             const CompileGuard* guard = nullptr);
+
+}  // namespace udsim

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "core/batch_runner.h"
+#include "core/width_dispatch.h"
+#include "ir/wide_word.h"
 #include "eventsim/event_sim.h"
 #include "native/native_sim.h"
 #include "resilience/program_validator.h"
@@ -45,9 +47,12 @@ namespace {
 // batch layer needs. The interpreted event engines expose neither.
 const Program* batch_program(const EventSim2&) { return nullptr; }
 const Program* batch_program(const EventSim3&) { return nullptr; }
-const Program* batch_program(const PCSetSim<>& e) { return &e.compiled().program; }
-const Program* batch_program(const ParallelSim<>& e) { return &e.compiled().program; }
-const Program* batch_program(const LccSim<>& e) { return &e.program(); }
+template <class W>
+const Program* batch_program(const PCSetSim<W>& e) { return &e.compiled().program; }
+template <class W>
+const Program* batch_program(const ParallelSim<W>& e) { return &e.compiled().program; }
+template <class W>
+const Program* batch_program(const LccSim<W>& e) { return &e.program(); }
 
 // Engine-specific per-pass constants for the batch layer's execution
 // counters (only the parallel technique has trimming extras).
@@ -187,9 +192,12 @@ class EngineAdapter final : public Simulator {
   static Bit value_of(const EventSim3& e, NetId n) {
     return e.value(n) == Tri::One ? 1 : 0;
   }
-  static Bit value_of(const PCSetSim<>& e, NetId n) { return e.final_value(n); }
-  static Bit value_of(const ParallelSim<>& e, NetId n) { return e.final_value(n); }
-  static Bit value_of(const LccSim<>& e, NetId n) { return e.value(n); }
+  template <class W>
+  static Bit value_of(const PCSetSim<W>& e, NetId n) { return e.final_value(n); }
+  template <class W>
+  static Bit value_of(const ParallelSim<W>& e, NetId n) { return e.final_value(n); }
+  template <class W>
+  static Bit value_of(const LccSim<W>& e, NetId n) { return e.value(n); }
 
   EngineKind kind_;
   const Netlist& nl_;
@@ -220,45 +228,78 @@ ParallelOptions parallel_options(EngineKind kind) {
   return o;
 }
 
+/// Compiled-IR engines instantiated at one executor lane width. The engine
+/// templates derive their compiler's word_bits from the Word type, so one
+/// instantiation per supported width covers the whole ladder.
+template <class Word>
+std::unique_ptr<Simulator> make_ir_adapter(const Netlist& nl, EngineKind kind,
+                                           const CompileGuard* guard) {
+  switch (kind) {
+    case EngineKind::PCSet:
+      if (guard) {
+        return std::make_unique<EngineAdapter<PCSetSim<Word>>>(
+            kind, nl, std::span<const NetId>{}, *guard);
+      }
+      return std::make_unique<EngineAdapter<PCSetSim<Word>>>(kind, nl);
+    case EngineKind::ZeroDelayLcc:
+      if (guard) {
+        return std::make_unique<EngineAdapter<LccSim<Word>>>(kind, nl, *guard);
+      }
+      return std::make_unique<EngineAdapter<LccSim<Word>>>(kind, nl);
+    case EngineKind::Parallel:
+    case EngineKind::ParallelTrimmed:
+    case EngineKind::ParallelPathTracing:
+    case EngineKind::ParallelCycleBreaking:
+    case EngineKind::ParallelCombined:
+      if (guard) {
+        return std::make_unique<EngineAdapter<ParallelSim<Word>>>(
+            kind, nl, parallel_options(kind), *guard);
+      }
+      return std::make_unique<EngineAdapter<ParallelSim<Word>>>(
+          kind, nl, parallel_options(kind));
+    default:
+      throw NetlistError("make_simulator: unknown engine kind");
+  }
+}
+
 std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kind,
                                                const CompileGuard* guard,
-                                               const NativeOptions* native = nullptr) {
+                                               const NativeOptions* native = nullptr,
+                                               int word_bits = 32) {
   std::unique_ptr<Simulator> sim = [&]() -> std::unique_ptr<Simulator> {
     const NativeOptions nopts = native ? *native : NativeOptions{};
     switch (kind) {
+      // The interpreted event engines have no word arena; width is moot.
       case EngineKind::Event2:
         return std::make_unique<EngineAdapter<EventSim2>>(kind, nl);
       case EngineKind::Event3:
         return std::make_unique<EngineAdapter<EventSim3>>(kind, nl);
-      case EngineKind::PCSet:
-        if (guard) {
-          return std::make_unique<EngineAdapter<PCSetSim<>>>(
-              kind, nl, std::span<const NetId>{}, *guard);
-        }
-        return std::make_unique<EngineAdapter<PCSetSim<>>>(kind, nl);
-      case EngineKind::ZeroDelayLcc:
-        if (guard) {
-          return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl, *guard);
-        }
-        return std::make_unique<EngineAdapter<LccSim<>>>(kind, nl);
-      case EngineKind::Parallel:
-      case EngineKind::ParallelTrimmed:
-      case EngineKind::ParallelPathTracing:
-      case EngineKind::ParallelCycleBreaking:
-      case EngineKind::ParallelCombined:
-        if (guard) {
-          return std::make_unique<EngineAdapter<ParallelSim<>>>(
-              kind, nl, parallel_options(kind), *guard);
-        }
-        return std::make_unique<EngineAdapter<ParallelSim<>>>(
-            kind, nl, parallel_options(kind));
       case EngineKind::Native:
+        if (word_bits > 64) {
+          // Portable C has no 128/256-bit word; the fallback chain skips
+          // Native at wide widths, so reaching here is a direct request.
+          throw std::invalid_argument(
+              "make_simulator: the native backend supports 32/64-bit words "
+              "only (requested " + std::to_string(word_bits) + ")");
+        }
         if (guard) {
           return std::make_unique<NativeSimulator>(nl, nopts, *guard);
         }
         return std::make_unique<NativeSimulator>(nl, nopts);
+      default:
+        switch (word_bits) {
+          case 64:
+            return make_ir_adapter<std::uint64_t>(nl, kind, guard);
+#if UDSIM_HAS_W128
+          case 128:
+            return make_ir_adapter<u128>(nl, kind, guard);
+#endif
+          case 256:
+            return make_ir_adapter<u256>(nl, kind, guard);
+          default:
+            return make_ir_adapter<std::uint32_t>(nl, kind, guard);
+        }
     }
-    throw NetlistError("make_simulator: unknown engine kind");
   }();
   // The registry that traced the compile also receives the runtime
   // counters, so one object tells the whole story of an engine's life;
@@ -277,12 +318,27 @@ std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kin
 }  // namespace
 
 std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind) {
-  return make_simulator_impl(nl, kind, nullptr);
+  const WidthChoice w = dispatch_width();
+  return make_simulator_impl(nl, kind, nullptr, nullptr, w.word_bits);
 }
 
 std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind,
                                           const CompileGuard& guard) {
-  return make_simulator_impl(nl, kind, &guard);
+  const WidthChoice w = dispatch_width(0, guard.diag, guard.metrics);
+  return make_simulator_impl(nl, kind, &guard, nullptr, w.word_bits);
+}
+
+std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind,
+                                          int word_bits) {
+  const WidthChoice w = dispatch_width(word_bits);
+  return make_simulator_impl(nl, kind, nullptr, nullptr, w.word_bits);
+}
+
+std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind,
+                                          const CompileGuard& guard,
+                                          int word_bits) {
+  const WidthChoice w = dispatch_width(word_bits, guard.diag, guard.metrics);
+  return make_simulator_impl(nl, kind, &guard, nullptr, w.word_bits);
 }
 
 std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
@@ -292,6 +348,9 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
     throw NetlistError("make_simulator_with_fallback: empty engine chain");
   }
   const CompileGuard guard{policy.budget, diag, policy.metrics, policy.cancel};
+  // One dispatch for the whole chain: every candidate engine compiles at the
+  // same resolved lane width, so a downgrade never changes the results.
+  const WidthChoice width = dispatch_width(policy.word_bits, diag, policy.metrics);
   std::size_t downgrades = 0;
   std::size_t native_fallbacks = 0;
   for (std::size_t i = 0; i < policy.chain.size(); ++i) {
@@ -300,13 +359,33 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
     // user chain that already starts with Native plus a service-prepended
     // Native), and only the true tail position is terminal.
     const bool last = i + 1 == policy.chain.size();
+    // The native backend emits portable C, which has no 128/256-bit word
+    // type: at wide lane widths the chain skips it (recorded like any other
+    // native fallback) rather than silently compiling at a narrower width.
+    if (kind == EngineKind::Native && width.word_bits > 64) {
+      if (diag) {
+        diag->report(DiagCode::NativeFallback, DiagSeverity::Warning,
+                     std::string(engine_name(kind)),
+                     "native backend supports 32/64-bit words only; skipped at " +
+                         std::to_string(width.word_bits) +
+                         "-bit lanes; trying next engine");
+      }
+      metric_add(policy.metrics, "native.fallback", 1);
+      ++native_fallbacks;
+      if (last) {
+        throw NetlistError(
+            "make_simulator_with_fallback: only the native engine remains and "
+            "it cannot run " + std::to_string(width.word_bits) + "-bit lanes");
+      }
+      continue;
+    }
     // Cheap pre-check: reject on the structural prediction before paying
     // for the compile. The guarded compile re-checks the prediction and
     // the emitted program, so a too-optimistic prediction still cannot
     // smuggle an over-budget program through.
     if (is_compiled_engine(kind) && !policy.budget.unlimited()) {
       const CompileCostEstimate est =
-          estimate_compile_cost(nl, kind, /*word_bits=*/32);
+          estimate_compile_cost(nl, kind, width.word_bits);
       if (const char* limit = budget_violation(policy.budget, est)) {
         if (diag) {
           diag->report(DiagCode::BudgetDowngrade, DiagSeverity::Warning,
@@ -330,7 +409,7 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
     }
     try {
       std::unique_ptr<Simulator> sim =
-          make_simulator_impl(nl, kind, &guard, &policy.native);
+          make_simulator_impl(nl, kind, &guard, &policy.native, width.word_bits);
       // Pre-flight validation (DESIGN.md §5f): a compiled program must pass
       // the structural checks before it is allowed near an arena — and the
       // check re-runs after every downgrade, since each downgrade built a

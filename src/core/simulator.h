@@ -133,7 +133,9 @@ class Simulator {
 };
 
 /// Construct an engine over `nl` (which must already have wired nets
-/// lowered; see lower_wired_nets).
+/// lowered; see lower_wired_nets). The executor lane width is resolved by
+/// dispatch_width (core/width_dispatch.h): 32-bit by default, overridable
+/// with UDSIM_FORCE_WIDTH.
 [[nodiscard]] std::unique_ptr<Simulator> make_simulator(const Netlist& nl,
                                                         EngineKind kind);
 
@@ -143,6 +145,18 @@ class Simulator {
 [[nodiscard]] std::unique_ptr<Simulator> make_simulator(const Netlist& nl,
                                                         EngineKind kind,
                                                         const CompileGuard& guard);
+
+/// Explicit lane-width variants: `word_bits` is 0 (the 32-bit default),
+/// kWidthWidest, or one of 32/64/128/256; an unavailable width steps down
+/// the dispatch ladder (guarded variant: recorded as a WidthFallback
+/// diagnostic in guard.diag). EngineKind::Native rejects widths above 64.
+[[nodiscard]] std::unique_ptr<Simulator> make_simulator(const Netlist& nl,
+                                                        EngineKind kind,
+                                                        int word_bits);
+[[nodiscard]] std::unique_ptr<Simulator> make_simulator(const Netlist& nl,
+                                                        EngineKind kind,
+                                                        const CompileGuard& guard,
+                                                        int word_bits);
 
 /// Engine-selection policy for make_simulator_with_fallback: candidate
 /// engines in preference order, each gated by the same compile budget.
@@ -168,6 +182,12 @@ struct SimPolicy {
   /// and the walk continues with the IR engines — native is never allowed
   /// to be silently absent.
   NativeOptions native{};
+  /// Executor lane width request, resolved once for the whole chain by
+  /// dispatch_width (0 = the 32-bit default, kWidthWidest = widest
+  /// available, or 32/64/128/256; UDSIM_FORCE_WIDTH overrides). Native
+  /// entries are skipped — with a NativeFallback diagnostic — when the
+  /// resolved width exceeds 64 bits.
+  int word_bits = 0;
 };
 
 /// Walk `policy.chain`, skipping engines whose compile cost exceeds

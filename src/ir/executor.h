@@ -10,16 +10,18 @@
 #include <span>
 
 #include "ir/program.h"
+#include "ir/wide_word.h"
 
 namespace udsim {
 
 /// Fill the arena's constant words. Call once before the first vector and
-/// after any external reset of the arena.
+/// after any external reset of the arena. Init values widen per
+/// init_word_value: the ~0 carrier means all-ones at the executor's width.
 template <class Word>
 void initialize_arena(const Program& p, std::span<Word> arena) {
   assert(arena.size() >= p.arena_words);
   for (const Program::InitWord& iw : p.arena_init) {
-    arena[iw.index] = static_cast<Word>(iw.value);
+    arena[iw.index] = init_word_value<Word>(iw.value);
   }
 }
 
@@ -28,7 +30,8 @@ void initialize_arena(const Program& p, std::span<Word> arena) {
 /// fall back to it.
 template <class Word>
 void execute_switch(const Program& p, std::span<const Word> in, std::span<Word> arena) {
-  static_assert(sizeof(Word) == 4 || sizeof(Word) == 8);
+  static_assert(sizeof(Word) == 4 || sizeof(Word) == 8 || sizeof(Word) == 16 ||
+                sizeof(Word) == 32);
   assert(static_cast<int>(sizeof(Word) * 8) == p.word_bits);
   assert(in.size() >= p.input_words);
   assert(arena.size() >= p.arena_words);
@@ -116,7 +119,8 @@ void execute_switch(const Program& p, std::span<const Word> in, std::span<Word> 
 
 template <class Word>
 void execute(const Program& p, std::span<const Word> in, std::span<Word> arena) {
-  static_assert(sizeof(Word) == 4 || sizeof(Word) == 8);
+  static_assert(sizeof(Word) == 4 || sizeof(Word) == 8 || sizeof(Word) == 16 ||
+                sizeof(Word) == 32);
   assert(static_cast<int>(sizeof(Word) * 8) == p.word_bits);
   assert(in.size() >= p.input_words);
   assert(arena.size() >= p.arena_words);
@@ -227,5 +231,15 @@ l_FunnelR:
   execute_switch<Word>(p, in, arena);
 #endif
 }
+
+// The hot u256 executors instantiate only in ir/kernels_w256.cpp — the TU
+// the build compiles with -mavx2 when the toolchain supports it — so no
+// other TU can inline 256-bit code it might not be allowed to run. Cold
+// u256 paths (initialize_arena, KernelRunner bookkeeping) are portable lane
+// loops and instantiate anywhere.
+extern template void execute_switch<u256>(const Program&, std::span<const u256>,
+                                          std::span<u256>);
+extern template void execute<u256>(const Program&, std::span<const u256>,
+                                   std::span<u256>);
 
 }  // namespace udsim

@@ -1,0 +1,17 @@
+// 256-bit executor instantiations, isolated in their own TU so the build
+// can apply -mavx2 to exactly this file (src/CMakeLists.txt): the u256 lane
+// loops then compile to 256-bit vector instructions. When the flag was
+// applied the library defines UDSIM_W256_AVX2 and runtime width dispatch
+// (core/width_dispatch.h) refuses the 256-bit lane on CPUs without AVX2;
+// without the flag the instantiations here are portable scalar code and the
+// lane is available everywhere.
+#include "ir/executor.h"
+
+namespace udsim {
+
+template void execute_switch<u256>(const Program&, std::span<const u256>,
+                                   std::span<u256>);
+template void execute<u256>(const Program&, std::span<const u256>,
+                            std::span<u256>);
+
+}  // namespace udsim

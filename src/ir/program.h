@@ -7,8 +7,9 @@
 // Levelized Compiled Code simulation.
 //
 // The same program text runs at any word size (32-bit to match the paper's
-// word counts, 64-bit for the ablation); shift immediates are produced by
-// the compilers for a specific word size, recorded in `word_bits`.
+// word counts, 64/128/256-bit for the wide lanes); shift immediates are
+// produced by the compilers for a specific word size, recorded in
+// `word_bits`.
 #pragma once
 
 #include <cstdint>
@@ -60,10 +61,13 @@ struct Program {
   int word_bits = 32;             ///< word size the shift immediates assume
 
   /// Arena words with a fixed value established once before the first vector
-  /// (constant nets, mask words). `value_ones` = true means all-ones.
+  /// (constant nets, mask words). `value` is a 64-bit carrier: all-ones
+  /// means all-ones at the executor's word size (so constant-one nets stay
+  /// full-width at 128/256 bits); any other value zero-extends — identical
+  /// to plain truncation at 32/64 bits. See init_word_value (ir/wide_word.h).
   struct InitWord {
     std::uint32_t index;
-    std::uint64_t value;  ///< truncated to the executor's word size
+    std::uint64_t value;  ///< widened per init_word_value at execution time
   };
   std::vector<InitWord> arena_init;
 

@@ -57,7 +57,9 @@ OpShape shape_of(OpCode c) {
 
 std::string verify_program(const Program& p, const VerifyOptions& opts) {
   const auto W = static_cast<unsigned>(p.word_bits);
-  if (W != 32 && W != 64) return "word_bits must be 32 or 64";
+  if (W != 32 && W != 64 && W != 128 && W != 256) {
+    return "word_bits must be 32, 64, 128 or 256";
+  }
 
   std::vector<bool> written(p.arena_words, false);
   for (const Program::InitWord& iw : p.arena_init) {

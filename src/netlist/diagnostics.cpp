@@ -30,6 +30,8 @@ std::string_view diag_code_name(DiagCode c) noexcept {
       return "engine-selected";
     case DiagCode::NativeFallback:
       return "native-fallback";
+    case DiagCode::WidthFallback:
+      return "width-fallback";
     case DiagCode::ProgramWordSize:
       return "program-word-size";
     case DiagCode::ProgramOpBounds:

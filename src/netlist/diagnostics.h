@@ -40,8 +40,9 @@ enum class DiagCode : std::uint8_t {
   BudgetDowngrade,    ///< an engine was rejected because of a CompileBudget
   EngineSelected,     ///< the engine a fallback chain settled on
   NativeFallback,     ///< native pipeline failed; chain dropped to the IR path
+  WidthFallback,      ///< requested lane width unavailable; ladder stepped down
   // Program validation (resilience/program_validator.h).
-  ProgramWordSize,    ///< word_bits is neither 32 nor 64
+  ProgramWordSize,    ///< word_bits is not a supported executor width
   ProgramOpBounds,    ///< op touches an arena word outside the arena
   ProgramInputBounds, ///< Load* references an input word outside the span
   ProgramShiftRange,  ///< shift immediate >= word size / zero funnel shift

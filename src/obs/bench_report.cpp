@@ -4,7 +4,9 @@
 #include <span>
 
 #include "analysis/compile_budget.h"
+#include "core/packed_runner.h"
 #include "core/simulator.h"
+#include "core/width_dispatch.h"
 #include "harness/timer.h"
 #include "netlist/netlist.h"
 #include "obs/json.h"
@@ -54,6 +56,9 @@ namespace {
   CompileGuard guard;
   guard.metrics = &reg;
   auto sim = make_simulator(nl, kind, guard);
+  if (const Program* program = sim->compiled_program()) {
+    row.word_bits = program->word_bits;
+  }
 
   // Timed runs are detached from the registry: the measured loop is the
   // production loop (one dead branch per pass), not the metered one.
@@ -89,6 +94,36 @@ namespace {
       row.arena_bytes_per_gate = static_cast<double>(est.peak_bytes) /
                                  static_cast<double>(nl.gate_count());
     }
+  }
+  return row;
+}
+
+/// One "lcc-packed" row: the packed data-parallel LCC runner at one lane
+/// width — word_bits independent vectors per executor pass, the row set
+/// where throughput scales with the dispatched width.
+[[nodiscard]] BenchEngineResult measure_packed(const Netlist& nl, int word_bits,
+                                               std::span<const Bit> stream,
+                                               const BenchRunConfig& cfg) {
+  BenchEngineResult row;
+  row.engine = "lcc-packed";
+  row.threads = 1;
+
+  // Timed runs detached from metrics, same protocol as measure_engine.
+  row.seconds = median_seconds(
+      [&] { (void)run_packed_lcc(nl, stream, word_bits); }, cfg.trials);
+  if (row.seconds > 0.0) {
+    row.vectors_per_sec = static_cast<double>(cfg.vectors) / row.seconds;
+    row.us_per_vector = row.seconds * 1e6 / static_cast<double>(cfg.vectors);
+  }
+
+  MetricsRegistry reg;
+  CompileGuard guard;
+  guard.metrics = &reg;
+  const PackedRunResult metered =
+      run_packed_lcc(nl, stream, word_bits, &reg, &guard);
+  row.word_bits = metered.word_bits;
+  for (const auto& [name, value] : reg.snapshot()) {
+    if (!is_nondeterministic_key(name)) row.exact.emplace(name, value);
   }
   return row;
 }
@@ -144,6 +179,16 @@ BenchReport run_bench_report(
         // rows the *baseline* has, so IR baselines still check clean.
       }
     }
+    if (cfg.with_packed) {
+      const std::vector<int> widths =
+          cfg.packed_widths.empty() ? supported_widths() : cfg.packed_widths;
+      for (const int w : widths) {
+        // A width this build/CPU lacks is skipped, not narrowed: a silent
+        // fallback would produce a row labeled with a width it never ran.
+        if (!width_available(w)) continue;
+        cr.engines.push_back(measure_packed(*nl, w, stream, cfg));
+      }
+    }
     report.circuits.push_back(std::move(cr));
   }
   return report;
@@ -169,6 +214,8 @@ std::string BenchReport::to_json() const {
       JsonValue ee = JsonValue::make_object();
       ee.set("engine", JsonValue::make_string(e.engine));
       ee.set("threads", JsonValue::make_uint(e.threads));
+      ee.set("word_bits",
+             JsonValue::make_uint(static_cast<std::uint64_t>(e.word_bits)));
       ee.set("seconds", JsonValue::make_double(e.seconds));
       ee.set("vectors_per_sec", JsonValue::make_double(e.vectors_per_sec));
       ee.set("us_per_vector", JsonValue::make_double(e.us_per_vector));
@@ -209,17 +256,24 @@ std::vector<std::string> check_bench_report(const BenchReport& current,
     return violations;
   }
 
-  // Index the current rows by (circuit, engine, threads).
+  // Index the current rows by (circuit, engine, threads, lane width).
   const auto row_key = [](const std::string& circuit, const std::string& engine,
-                          std::uint64_t threads) {
-    return circuit + "/" + engine + "@" + std::to_string(threads);
+                          std::uint64_t threads, std::uint64_t word_bits) {
+    return circuit + "/" + engine + "@" + std::to_string(threads) + "/w" +
+           std::to_string(word_bits);
   };
   std::map<std::string, const BenchEngineResult*> rows;
   for (const BenchCircuitResult& c : current.circuits) {
     for (const BenchEngineResult& e : c.engines) {
-      rows.emplace(row_key(c.circuit, e.engine, e.threads), &e);
+      rows.emplace(row_key(c.circuit, e.engine, e.threads,
+                           static_cast<std::uint64_t>(e.word_bits)),
+                   &e);
     }
   }
+  // Baselines predating per-row widths carry one report-level word_bits;
+  // their rows compare against current rows at that width.
+  const std::uint64_t baseline_word_bits =
+      baseline.has("word_bits") ? baseline.at("word_bits").as_u64() : 32;
 
   const JsonValue* bcircuits = baseline.find("circuits");
   if (!bcircuits || !bcircuits->is_array()) {
@@ -235,7 +289,10 @@ std::vector<std::string> check_bench_report(const BenchReport& current,
       const std::string engine = be.has("engine") ? be.at("engine").string : "?";
       const std::uint64_t threads =
           be.has("threads") ? be.at("threads").as_u64() : 1;
-      const std::string key = row_key(circuit, engine, threads);
+      const std::uint64_t word_bits = be.has("word_bits")
+                                          ? be.at("word_bits").as_u64()
+                                          : baseline_word_bits;
+      const std::string key = row_key(circuit, engine, threads, word_bits);
       const auto it = rows.find(key);
       if (it == rows.end()) {
         violations.push_back(key + ": in baseline but not in current run "

@@ -27,10 +27,11 @@ class Netlist;
 
 inline constexpr const char* kBenchReportSchema = "udsim-bench-report-v1";
 
-/// One (circuit, engine) measurement row.
+/// One (circuit, engine, width) measurement row.
 struct BenchEngineResult {
   std::string engine;      ///< stable slug, e.g. "parallel-combined"
   unsigned threads = 1;    ///< batch worker threads (1 = sequential step loop)
+  int word_bits = 32;      ///< dispatched executor lane width of this row
   double seconds = 0.0;    ///< median wall time of one timed run
   double vectors_per_sec = 0.0;
   double us_per_vector = 0.0;
@@ -77,6 +78,15 @@ struct BenchRunConfig {
   /// still checks clean (check_bench_report walks the baseline's rows), and
   /// a machine without a C compiler just skips the row.
   bool with_native = false;
+  /// Also measure the packed LCC data-parallel runner ("lcc-packed" rows)
+  /// once per lane width: word_bits independent vectors per executor pass,
+  /// so throughput scales with the lane — the row set where the wide
+  /// executors show their win (DESIGN.md §5j). Empty = every width
+  /// supported_widths() reports; widths unavailable on this build/CPU are
+  /// skipped (check_bench_report then reports the coverage loss against a
+  /// baseline that had them).
+  bool with_packed = true;
+  std::vector<int> packed_widths;
 };
 
 /// Measure every circuit × engine. Timing runs detached from metrics (the

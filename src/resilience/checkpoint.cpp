@@ -163,9 +163,14 @@ BatchCheckpoint checkpoint_from_bytes(std::string_view bytes) {
   ck.input_words = r.u32("input_words");
   ck.probe_count = r.u32("probe_count");
   ck.num_vectors = r.u64("num_vectors");
-  if (ck.word_bits != 32 && ck.word_bits != 64) {
+  if (ck.word_bits != 32 && ck.word_bits != 64 && ck.word_bits != 128 &&
+      ck.word_bits != 256) {
     corrupt("declares word size " + std::to_string(ck.word_bits));
   }
+  // Wide words span word_bits/64 uint64 carrier entries each (DESIGN.md §5j).
+  const std::uint64_t carrier_words =
+      std::uint64_t{ck.arena_words} *
+      (ck.word_bits > 64 ? ck.word_bits / 64 : 1);
   const std::uint32_t shard_count = r.u32("shard_count");
   ck.shards.reserve(std::min<std::uint64_t>(shard_count, r.remaining() / 25));
   std::uint64_t expect_begin = 0;
@@ -182,9 +187,9 @@ BatchCheckpoint checkpoint_from_bytes(std::string_view bytes) {
     }
     expect_begin = s.end;
     if (r.u8("arena flag") != 0) {
-      r.need(std::uint64_t{ck.arena_words} * 8, "shard arena");
-      s.arena.resize(ck.arena_words);
-      for (std::uint32_t w = 0; w < ck.arena_words; ++w) {
+      r.need(carrier_words * 8, "shard arena");
+      s.arena.resize(carrier_words);
+      for (std::uint64_t w = 0; w < carrier_words; ++w) {
         s.arena[w] = r.u64("arena word");
       }
     } else if (s.next != s.begin && s.next != s.end) {

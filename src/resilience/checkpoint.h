@@ -47,7 +47,8 @@ class CheckpointError : public std::runtime_error {
 [[nodiscard]] std::string_view checkpoint_error_name(CheckpointError::Kind k) noexcept;
 
 /// One shard's resumable progress. `arena` is the settled arena (uint64
-/// carrier, truncated to the program word size on restore) after vector
+/// carrier — word_bits/64 consecutive entries per arena word for the wide
+/// lanes, truncated to the program word size at 32 bits) after vector
 /// `next - 1`; it is empty when the shard never started (`next == begin`,
 /// seam replay re-derives the state) or already finished (`next == end`).
 struct ShardCheckpoint {

@@ -87,10 +87,10 @@ bool validate_program(const Program& p, const ValidateOptions& opts,
                       Diagnostics& diag) {
   Report rep(diag);
   const auto W = static_cast<unsigned>(p.word_bits);
-  if (W != 32 && W != 64) {
+  if (W != 32 && W != 64 && W != 128 && W != 256) {
     rep.defect(DiagCode::ProgramWordSize, "program",
                "word_bits is " + std::to_string(p.word_bits) +
-                   "; the executors support 32 and 64");
+                   "; the executors support 32, 64, 128 and 256");
     // Everything below still runs: bounds are word-size independent, and a
     // corrupted header should not mask a corrupted body.
   }

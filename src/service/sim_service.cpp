@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "core/width_dispatch.h"
 #include "native/native_backend.h"
 #include "netlist/stats.h"
 #include "resilience/program_validator.h"
@@ -28,6 +29,10 @@ SimService::SimService(ServiceConfig cfg)
       anonymous_session_(std::make_shared<ServiceSession>(0, "anonymous")) {
   if (cfg_.chain.empty()) cfg_.chain = SimPolicy{}.chain;
   if (cfg_.workers == 0) cfg_.workers = 1;
+  // Resolve the lane width once for the service's lifetime: every cache key,
+  // admission estimate and compiled engine then agrees on the width (the
+  // dispatch records it in the service registry's dispatch.width gauge).
+  cfg_.word_bits = dispatch_width(cfg_.word_bits, nullptr, &metrics_).word_bits;
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -294,6 +299,7 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
           policy.cancel = &p->token;
           policy.validate = cfg_.validate;
           policy.native = cfg_.native;
+          policy.word_bits = cfg_.word_bits;  // resolved at construction
           entry->sim = make_simulator_with_fallback(nl, policy, &entry->diag);
           // The compile-time token belongs to the building request and dies
           // with it; detach so a cached simulator never polls freed memory

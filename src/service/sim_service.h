@@ -75,8 +75,11 @@ struct ServiceConfig {
   bool validate = true;
   /// Deterministic fault injection for the batch phase (tests/bench only).
   FaultInjector* inject = nullptr;
-  /// Word size recorded in cache keys (the facade engines are 32-bit).
-  int word_bits = 32;
+  /// Executor lane width request, resolved once at construction by
+  /// dispatch_width (0 = the 32-bit default; kWidthWidest; 32/64/128/256;
+  /// UDSIM_FORCE_WIDTH overrides). The resolved width keys the program
+  /// cache and is compiled into every engine the service builds.
+  int word_bits = 0;
 };
 
 class SimService {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/simulator.h"
+#include "core/width_dispatch.h"
 #include "gen/iscas_profiles.h"
 #include "golden_flag.h"
 #include "obs/metrics.h"
@@ -31,13 +32,13 @@ constexpr std::size_t kVectors = 8;
 /// One registry accumulating compile + runtime counters for every engine,
 /// with per-engine disambiguation left to the engine-agnostic counter names
 /// (the sums are what the fixture pins down).
-std::string collect_metrics(const std::string& circuit) {
+std::string collect_metrics(const std::string& circuit, int word_bits = 0) {
   const Netlist nl = make_iscas85_like(circuit, /*seed=*/1);
   MetricsRegistry reg;
   const CompileGuard guard{CompileBudget{}, nullptr, &reg};
   for (EngineKind kind : {EngineKind::ParallelCombined, EngineKind::PCSet,
                           EngineKind::ZeroDelayLcc}) {
-    auto sim = make_simulator(nl, kind, guard);
+    auto sim = make_simulator(nl, kind, guard, word_bits);
     const std::size_t pis = nl.primary_inputs().size();
     std::vector<Bit> row(pis);
     std::uint64_t x = 0x243f6a8885a308d3ull;
@@ -84,6 +85,44 @@ TEST_P(GoldenMetricsTest, MatchesFixture) {
 INSTANTIATE_TEST_SUITE_P(Circuits, GoldenMetricsTest,
                          ::testing::Values("c432", "c880", "c6288"),
                          [](const auto& info) { return info.param; });
+
+/// Per-width fixtures (DESIGN.md §5j): the same collection driven at each
+/// wide lane width. The counter set is deterministic *per width* — the
+/// parallel compiler packs gates into wider words, so compile.ops itself
+/// legitimately differs across widths and each fixture pins its own shape.
+/// Widths this build/CPU cannot execute are skipped, never failed.
+class GoldenMetricsWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenMetricsWidthTest, MatchesFixtureAtWidth) {
+  const int width = GetParam();
+  if (!width_available(width)) {
+    GTEST_SKIP() << width << "-bit lane unavailable on this build/CPU";
+  }
+  const std::string actual = collect_metrics("c432", width);
+  const std::string path = std::string(UDSIM_GOLDEN_DIR) + "/metrics_c432_w" +
+                           std::to_string(width) + ".json";
+  if (test::g_update_golden) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    SUCCEED() << "refreshed " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " — run with --update-golden to create it";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "metrics drifted from " << path
+      << " — a counter regression, or refresh with --update-golden";
+}
+
+INSTANTIATE_TEST_SUITE_P(WideLanes, GoldenMetricsWidthTest,
+                         ::testing::Values(64, 128, 256),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace udsim

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/simulator.h"
+#include "core/width_dispatch.h"
 #include "gen/iscas_profiles.h"
 #include "gen/random_dag.h"
 #include "obs/metrics.h"
@@ -43,10 +44,12 @@ std::vector<Bit> make_vectors(const Netlist& nl, std::size_t count) {
 
 /// Drive `count` vectors through step() and check the dynamic-counter
 /// identity against the compile-shape counters in the same registry.
-void check_step_identity(const Netlist& nl, EngineKind kind, std::size_t count) {
+/// `word_bits` follows the dispatch_width convention (0 = 32-bit default).
+void check_step_identity(const Netlist& nl, EngineKind kind, std::size_t count,
+                         int word_bits = 0) {
   MetricsRegistry reg;
   const CompileGuard guard{CompileBudget{}, nullptr, &reg};
-  auto sim = make_simulator(nl, kind, guard);
+  auto sim = make_simulator(nl, kind, guard, word_bits);
   const std::vector<Bit> bits = make_vectors(nl, count);
   const std::size_t pis = nl.primary_inputs().size();
   for (std::size_t v = 0; v < count; ++v) {
@@ -83,6 +86,19 @@ INSTANTIATE_TEST_SUITE_P(AllIscas85, MetricsProfileTest,
                                            "c1908", "c2670", "c3540", "c5315",
                                            "c6288", "c7552"),
                          [](const auto& info) { return info.param; });
+
+TEST(MetricsInvariant, ExecIdentityHoldsAtEveryLaneWidth) {
+  // The counters are exact at 128/256-bit lanes too: lane width changes the
+  // word type under the ops, never the op stream length (DESIGN.md §5j).
+  for (const char* name : {"c432", "c880"}) {
+    const Netlist nl = make_iscas85_like(name);
+    for (int w : supported_widths()) {
+      for (EngineKind kind : kProfileEngines) {
+        check_step_identity(nl, kind, 4, w);
+      }
+    }
+  }
+}
 
 TEST(MetricsInvariant, RandomDagsAcrossParallelVariants) {
   constexpr EngineKind kParallelKinds[] = {

@@ -10,6 +10,7 @@
 
 #include "analysis/compile_budget.h"
 #include "core/simulator.h"
+#include "core/width_dispatch.h"
 #include "gen/iscas_profiles.h"
 #include "netlist/bench_io.h"
 #include "obs/bench_report.h"
@@ -127,16 +128,22 @@ class BenchReportFixture : public ::testing::Test {
 
 TEST_F(BenchReportFixture, CoversCircuitsTimesEnginesWithSchema) {
   const BenchReport& r = report();
+  const std::size_t widths = supported_widths().size();
   ASSERT_EQ(r.circuits.size(), 2u);
   for (const BenchCircuitResult& c : r.circuits) {
-    // 3 sequential engines + 1 batch row (ParallelCombined @ 2 threads).
-    ASSERT_EQ(c.engines.size(), 4u);
+    // 3 sequential engines + 1 batch row (ParallelCombined @ 2 threads) +
+    // one lcc-packed row per available lane width (DESIGN.md §5j).
+    ASSERT_EQ(c.engines.size(), 4u + widths);
     EXPECT_GT(c.gates, 0u);
     EXPECT_EQ(c.engines[0].engine, "zero-delay-lcc");
     EXPECT_EQ(c.engines[1].engine, "pcset");
     EXPECT_EQ(c.engines[2].engine, "parallel-combined");
     EXPECT_EQ(c.engines[3].engine, "parallel-combined");
     EXPECT_EQ(c.engines[3].threads, 2u);
+    for (std::size_t i = 0; i < widths; ++i) {
+      EXPECT_EQ(c.engines[4 + i].engine, "lcc-packed");
+      EXPECT_EQ(c.engines[4 + i].word_bits, supported_widths()[i]);
+    }
   }
   const JsonValue doc = JsonValue::parse(r.to_json());
   EXPECT_EQ(doc.at("schema").string, kBenchReportSchema);
@@ -145,8 +152,8 @@ TEST_F(BenchReportFixture, CoversCircuitsTimesEnginesWithSchema) {
     EXPECT_TRUE(doc.has(key)) << key;
   }
   const JsonValue& row = doc.at("circuits").array[0].at("engines").array[0];
-  for (const char* key : {"engine", "threads", "seconds", "vectors_per_sec",
-                          "us_per_vector", "exact"}) {
+  for (const char* key : {"engine", "threads", "word_bits", "seconds",
+                          "vectors_per_sec", "us_per_vector", "exact"}) {
     EXPECT_TRUE(row.has(key)) << key;
   }
 }
@@ -157,6 +164,21 @@ TEST_F(BenchReportFixture, ExactCountersObeyTheCompiledInvariants) {
       ASSERT_TRUE(e.exact.contains("exec.ops")) << c.circuit << "/" << e.engine;
       ASSERT_TRUE(e.exact.contains("compile.ops"));
       ASSERT_TRUE(e.exact.contains("sim.vectors"));
+      if (e.engine == "lcc-packed") {
+        // Packed rows retire word_bits vectors per executor pass, so the
+        // pass count — not the vector count — scales the dynamic cost.
+        const std::uint64_t passes =
+            (kVectors + static_cast<std::uint64_t>(e.word_bits) - 1) /
+            static_cast<std::uint64_t>(e.word_bits);
+        EXPECT_EQ(e.exact.at("sim.vectors"), passes)
+            << c.circuit << " packed w" << e.word_bits;
+        EXPECT_EQ(e.exact.at("exec.ops"), e.exact.at("compile.ops") * passes)
+            << c.circuit << " packed w" << e.word_bits;
+        EXPECT_EQ(e.exact.at("packed.vectors"), kVectors);
+        EXPECT_EQ(e.exact.at("packed.lanes"),
+                  static_cast<std::uint64_t>(e.word_bits));
+        continue;
+      }
       EXPECT_EQ(e.exact.at("sim.vectors"), kVectors);
       // The compiled-simulation law: dynamic cost = static cost × passes.
       EXPECT_EQ(e.exact.at("exec.ops"),
@@ -166,6 +188,20 @@ TEST_F(BenchReportFixture, ExactCountersObeyTheCompiledInvariants) {
       EXPECT_GT(e.exact.at("compile.peak_bytes"), 0u);
     }
   }
+}
+
+TEST_F(BenchReportFixture, CheckFlagsDisappearedWidthRow) {
+  // A previously-available lane width vanishing from the report is a
+  // coverage loss, not a silent pass (acceptance: a baseline with a w256
+  // row must fail --check on a build that lost the lane).
+  BenchReport lost = report();
+  const JsonValue baseline = JsonValue::parse(report().to_json());
+  auto& engines = lost.circuits.front().engines;
+  ASSERT_EQ(engines.back().engine, "lcc-packed");
+  engines.pop_back();  // drop the widest packed row
+  const auto violations = check_bench_report(lost, baseline);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("coverage"), std::string::npos);
 }
 
 TEST_F(BenchReportFixture, CheckPassesAgainstItsOwnSerialization) {

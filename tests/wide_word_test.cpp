@@ -1,0 +1,209 @@
+// Unit tests for the wide arena words (ir/wide_word.h, DESIGN.md §5j).
+//
+// The u256 operator set is exercised against an independent 256-entry
+// bit-array reference model — every shift count 0..255 (including the
+// 64-bit lane boundaries where the carry path changes shape), the borrow
+// subtraction behind the `0 - x` broadcast and `(1 << imm) - 1` mask
+// idioms, and the uint64 carrier lane round-trips the checkpoint layer
+// depends on. The u128 helpers ride the same reference where the compiler
+// provides __int128.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "ir/wide_word.h"
+
+namespace udsim {
+namespace {
+
+// Deterministic xorshift stream (no global RNG state; reproducible).
+std::uint64_t next_u64(std::uint64_t& x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+u256 random_u256(std::uint64_t& x) {
+  return {next_u64(x), next_u64(x), next_u64(x), next_u64(x)};
+}
+
+/// Independent reference: 256 bits, index = bit position.
+using BitArray = std::array<unsigned, 256>;
+
+BitArray to_bits(const u256& w) {
+  BitArray b{};
+  for (unsigned i = 0; i < 256; ++i) {
+    b[i] = static_cast<unsigned>(w.lane[i >> 6] >> (i & 63u)) & 1u;
+  }
+  return b;
+}
+
+u256 from_bits(const BitArray& b) {
+  u256 w;
+  for (unsigned i = 0; i < 256; ++i) {
+    w.lane[i >> 6] |= std::uint64_t{b[i]} << (i & 63u);
+  }
+  return w;
+}
+
+BitArray shl_bits(const BitArray& b, unsigned s) {
+  BitArray r{};
+  for (unsigned i = s; i < 256; ++i) r[i] = b[i - s];
+  return r;
+}
+
+BitArray shr_bits(const BitArray& b, unsigned s) {
+  BitArray r{};
+  for (unsigned i = 0; i + s < 256; ++i) r[i] = b[i + s];
+  return r;
+}
+
+BitArray sub_bits(const BitArray& a, const BitArray& b) {
+  BitArray r{};
+  unsigned borrow = 0;
+  for (unsigned i = 0; i < 256; ++i) {
+    const int d = static_cast<int>(a[i]) - static_cast<int>(b[i]) -
+                  static_cast<int>(borrow);
+    r[i] = static_cast<unsigned>(d & 1);
+    borrow = d < 0 ? 1u : 0u;
+  }
+  return r;
+}
+
+TEST(WideWord, U256ShiftsMatchBitReferenceForEveryCount) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int trial = 0; trial < 4; ++trial) {
+    const u256 w = random_u256(x);
+    const BitArray bits = to_bits(w);
+    for (unsigned s = 0; s < 256; ++s) {
+      EXPECT_EQ(w << s, from_bits(shl_bits(bits, s))) << "<< " << s;
+      EXPECT_EQ(w >> s, from_bits(shr_bits(bits, s))) << ">> " << s;
+    }
+  }
+}
+
+TEST(WideWord, U256ShiftLaneBoundaries) {
+  // The carry between uint64 lanes changes shape exactly at multiples of
+  // 64; pin the boundary cases with a recognizable pattern.
+  const u256 one = 1;
+  for (unsigned s : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 191u, 192u, 255u}) {
+    const u256 w = one << s;
+    for (unsigned i = 0; i < 256; ++i) {
+      EXPECT_EQ(word_bit(w, i), i == s ? 1u : 0u) << "1 << " << s;
+    }
+    EXPECT_EQ((w >> s), one) << "round-trip at " << s;
+  }
+}
+
+TEST(WideWord, U256BitwiseOpsAreLaneWise) {
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  for (int trial = 0; trial < 8; ++trial) {
+    const u256 a = random_u256(x);
+    const u256 b = random_u256(x);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ((a & b).lane[i], a.lane[i] & b.lane[i]);
+      EXPECT_EQ((a | b).lane[i], a.lane[i] | b.lane[i]);
+      EXPECT_EQ((a ^ b).lane[i], a.lane[i] ^ b.lane[i]);
+      EXPECT_EQ((~a).lane[i], ~a.lane[i]);
+    }
+    u256 c = a;
+    c &= b;
+    EXPECT_EQ(c, a & b);
+    c = a;
+    c |= b;
+    EXPECT_EQ(c, a | b);
+    c = a;
+    c ^= b;
+    EXPECT_EQ(c, a ^ b);
+  }
+}
+
+TEST(WideWord, U256SubtractionBorrowsAcrossLanes) {
+  // The two idioms the op vocabulary uses: 0 - x (broadcast of bit 0) and
+  // (1 << k) - 1 (low-k-bit mask).
+  const u256 zero;
+  EXPECT_EQ(zero - u256{1}, ~zero);  // all-ones
+  for (unsigned k : {1u, 63u, 64u, 65u, 128u, 200u, 255u}) {
+    const u256 mask = (u256{1} << k) - u256{1};
+    for (unsigned i = 0; i < 256; ++i) {
+      EXPECT_EQ(word_bit(mask, i), i < k ? 1u : 0u) << "mask k=" << k;
+    }
+  }
+  std::uint64_t x = 0xb5297a4d4b4f2c21ull;
+  for (int trial = 0; trial < 16; ++trial) {
+    const u256 a = random_u256(x);
+    const u256 b = random_u256(x);
+    EXPECT_EQ(a - b, from_bits(sub_bits(to_bits(a), to_bits(b))));
+  }
+}
+
+TEST(WideWord, CarrierLaneCounts) {
+  static_assert(kWordU64Lanes<std::uint32_t> == 1);
+  static_assert(kWordU64Lanes<std::uint64_t> == 1);
+#if UDSIM_HAS_W128
+  static_assert(kWordU64Lanes<u128> == 2);
+#endif
+  static_assert(kWordU64Lanes<u256> == 4);
+  SUCCEED();
+}
+
+TEST(WideWord, CarrierLaneRoundTrips) {
+  std::uint64_t x = 0x2545f4914f6cdd1dull;
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t lanes[4] = {next_u64(x), next_u64(x), next_u64(x),
+                                    next_u64(x)};
+    // 32/64-bit: single lane, value-preserving within width.
+    EXPECT_EQ(word_u64_lane(static_cast<std::uint32_t>(lanes[0]), 0),
+              lanes[0] & 0xffffffffull);
+    EXPECT_EQ(word_u64_lane(lanes[0], 0), lanes[0]);
+    EXPECT_EQ(word_from_u64_lanes<std::uint64_t>(lanes), lanes[0]);
+#if UDSIM_HAS_W128
+    const u128 w128 = word_from_u64_lanes<u128>(lanes);
+    EXPECT_EQ(word_u64_lane(w128, 0), lanes[0]);
+    EXPECT_EQ(word_u64_lane(w128, 1), lanes[1]);
+#endif
+    const u256 w256 = word_from_u64_lanes<u256>(lanes);
+    for (std::size_t l = 0; l < 4; ++l) {
+      EXPECT_EQ(word_u64_lane(w256, l), lanes[l]);
+    }
+  }
+}
+
+TEST(WideWord, WordBitAddressesEveryLane) {
+  std::uint64_t x = 0x853c49e6748fea9bull;
+  const u256 w = random_u256(x);
+  const BitArray bits = to_bits(w);
+  for (unsigned i = 0; i < 256; ++i) {
+    EXPECT_EQ(word_bit(w, i), bits[i]) << "bit " << i;
+  }
+#if UDSIM_HAS_W128
+  const u128 h = (u128{0xdeadbeefcafef00dull} << 64) | 0x0123456789abcdefull;
+  for (unsigned i = 0; i < 128; ++i) {
+    const std::uint64_t lane = static_cast<std::uint64_t>(h >> ((i / 64) * 64));
+    EXPECT_EQ(word_bit(h, i), static_cast<unsigned>(lane >> (i % 64)) & 1u);
+  }
+#endif
+}
+
+TEST(WideWord, InitWordValueWidensAllOnesAndZeroExtendsTheRest) {
+  const std::uint64_t ones = ~std::uint64_t{0};
+  // All-ones carrier means "all ones at the executor width"...
+  EXPECT_EQ(init_word_value<std::uint32_t>(ones), 0xffffffffu);
+  EXPECT_EQ(init_word_value<std::uint64_t>(ones), ones);
+#if UDSIM_HAS_W128
+  EXPECT_EQ(init_word_value<u128>(ones), ~u128{0});
+#endif
+  EXPECT_EQ(init_word_value<u256>(ones), ~u256{});
+  // ...while every other literal zero-extends (== truncation at 32/64, so
+  // narrow programs behave exactly as they always did).
+  EXPECT_EQ(init_word_value<std::uint32_t>(0x1234u), 0x1234u);
+  EXPECT_EQ(init_word_value<u256>(0x1234u), u256{0x1234u});
+#if UDSIM_HAS_W128
+  EXPECT_EQ(init_word_value<u128>(0x1234u), u128{0x1234u});
+#endif
+}
+
+}  // namespace
+}  // namespace udsim
