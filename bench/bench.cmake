@@ -24,6 +24,7 @@ udsim_bench(ablation_threads)
 udsim_bench(ablation_observability)
 udsim_bench(ablation_resilience)
 udsim_bench(ablation_service)
+udsim_bench(ablation_breaker)
 
 udsim_bench(bench_report)
 # bench_report resolves circuit names through examples/common.h, which
@@ -54,6 +55,11 @@ add_test(NAME bench_observability_smoke COMMAND ablation_observability --vectors
 add_test(NAME bench_resilience_smoke COMMAND ablation_resilience --vectors 200 --trials 1 --circuits c432,c880 --json ablation_resilience_smoke.json)
 add_test(NAME bench_service_smoke COMMAND ablation_service --vectors 64 --circuits c432 --json ablation_service_smoke.json)
 set_tests_properties(bench_service_smoke PROPERTIES LABELS "service")
+# Self-healing gate (ISSUE 9): the breaker ablation doubles as a smoke test —
+# non-zero exit if any request fails to complete through the outage or the
+# breaker does not cap the toolchain tax at its threshold.
+add_test(NAME bench_breaker_smoke COMMAND ablation_breaker --vectors 32 --circuits c432 --json ablation_breaker_smoke.json)
+set_tests_properties(bench_breaker_smoke PROPERTIES LABELS "service")
 
 # The report-label gate (ISSUE 5): bench_report must produce a valid report
 # and --check must fail on injected counter drift. The drift test writes a

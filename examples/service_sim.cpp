@@ -106,6 +106,15 @@ int main(int argc, char** argv) {
               stats.queue_capacity);
   std::printf("session report: %s\n", svc.session_report(session).c_str());
 
+  // 6. The health model (DESIGN.md §5k): per-component state — lifecycle,
+  // toolchain breaker, queue, shed ladder, poison quarantine — folded into
+  // one overall Healthy/Degraded/Unhealthy, exported as JSON for scrapes.
+  const SimService::HealthReport health = svc.health();
+  std::printf("health: %s\n%s\n",
+              std::string(health_state_name(health.state)).c_str(),
+              svc.health_json().c_str());
+  if (health.state != HealthState::Healthy) return 1;
+
   svc.shutdown();
   std::printf("ok\n");
   return 0;

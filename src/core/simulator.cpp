@@ -7,6 +7,7 @@
 #include "ir/wide_word.h"
 #include "eventsim/event_sim.h"
 #include "native/native_sim.h"
+#include "resilience/circuit_breaker.h"
 #include "resilience/program_validator.h"
 #include "lcc/lcc.h"
 #include "parsim/parallel_sim.h"
@@ -315,6 +316,33 @@ std::unique_ptr<Simulator> make_simulator_impl(const Netlist& nl, EngineKind kin
          " peak bytes";
 }
 
+/// RAII verdict reporter for one native build attempt against the toolchain
+/// circuit breaker: exactly one of success/failure is recorded, or — when
+/// the attempt unwinds without a toolchain verdict (budget miss before the
+/// compiler ran, a cancel propagating through) — record_abandoned() runs,
+/// so a granted half-open probe slot can never leak.
+class BreakerAttempt {
+ public:
+  explicit BreakerAttempt(CircuitBreaker* b) noexcept : b_(b) {}
+  ~BreakerAttempt() {
+    if (b_ != nullptr) b_->record_abandoned();
+  }
+  BreakerAttempt(const BreakerAttempt&) = delete;
+  BreakerAttempt& operator=(const BreakerAttempt&) = delete;
+  void success() { report(&CircuitBreaker::record_success); }
+  void failure() { report(&CircuitBreaker::record_failure); }
+
+ private:
+  void report(void (CircuitBreaker::*fn)()) {
+    if (b_ != nullptr) {
+      CircuitBreaker* b = b_;
+      b_ = nullptr;
+      (b->*fn)();
+    }
+  }
+  CircuitBreaker* b_;
+};
+
 }  // namespace
 
 std::unique_ptr<Simulator> make_simulator(const Netlist& nl, EngineKind kind) {
@@ -398,6 +426,30 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
         continue;
       }
     }
+    // Circuit-breaker gate (DESIGN.md §5k): when the toolchain has been
+    // failing consecutively, skip the native attempt *before* emitting C or
+    // spawning a compiler subprocess — the whole point of the breaker is
+    // that a persistently broken toolchain costs one counter bump per
+    // request, not an emit+compile(+timeout) round trip per request.
+    if (kind == EngineKind::Native && policy.native_breaker != nullptr &&
+        !policy.native_breaker->allow()) {
+      if (diag) {
+        diag->report(DiagCode::NativeBreakerOpen, DiagSeverity::Warning,
+                     std::string(engine_name(kind)),
+                     "toolchain breaker '" +
+                         policy.native_breaker->config().name + "' " +
+                         policy.native_breaker->describe() +
+                         "; skipping native untried");
+      }
+      metric_add(policy.metrics, "native.breaker_skipped", 1);
+      ++native_fallbacks;
+      if (last) {
+        throw NetlistError(
+            "make_simulator_with_fallback: only the native engine remains "
+            "and its toolchain breaker is open");
+      }
+      continue;
+    }
     // A native attempt compiles its base program *before* the external
     // toolchain can fail, so on failure the registry would describe a
     // program that never runs; snapshot compile.* and roll it back in the
@@ -407,9 +459,14 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
     if (kind == EngineKind::Native && policy.metrics) {
       compile_before = policy.metrics->snapshot();
     }
+    BreakerAttempt breaker_attempt(
+        kind == EngineKind::Native ? policy.native_breaker : nullptr);
     try {
       std::unique_ptr<Simulator> sim =
           make_simulator_impl(nl, kind, &guard, &policy.native, width.word_bits);
+      // The toolchain cooperated end to end (emit → compile → dlopen →
+      // dlsym): tell the breaker, so a half-open probe re-closes it.
+      breaker_attempt.success();
       // Pre-flight validation (DESIGN.md §5f): a compiled program must pass
       // the structural checks before it is allowed near an arena — and the
       // check re-runs after every downgrade, since each downgrade built a
@@ -444,6 +501,7 @@ std::unique_ptr<Simulator> make_simulator_with_fallback(const Netlist& nl,
       // An environment failure (no compiler, bad cache dir, corrupt object,
       // missing symbol), not a resource miss: record the structured stage
       // and continue down the IR chain.
+      breaker_attempt.failure();
       if (diag) {
         diag->report(DiagCode::NativeFallback, DiagSeverity::Warning,
                      std::string(engine_name(kind)),

@@ -22,6 +22,7 @@
 namespace udsim {
 
 struct Program;
+class CircuitBreaker;
 
 /// Result of a batch run: the settled value of every primary output for
 /// every vector of the stream, in submission order.
@@ -188,6 +189,14 @@ struct SimPolicy {
   /// entries are skipped — with a NativeFallback diagnostic — when the
   /// resolved width exceeds 64 bits.
   int word_bits = 0;
+  /// Optional circuit breaker guarding the external toolchain
+  /// (resilience/circuit_breaker.h). When set, a Native chain entry first
+  /// asks `allow()`: an open breaker skips native immediately — structured
+  /// DiagCode::NativeBreakerOpen plus a `native.breaker_skipped` counter,
+  /// no emit, no compiler subprocess — and every attempted native build
+  /// reports record_success/record_failure so consecutive toolchain
+  /// failures trip the breaker for the whole service (DESIGN.md §5k).
+  CircuitBreaker* native_breaker = nullptr;
 };
 
 /// Walk `policy.chain`, skipping engines whose compile cost exceeds

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ir/c_emitter.h"
+#include "resilience/subprocess.h"
 
 namespace udsim {
 
@@ -92,56 +93,55 @@ void write_source(const fs::path& path, const Program& p) {
   }
 }
 
-/// `cc <flags> -shared -fPIC -o out src`, stderr captured for the error.
-///
-/// The command runs through `std::system`, i.e. a shell: `compiler` and
-/// `flags` are interpolated unquoted *by design* so flag strings like
-/// `-O2 -fno-math-errno` split into arguments, which also means shell
-/// metacharacters in them are interpreted. Both come from the caller's own
-/// NativeOptions / UDSIM_CC / UDSIM_CC_FLAGS — local configuration, never
-/// request data — so treat them as trusted input (documented in
-/// native_backend.h).
+/// `cc <flags...> -shared -fPIC -o out src` through the sandboxed
+/// subprocess runner (DESIGN.md §5k): argv-based fork/exec (no shell —
+/// `flags` is whitespace-split, metacharacters are data), full stderr
+/// captured through a pipe up to `opts.stderr_cap`, and a wall-clock
+/// timeout that kills the compiler's whole process group. `compiler` and
+/// `flags` come from the caller's own NativeOptions / UDSIM_CC /
+/// UDSIM_CC_FLAGS — local configuration, never request data.
 void compile_source(const std::string& compiler, const std::string& flags,
                     const fs::path& src, const fs::path& out,
-                    MetricsRegistry* metrics) {
-  const fs::path errfile = out.string() + ".err";
-  std::ostringstream cmd;
-  cmd << compiler << " " << flags << " -shared -fPIC -o \"" << out.string()
-      << "\" \"" << src.string() << "\" 2>\"" << errfile.string() << "\"";
-  int rc = 0;
+                    const NativeOptions& opts, MetricsRegistry* metrics) {
+  std::vector<std::string> argv;
+  argv.push_back(compiler);
+  for (std::string& f : split_command(flags)) argv.push_back(std::move(f));
+  argv.insert(argv.end(),
+              {"-shared", "-fPIC", "-o", out.string(), src.string()});
+
+  SubprocessOptions sopts;
+  sopts.timeout = opts.compile_timeout;
+  sopts.stderr_cap = opts.stderr_cap;
+  SubprocessResult res;
   {
     TraceSpan span(metrics, "native.compile");
-    rc = std::system(cmd.str().c_str());
+    res = run_subprocess(argv, sopts);
   }
   metric_add(metrics, "native.builds", 1);
-  if (rc != 0) {
-    // rc is a raw wait status: decode it so the message says "exit code 1"
-    // rather than "status 256", and distinguishes signal deaths.
-    std::string cause;
-    if (rc == -1) {
-      cause = "could not launch shell";
-    } else if (WIFEXITED(rc)) {
-      cause = "exit code " + std::to_string(WEXITSTATUS(rc));
-    } else if (WIFSIGNALED(rc)) {
-      cause = "killed by signal " + std::to_string(WTERMSIG(rc));
-    } else {
-      cause = "status " + std::to_string(rc);
-    }
-    std::string detail = "compiler '" + compiler + "' failed (" + cause + ")";
-    std::ifstream err(errfile);
-    if (err) {
-      std::string line;
-      if (std::getline(err, line) && !line.empty()) {
-        detail += ": " + line;
-      }
-    }
-    std::error_code ec;
-    fs::remove(errfile, ec);
-    fs::remove(out, ec);
-    throw NativeError(NativeStage::Compile, detail);
-  }
+  if (res.ok()) return;
+
   std::error_code ec;
-  fs::remove(errfile, ec);
+  fs::remove(out, ec);
+  if (res.timed_out) {
+    metric_add(metrics, "native.compile_timeout", 1);
+    throw NativeError(
+        NativeStage::Compile,
+        "compiler '" + compiler + "' " + res.describe() +
+            " (compile_timeout; process group killed)",
+        /*timed_out=*/true);
+  }
+  std::string detail =
+      "compiler '" + compiler + "' failed (" + res.describe() + ")";
+  if (!res.stderr_output.empty()) {
+    // Carry the whole captured stderr (multi-line compile errors are the
+    // diagnosable part), already truncated to the byte cap by the runner.
+    detail += ":\n" + res.stderr_output;
+    if (res.stderr_truncated) {
+      detail += "\n[stderr truncated at " + std::to_string(opts.stderr_cap) +
+                " bytes]";
+    }
+  }
+  throw NativeError(NativeStage::Compile, detail);
 }
 
 /// Drop the oldest `.so` entries beyond `max_entries` (0 = unbounded).
@@ -188,11 +188,12 @@ std::string_view native_stage_name(NativeStage s) noexcept {
   return "?";
 }
 
-NativeError::NativeError(NativeStage stage, std::string detail)
+NativeError::NativeError(NativeStage stage, std::string detail, bool timed_out)
     : std::runtime_error("native backend (" +
                          std::string(native_stage_name(stage)) + " stage): " +
                          detail),
-      stage_(stage) {}
+      stage_(stage),
+      timed_out_(timed_out) {}
 
 std::string resolved_compiler(const NativeOptions& opts) {
   return opts.compiler.empty() ? env_or("UDSIM_CC", "cc") : opts.compiler;
@@ -209,9 +210,13 @@ std::string resolved_cache_dir(const NativeOptions& opts) {
 }
 
 bool native_available(const NativeOptions& opts) {
-  const std::string cmd =
-      resolved_compiler(opts) + " --version >/dev/null 2>&1";
-  return std::system(cmd.c_str()) == 0;
+  // Through the subprocess runner with a short timeout: a wedged
+  // `cc --version` makes the probe report "unavailable" instead of hanging
+  // whoever is constructing a policy.
+  SubprocessOptions sopts;
+  sopts.timeout = opts.probe_timeout;
+  sopts.stderr_cap = 256;
+  return run_subprocess({resolved_compiler(opts), "--version"}, sopts).ok();
 }
 
 std::uint64_t program_fingerprint(const Program& p) noexcept {
@@ -290,7 +295,7 @@ NativeModule::NativeModule(const Program& p, std::string_view engine_label,
           const fs::path tmp_src = dir / (scratch_stem() + ".c");
           const fs::path tmp_so = dir / (scratch_stem() + ".so.tmp");
           write_source(tmp_src, p);
-          compile_source(compiler, flags, tmp_src, tmp_so, metrics);
+          compile_source(compiler, flags, tmp_src, tmp_so, opts, metrics);
           // Atomic install: a concurrent reader either sees the complete old
           // entry or the complete new one, never a half-written object.
           fs::rename(tmp_so, so, ec);
@@ -331,7 +336,7 @@ NativeModule::NativeModule(const Program& p, std::string_view engine_label,
     const fs::path src = tmp / (stem + ".c");
     const fs::path so = tmp / (stem + ".so");
     write_source(src, p);
-    compile_source(compiler, flags, src, so, metrics);
+    compile_source(compiler, flags, src, so, opts, metrics);
     if (opts.keep_source) {
       source_path_ = src.string();
     } else {

@@ -1,14 +1,20 @@
 // Native-code backend (DESIGN.md §5h): emit a compiled Program as C through
-// ir/c_emitter's batch-entry mode, shell out to the system C compiler, and
-// dlopen the resulting shared object — the out-of-process realization of the
-// paper's premise that compiled simulation is just straight-line machine
-// code. The in-process IR executor stays the semantic reference: every
-// NativeModule is differentially tested bit-identical against execute<Word>
-// (tests/native_backend_test.cpp), and every failure in the emit → compile →
-// cache → dlopen → dlsym pipeline surfaces as a structured NativeError so
-// the engine fallback chain can drop to the IR path instead of guessing.
+// ir/c_emitter's batch-entry mode, run the system C compiler in a sandboxed
+// subprocess (resilience/subprocess.h — argv-based fork/exec, no shell,
+// full stderr capture, wall-clock timeout with SIGTERM→SIGKILL escalation),
+// and dlopen the resulting shared object — the out-of-process realization
+// of the paper's premise that compiled simulation is just straight-line
+// machine code. The in-process IR executor stays the semantic reference:
+// every NativeModule is differentially tested bit-identical against
+// execute<Word> (tests/native_backend_test.cpp), and every failure in the
+// emit → compile → cache → dlopen → dlsym pipeline surfaces as a structured
+// NativeError so the engine fallback chain can drop to the IR path instead
+// of guessing — including a hung compiler, which is killed at
+// NativeOptions::compile_timeout and surfaces as a Compile-stage error with
+// timed_out() set.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -38,23 +44,45 @@ enum class NativeStage : std::uint8_t {
 /// DiagCode::NativeFallback instead of a budget downgrade.
 class NativeError : public std::runtime_error {
  public:
-  NativeError(NativeStage stage, std::string detail);
+  NativeError(NativeStage stage, std::string detail, bool timed_out = false);
   [[nodiscard]] NativeStage stage() const noexcept { return stage_; }
+  /// True when the failure was the compile-timeout kill, not a compiler
+  /// verdict — the one NativeError a retry can plausibly cure, so the
+  /// fault classifier (resilience/resilient_run.h) treats it as transient
+  /// while every other NativeError is deterministic.
+  [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
 
  private:
   NativeStage stage_;
+  bool timed_out_;
 };
 
 /// Knobs of the native pipeline. Empty strings defer to the environment
 /// (README "Native backend"): UDSIM_CC, UDSIM_CC_FLAGS, UDSIM_NATIVE_CACHE.
 struct NativeOptions {
-  /// C compiler driver; "" = $UDSIM_CC, else "cc". Interpolated unquoted
-  /// into a shell command line (std::system), like `compile_flags` — both
-  /// are trusted local configuration, never request-derived data.
+  /// C compiler driver; "" = $UDSIM_CC, else "cc". Executed directly
+  /// (fork/exec through PATH, no shell) — like `compile_flags`, trusted
+  /// local configuration, never request-derived data.
   std::string compiler;
   /// Flags before the fixed `-shared -fPIC -o`; "" = $UDSIM_CC_FLAGS, else "-O2".
-  /// Passed through the shell unquoted so multi-flag strings split.
+  /// Split on whitespace into separate arguments (split_command); shell
+  /// metacharacters and quoting are NOT interpreted.
   std::string compile_flags;
+  /// Wall-clock limit for one external-compiler run; on expiry the
+  /// compiler's process group is killed (SIGTERM→SIGKILL) and the build
+  /// fails as a Compile-stage NativeError with timed_out() set, plus a
+  /// `native.compile_timeout` counter. Zero = unlimited. The default is
+  /// sized for hang protection, not pacing: a legitimate -O2 compile of
+  /// the largest ISCAS profile takes ~1 min on a loaded machine, and
+  /// killing a slow-but-live compiler costs a whole engine tier.
+  std::chrono::nanoseconds compile_timeout{std::chrono::seconds(300)};
+  /// Wall-clock limit for the native_available() `--version` probe, so a
+  /// wedged compiler cannot hang policy construction. Zero = unlimited.
+  std::chrono::nanoseconds probe_timeout{std::chrono::seconds(5)};
+  /// Byte cap on the captured compiler stderr carried inside a
+  /// Compile-stage NativeError (the full multi-line message up to the cap,
+  /// not just the first line).
+  std::size_t stderr_cap = 8192;
   /// Compiled-object cache directory; "" = $UDSIM_NATIVE_CACHE, else
   /// <system tmp>/udsim-native-cache.
   std::string cache_dir;
@@ -75,6 +103,9 @@ struct NativeOptions {
 
 /// True when the resolved compiler responds to `--version` — the cheap
 /// availability probe tests use to skip rather than fail on bare machines.
+/// Runs through the sandboxed subprocess runner with
+/// NativeOptions::probe_timeout, so a hung compiler makes this return
+/// false instead of blocking the caller.
 [[nodiscard]] bool native_available(const NativeOptions& opts = {});
 
 /// FNV-1a over every semantically meaningful field of the program (ops

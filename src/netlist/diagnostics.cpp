@@ -30,6 +30,8 @@ std::string_view diag_code_name(DiagCode c) noexcept {
       return "engine-selected";
     case DiagCode::NativeFallback:
       return "native-fallback";
+    case DiagCode::NativeBreakerOpen:
+      return "native-breaker-open";
     case DiagCode::WidthFallback:
       return "width-fallback";
     case DiagCode::ProgramWordSize:

@@ -40,6 +40,7 @@ enum class DiagCode : std::uint8_t {
   BudgetDowngrade,    ///< an engine was rejected because of a CompileBudget
   EngineSelected,     ///< the engine a fallback chain settled on
   NativeFallback,     ///< native pipeline failed; chain dropped to the IR path
+  NativeBreakerOpen,  ///< toolchain circuit breaker open; native skipped untried
   WidthFallback,      ///< requested lane width unavailable; ladder stepped down
   // Program validation (resilience/program_validator.h).
   ProgramWordSize,    ///< word_bits is not a supported executor width

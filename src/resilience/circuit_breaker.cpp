@@ -1,0 +1,138 @@
+#include "resilience/circuit_breaker.h"
+
+namespace udsim {
+
+std::string_view breaker_state_name(BreakerState s) noexcept {
+  switch (s) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::bump(const char* what) const {
+  metric_add(metrics_, "breaker." + cfg_.name + "." + what, 1);
+}
+
+void CircuitBreaker::open_locked(Clock::time_point now) {
+  state_ = BreakerState::Open;
+  probe_in_flight_ = false;
+  retry_at_ = now + cfg_.cooldown;
+  bump("opened");
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard lock(mu_);
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::HalfOpen:
+      // The probe slot is taken; everyone else keeps falling back until the
+      // probe's record_success/record_failure decides.
+      if (probe_in_flight_) {
+        bump("short_circuited");
+        return false;
+      }
+      probe_in_flight_ = true;
+      bump("probes");
+      return true;
+    case BreakerState::Open: {
+      const Clock::time_point now = Clock::now();
+      if (now < retry_at_) {
+        bump("short_circuited");
+        return false;
+      }
+      state_ = BreakerState::HalfOpen;
+      probe_in_flight_ = true;
+      bump("probes");
+      return true;
+    }
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard lock(mu_);
+  bump("successes");
+  failures_ = 0;
+  probe_in_flight_ = false;
+  if (state_ != BreakerState::Closed) {
+    state_ = BreakerState::Closed;
+    bump("closed");
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard lock(mu_);
+  bump("failures");
+  ++failures_;
+  const Clock::time_point now = Clock::now();
+  if (state_ == BreakerState::HalfOpen) {
+    // The probe failed: straight back to Open for another cooldown.
+    open_locked(now);
+    return;
+  }
+  if (state_ == BreakerState::Closed &&
+      cfg_.failure_threshold != 0 && failures_ >= cfg_.failure_threshold) {
+    open_locked(now);
+  }
+}
+
+void CircuitBreaker::record_abandoned() {
+  std::lock_guard lock(mu_);
+  // A half-open breaker goes back to waiting for a probe; the next allow()
+  // grants a fresh one. Closed/Open state and the failure count are
+  // untouched — nothing was learned about the dependency.
+  probe_in_flight_ = false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::consecutive_failures() const {
+  std::lock_guard lock(mu_);
+  return failures_;
+}
+
+std::chrono::nanoseconds CircuitBreaker::cooldown_remaining() const {
+  std::lock_guard lock(mu_);
+  if (state_ != BreakerState::Open) return std::chrono::nanoseconds{0};
+  const Clock::time_point now = Clock::now();
+  return now >= retry_at_ ? std::chrono::nanoseconds{0} : retry_at_ - now;
+}
+
+std::string CircuitBreaker::describe() const {
+  std::lock_guard lock(mu_);
+  std::string s{breaker_state_name(state_)};
+  switch (state_) {
+    case BreakerState::Closed:
+      if (failures_ != 0) {
+        s += " (" + std::to_string(failures_) + " consecutive failures of " +
+             std::to_string(cfg_.failure_threshold) + " to trip)";
+      }
+      break;
+    case BreakerState::Open: {
+      const Clock::time_point now = Clock::now();
+      const auto left = now >= retry_at_ ? std::chrono::nanoseconds{0}
+                                         : retry_at_ - now;
+      s += " (" + std::to_string(failures_) + " consecutive failures; probe in " +
+           std::to_string(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              left)
+                              .count()) +
+           " ms)";
+      break;
+    }
+    case BreakerState::HalfOpen:
+      s += probe_in_flight_ ? " (probe in flight)" : " (awaiting probe)";
+      break;
+  }
+  return s;
+}
+
+}  // namespace udsim

@@ -1,0 +1,100 @@
+// Generic circuit breaker for unreliable dependencies (DESIGN.md §5k).
+//
+// The classic closed → open → half-open trip-wire: consecutive failures of
+// a protected operation (here: the external toolchain behind the native
+// backend) open the breaker, an open breaker short-circuits callers to the
+// fallback path at zero cost instead of re-paying the failure per request,
+// and after a cooldown exactly one probe call is let through — success
+// re-closes the breaker, failure re-opens it for another cooldown. All
+// transitions are mutex-protected cold-path work (the breaker guards an
+// external compiler invocation, not a per-vector loop) and every transition
+// is visible as a `breaker.<name>.*` counter.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace udsim {
+
+enum class BreakerState : std::uint8_t {
+  Closed,   ///< normal operation; failures are being counted
+  Open,     ///< tripping threshold reached; calls short-circuit to fallback
+  HalfOpen, ///< cooldown elapsed; one probe in flight decides the next state
+};
+
+[[nodiscard]] std::string_view breaker_state_name(BreakerState s) noexcept;
+
+struct CircuitBreakerConfig {
+  /// Names the breaker in counters (`breaker.<name>.*`), diagnostics and
+  /// the service health report.
+  std::string name = "breaker";
+  /// Consecutive failures that trip Closed → Open.
+  unsigned failure_threshold = 3;
+  /// Open-state dwell before a half-open probe is allowed through.
+  std::chrono::nanoseconds cooldown{std::chrono::seconds(10)};
+};
+
+/// Thread-safe; one breaker is shared by every worker that touches the
+/// protected dependency. Counters (when `metrics` is non-null):
+/// breaker.<name>.{opened,closed,short_circuited,probes,failures,successes}.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig cfg = {},
+                          MetricsRegistry* metrics = nullptr)
+      : cfg_(std::move(cfg)), metrics_(metrics) {}
+
+  /// Permission to attempt the protected operation. Closed: always granted.
+  /// Open: denied until the cooldown elapses, then exactly one caller is
+  /// granted the half-open probe (everyone else stays denied until the
+  /// probe reports). The caller MUST follow a granted attempt with
+  /// record_success() or record_failure().
+  [[nodiscard]] bool allow();
+
+  /// A granted attempt succeeded: reset the failure count; a half-open
+  /// probe success re-closes the breaker.
+  void record_success();
+
+  /// A granted attempt failed: count it; at `failure_threshold` consecutive
+  /// failures (or on a failed half-open probe) the breaker opens.
+  void record_failure();
+
+  /// A granted attempt ended without a verdict on the dependency (e.g. a
+  /// compile budget rejected the program before the toolchain ran, or the
+  /// request was cancelled mid-build): releases a held half-open probe slot
+  /// without counting success or failure, so the breaker can never be
+  /// wedged by an abandoned probe.
+  void record_abandoned();
+
+  [[nodiscard]] BreakerState state() const;
+  [[nodiscard]] std::uint64_t consecutive_failures() const;
+  /// Time until an open breaker admits its probe; zero unless Open.
+  [[nodiscard]] std::chrono::nanoseconds cooldown_remaining() const;
+  [[nodiscard]] const CircuitBreakerConfig& config() const noexcept {
+    return cfg_;
+  }
+
+  /// One-line status for diagnostics/health: e.g.
+  /// "open (3 consecutive failures; probe in 8123 ms)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void bump(const char* what) const;
+  void open_locked(Clock::time_point now);
+
+  const CircuitBreakerConfig cfg_;
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::Closed;
+  std::uint64_t failures_ = 0;      ///< consecutive, reset on success
+  bool probe_in_flight_ = false;    ///< half-open: the one granted attempt
+  Clock::time_point retry_at_{};    ///< open: when the probe unlocks
+};
+
+}  // namespace udsim

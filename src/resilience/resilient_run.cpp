@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ir/program.h"
+#include "native/native_backend.h"
 #include "netlist/diagnostics.h"
 #include "resilience/program_validator.h"
 
@@ -41,6 +42,34 @@ std::chrono::nanoseconds RetryPolicy::backoff_for(unsigned retry) const noexcept
   const double cap = static_cast<double>(max_backoff.count());
   if (ns > cap) ns = cap;
   return std::chrono::nanoseconds{static_cast<std::int64_t>(ns)};
+}
+
+std::string_view fault_class_name(FaultClass c) noexcept {
+  switch (c) {
+    case FaultClass::Transient:
+      return "transient";
+    case FaultClass::Deterministic:
+      return "deterministic";
+  }
+  return "?";
+}
+
+FaultClass classify_fault(const std::exception& e) noexcept {
+  if (dynamic_cast<const InjectedFault*>(&e) != nullptr) {
+    return FaultClass::Transient;
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return FaultClass::Transient;
+  }
+  if (const auto* ne = dynamic_cast<const NativeError*>(&e)) {
+    // The one toolchain failure a retry can cure is the timeout kill (a
+    // loaded machine, a cold NFS cache); a compiler *verdict* on the same
+    // emitted source reproduces every time.
+    return ne->timed_out() ? FaultClass::Transient : FaultClass::Deterministic;
+  }
+  // ProgramRejected, geometry-mismatched resumes, logic errors, and
+  // anything unrecognized: same inputs, same failure.
+  return FaultClass::Deterministic;
 }
 
 StopReason backoff_sleep(std::chrono::nanoseconds d, const CancelToken* cancel) {

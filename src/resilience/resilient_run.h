@@ -44,6 +44,25 @@ struct RetryPolicy {
 /// reason the sleep ended early, or StopReason::None after a full sleep.
 StopReason backoff_sleep(std::chrono::nanoseconds d, const CancelToken* cancel);
 
+/// Whether retrying a failed run can plausibly change the outcome — the
+/// explicit classification RetryPolicy consumers key on (DESIGN.md §5k).
+/// Deterministic failures (a compiler rejecting the emitted C, a program
+/// failing validation, a geometry-mismatched resume) reproduce on every
+/// attempt, so burning whole-run retries — and their backoff sleeps — on
+/// them only delays the inevitable Failed.
+enum class FaultClass : std::uint8_t {
+  Transient,      ///< injected fault, allocation failure, toolchain timeout
+  Deterministic,  ///< same inputs → same failure; retrying cannot help
+};
+
+[[nodiscard]] std::string_view fault_class_name(FaultClass c) noexcept;
+
+/// Classify by dynamic exception type: InjectedFault, std::bad_alloc and a
+/// timed-out NativeError (the compile-timeout kill) are Transient; every
+/// other NativeError (the compiler's verdict is a function of the emitted
+/// source), ProgramRejected, and anything unrecognized are Deterministic.
+[[nodiscard]] FaultClass classify_fault(const std::exception& e) noexcept;
+
 struct ResilientOptions {
   unsigned num_threads = 0;  ///< worker threads; 0 = all hardware threads
   const CancelToken* cancel = nullptr;

@@ -1,0 +1,210 @@
+#include "resilience/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <stdexcept>
+
+namespace udsim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until `when`, clamped to [0, cap] for poll().
+int ms_until(Clock::time_point when, int cap) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(when - Clock::now())
+          .count();
+  if (left <= 0) return 0;
+  return left > cap ? cap : static_cast<int>(left);
+}
+
+void append_capped(SubprocessResult& r, const char* buf, std::size_t n,
+                   std::size_t cap) {
+  if (r.stderr_output.size() < cap) {
+    const std::size_t room = cap - r.stderr_output.size();
+    r.stderr_output.append(buf, n < room ? n : room);
+    if (n > room) r.stderr_truncated = true;
+  } else if (n > 0) {
+    r.stderr_truncated = true;
+  }
+}
+
+}  // namespace
+
+std::string SubprocessResult::describe() const {
+  if (!launched) {
+    return "could not launch" + (error.empty() ? "" : ": " + error);
+  }
+  if (timed_out) {
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(duration).count();
+    return "timed out after " + std::to_string(ms) + " ms";
+  }
+  if (term_signal != 0) {
+    return "killed by signal " + std::to_string(term_signal);
+  }
+  return "exit code " + std::to_string(exit_code);
+}
+
+std::vector<std::string> split_command(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+SubprocessResult run_subprocess(const std::vector<std::string>& argv,
+                                const SubprocessOptions& opts) {
+  if (argv.empty()) {
+    throw std::invalid_argument("run_subprocess: empty argv");
+  }
+  SubprocessResult r;
+
+  int errpipe[2];
+  if (::pipe(errpipe) != 0) {
+    r.error = std::string("pipe: ") + ::strerror(errno);
+    return r;
+  }
+
+  const Clock::time_point start = Clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    r.error = std::string("fork: ") + ::strerror(errno);
+    ::close(errpipe[0]);
+    ::close(errpipe[1]);
+    return r;
+  }
+
+  if (pid == 0) {
+    // Child. Own process group so the parent's timeout kill reaches every
+    // descendant (a compiler driver forks cc1/as/ld).
+    ::setpgid(0, 0);
+    ::close(errpipe[0]);
+    ::dup2(errpipe[1], STDERR_FILENO);
+    if (errpipe[1] != STDERR_FILENO) ::close(errpipe[1]);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      if (devnull != STDOUT_FILENO) ::close(devnull);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    // Exec failed: report through the captured-stderr channel and use the
+    // shell's conventional 127 so the parent sees a normal exit.
+    const std::string msg =
+        "exec '" + argv[0] + "' failed: " + ::strerror(errno) + "\n";
+    (void)!::write(STDERR_FILENO, msg.data(), msg.size());
+    ::_exit(127);
+  }
+
+  // Parent. Mirror the child's setpgid so the group exists whichever side
+  // runs first (after exec the child-side call can no longer happen).
+  ::setpgid(pid, pid);
+  ::close(errpipe[1]);
+  r.launched = true;
+
+  const bool limited = opts.timeout.count() > 0;
+  const Clock::time_point deadline = start + opts.timeout;
+  Clock::time_point kill_at{};  // set when SIGTERM goes out
+  bool term_sent = false;
+  bool kill_sent = false;
+  bool eof = false;
+  bool reaped = false;
+  int status = 0;
+  char buf[4096];
+
+  while (!reaped) {
+    // Wake at the next escalation edge (or every 50 ms to re-poll waitpid).
+    int wait_ms = 50;
+    if (limited && !term_sent) {
+      wait_ms = ms_until(deadline, wait_ms);
+    } else if (term_sent && !kill_sent) {
+      wait_ms = ms_until(kill_at, wait_ms);
+    }
+
+    if (!eof) {
+      struct pollfd pfd{errpipe[0], POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, wait_ms);
+      if (pr > 0) {
+        const ssize_t n = ::read(errpipe[0], buf, sizeof(buf));
+        if (n > 0) {
+          append_capped(r, buf, static_cast<std::size_t>(n), opts.stderr_cap);
+        } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+          eof = true;
+        }
+      }
+    } else {
+      struct timespec ts{0, wait_ms * 1000000L};
+      ::nanosleep(&ts, nullptr);
+    }
+
+    const pid_t w = ::waitpid(pid, &status, WNOHANG);
+    if (w == pid) {
+      reaped = true;
+      break;
+    }
+    if (w < 0 && errno != EINTR) {
+      // Should not happen (no one else reaps our children); treat as gone.
+      reaped = true;
+      break;
+    }
+
+    const Clock::time_point now = Clock::now();
+    if (limited && !term_sent && now >= deadline) {
+      r.timed_out = true;
+      term_sent = true;
+      kill_at = now + opts.kill_grace;
+      ::kill(-pid, SIGTERM);
+      ::kill(pid, SIGTERM);
+    }
+    if (term_sent && !kill_sent && now >= kill_at) {
+      kill_sent = true;
+      ::kill(-pid, SIGKILL);
+      ::kill(pid, SIGKILL);
+    }
+  }
+
+  // Drain whatever stderr is still buffered in the pipe (the child is gone;
+  // reads cannot block past the buffered bytes + EOF, but an orphaned
+  // grandchild could in principle hold the write end open — poll with a
+  // zero timeout so that never stalls us either).
+  while (!eof) {
+    struct pollfd pfd{errpipe[0], POLLIN, 0};
+    if (::poll(&pfd, 1, 0) <= 0) break;
+    const ssize_t n = ::read(errpipe[0], buf, sizeof(buf));
+    if (n <= 0) break;
+    append_capped(r, buf, static_cast<std::size_t>(n), opts.stderr_cap);
+  }
+  ::close(errpipe[0]);
+
+  r.duration = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      Clock::now() - start);
+  if (WIFEXITED(status)) {
+    r.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    r.term_signal = WTERMSIG(status);
+  }
+  return r;
+}
+
+}  // namespace udsim

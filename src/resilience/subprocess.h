@@ -1,0 +1,70 @@
+// Sandboxed external-command execution for the toolchain boundary
+// (DESIGN.md §5k).
+//
+// The native backend's external C compiler is the library's one dependency
+// that can hang, die, or babble arbitrary bytes, and `std::system` gave it
+// a shell, no deadline, and a single captured stderr line. run_subprocess()
+// replaces that with an argv-based fork/exec (no shell — arguments are
+// passed verbatim, metacharacters are data), full stderr capture through a
+// pipe with a byte cap, and a wall-clock timeout enforced by SIGTERM
+// escalating to SIGKILL on the child's whole process group — so a wedged
+// compiler driver *and* its spawned cc1/ld children die together and can
+// never park a service worker. Every ending is a structured
+// SubprocessResult; nothing about the child's behavior surfaces as a hang
+// or an exception.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace udsim {
+
+struct SubprocessOptions {
+  /// Wall-clock limit from exec to exit; 0 = unlimited. On expiry the
+  /// child's process group gets SIGTERM, then SIGKILL `kill_grace` later —
+  /// a compiler driver that ignores SIGTERM still dies.
+  std::chrono::nanoseconds timeout{0};
+  /// Pause between the SIGTERM and the SIGKILL escalation.
+  std::chrono::nanoseconds kill_grace{std::chrono::milliseconds(100)};
+  /// Captured-stderr byte cap. The pipe is always drained (a chatty child
+  /// never blocks on a full pipe); bytes beyond the cap are discarded and
+  /// `stderr_truncated` is set.
+  std::size_t stderr_cap = 64 * 1024;
+};
+
+/// Everything one child-process run can end as. Exactly one of the exit /
+/// signal / timed-out / not-launched shapes holds; describe() renders it.
+struct SubprocessResult {
+  bool launched = false;     ///< fork+pipe succeeded (exec failure = exit 127)
+  bool timed_out = false;    ///< killed by the timeout escalation
+  int exit_code = -1;        ///< valid when the child exited normally
+  int term_signal = 0;       ///< non-zero when a signal killed the child
+  std::string stderr_output; ///< captured stderr, truncated to the cap
+  bool stderr_truncated = false;
+  std::chrono::nanoseconds duration{0};  ///< exec-to-reap wall clock
+  std::string error;         ///< launch-failure detail when !launched
+
+  /// Clean success: launched, not timed out, exited with status 0.
+  [[nodiscard]] bool ok() const noexcept {
+    return launched && !timed_out && term_signal == 0 && exit_code == 0;
+  }
+  /// One-phrase cause: "exit code 1", "killed by signal 9",
+  /// "timed out after 200 ms", "could not launch: ...".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Run `argv` (argv[0] resolved through PATH) with stdout discarded and
+/// stderr captured. Never throws on child misbehavior — only on an empty
+/// argv (std::invalid_argument). The child runs in its own process group;
+/// timeout enforcement kills the whole group.
+[[nodiscard]] SubprocessResult run_subprocess(
+    const std::vector<std::string>& argv, const SubprocessOptions& opts = {});
+
+/// Split a flag string on whitespace — the no-shell replacement for the
+/// word-splitting `std::system` used to do to UDSIM_CC_FLAGS. Quoting is
+/// not interpreted: each whitespace-separated token is one argument.
+[[nodiscard]] std::vector<std::string> split_command(std::string_view s);
+
+}  // namespace udsim

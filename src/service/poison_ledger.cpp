@@ -1,0 +1,87 @@
+#include "service/poison_ledger.h"
+
+#include <utility>
+
+namespace udsim {
+
+bool PoisonLedger::expire_locked(std::map<std::uint64_t, Entry>::iterator it,
+                                 Clock::time_point now) {
+  if (now < it->second.expires_at) return false;
+  if (it->second.quarantined) --quarantined_;
+  entries_.erase(it);
+  metric_add(metrics_, "service.poison.expired", 1);
+  return true;
+}
+
+void PoisonLedger::evict_over_capacity_locked() {
+  while (cfg_.capacity != 0 && entries_.size() > cfg_.capacity) {
+    auto stalest = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      if (it->second.last_seen < stalest->second.last_seen) stalest = it;
+    }
+    if (stalest->second.quarantined) --quarantined_;
+    entries_.erase(stalest);
+  }
+}
+
+std::optional<std::string> PoisonLedger::check(std::uint64_t fingerprint) {
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return std::nullopt;
+  const Clock::time_point now = Clock::now();
+  if (expire_locked(it, now)) return std::nullopt;
+  if (!it->second.quarantined) return std::nullopt;
+  it->second.last_seen = now;
+  metric_add(metrics_, "service.poison.rejected", 1);
+  return it->second.detail;
+}
+
+bool PoisonLedger::record_failure(std::uint64_t fingerprint,
+                                  std::string_view detail) {
+  std::lock_guard lock(mu_);
+  const Clock::time_point now = Clock::now();
+  auto it = entries_.find(fingerprint);
+  if (it != entries_.end() && expire_locked(it, now)) it = entries_.end();
+  if (it == entries_.end()) {
+    it = entries_.emplace(fingerprint, Entry{}).first;
+  }
+  Entry& e = it->second;
+  ++e.strikes;
+  e.detail = std::string(detail);
+  e.expires_at = now + cfg_.ttl;
+  e.last_seen = now;
+  const bool newly =
+      !e.quarantined && e.strikes >= cfg_.strike_threshold;
+  if (newly) {
+    e.quarantined = true;
+    ++quarantined_;
+    metric_add(metrics_, "service.poison.quarantined", 1);
+  }
+  evict_over_capacity_locked();
+  return newly;
+}
+
+void PoisonLedger::record_success(std::uint64_t fingerprint) {
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) return;
+  if (it->second.quarantined) --quarantined_;
+  entries_.erase(it);
+}
+
+std::size_t PoisonLedger::quarantined() const {
+  std::lock_guard lock(mu_);
+  return quarantined_;
+}
+
+std::size_t PoisonLedger::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+bool PoisonLedger::empty() const {
+  std::lock_guard lock(mu_);
+  return entries_.empty();
+}
+
+}  // namespace udsim

@@ -1,0 +1,98 @@
+// Poison-request quarantine: a fingerprint-keyed negative cache
+// (DESIGN.md §5k).
+//
+// A netlist that fails *deterministically* — the compiler rejects its
+// emitted C, its program fails validation — will fail identically on every
+// resubmission, and each round trip costs a queue slot, a compile attempt
+// and a worker. The ledger remembers deterministic failures per netlist
+// fingerprint; after `strike_threshold` strikes the fingerprint is
+// quarantined and submit() resolves it as a fast structured Rejected
+// without touching the queue. Entries expire after `ttl` (the toolchain may
+// have been fixed) and the ledger is capped at `capacity` tracked
+// fingerprints, evicting the stalest, so a hostile client cannot grow it
+// without bound. A success for a tracked fingerprint clears its record.
+//
+// Counters (when `metrics` is non-null):
+// service.poison.{quarantined,rejected,expired}.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace udsim {
+
+struct PoisonLedgerConfig {
+  /// Deterministic failures before a fingerprint is quarantined.
+  unsigned strike_threshold = 2;
+  /// How long a quarantine (and any partial strike record) lasts.
+  std::chrono::nanoseconds ttl{std::chrono::minutes(5)};
+  /// Tracked fingerprints (strikes + quarantined); stalest evicted beyond.
+  std::size_t capacity = 256;
+};
+
+/// Thread-safe; shared by submit() (the fast-reject probe) and the workers
+/// (strike / clear reporting).
+class PoisonLedger {
+ public:
+  explicit PoisonLedger(PoisonLedgerConfig cfg = {},
+                        MetricsRegistry* metrics = nullptr)
+      : cfg_(cfg), metrics_(metrics) {}
+
+  /// Quarantine probe for submit(). Returns the detail of the recorded
+  /// failure when `fingerprint` is quarantined (bumping
+  /// service.poison.rejected), nullopt otherwise. Expired entries are
+  /// purged on the way (service.poison.expired).
+  [[nodiscard]] std::optional<std::string> check(std::uint64_t fingerprint);
+
+  /// Record one deterministic failure. Returns true when this strike
+  /// crossed the threshold and quarantined the fingerprint
+  /// (service.poison.quarantined).
+  bool record_failure(std::uint64_t fingerprint, std::string_view detail);
+
+  /// The fingerprint completed: drop its strike record, if any.
+  void record_success(std::uint64_t fingerprint);
+
+  /// Currently quarantined fingerprints (expired entries not counted).
+  [[nodiscard]] std::size_t quarantined() const;
+  /// Tracked fingerprints, quarantined or still accumulating strikes.
+  [[nodiscard]] std::size_t size() const;
+  /// True when nothing is tracked — submit()'s zero-cost fast path: no
+  /// fingerprint needs computing while the ledger is empty.
+  [[nodiscard]] bool empty() const;
+
+  [[nodiscard]] const PoisonLedgerConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    unsigned strikes = 0;
+    bool quarantined = false;
+    std::string detail;            ///< last deterministic failure
+    Clock::time_point expires_at;  ///< strike record / quarantine TTL
+    Clock::time_point last_seen;   ///< capacity eviction order
+  };
+
+  /// Drop `it` if past its TTL; returns true when it was erased.
+  bool expire_locked(std::map<std::uint64_t, Entry>::iterator it,
+                     Clock::time_point now);
+  void evict_over_capacity_locked();
+
+  const PoisonLedgerConfig cfg_;
+  MetricsRegistry* metrics_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::size_t quarantined_ = 0;
+};
+
+}  // namespace udsim

@@ -1,12 +1,12 @@
 #include "service/sim_service.h"
 
-#include <new>
 #include <string>
 #include <utility>
 
 #include "core/width_dispatch.h"
 #include "native/native_backend.h"
 #include "netlist/stats.h"
+#include "obs/json.h"
 #include "resilience/program_validator.h"
 
 namespace udsim {
@@ -22,8 +22,22 @@ std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
 
 }  // namespace
 
+std::string_view health_state_name(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::Healthy:
+      return "healthy";
+    case HealthState::Degraded:
+      return "degraded";
+    case HealthState::Unhealthy:
+      return "unhealthy";
+  }
+  return "?";
+}
+
 SimService::SimService(ServiceConfig cfg)
     : cfg_(std::move(cfg)),
+      breaker_(cfg_.native_breaker, &metrics_),
+      poison_(cfg_.poison, &metrics_),
       cache_(cfg_.cache_budget_bytes, &metrics_),
       queue_(cfg_.queue_capacity, &metrics_),
       anonymous_session_(std::make_shared<ServiceSession>(0, "anonymous")) {
@@ -88,7 +102,81 @@ SimService::Stats SimService::stats() const {
     s.active_requests = active_.size();
   }
   s.shed_level = metrics_.counter("service.shed.level").value();
+  s.quarantined = poison_.quarantined();
+  s.breaker = breaker_.state();
   return s;
+}
+
+SimService::HealthReport SimService::health() const {
+  HealthReport r;
+  const auto component = [&](std::string name, HealthState state,
+                             std::string detail) {
+    if (state > r.state) r.state = state;
+    r.components.push_back(
+        {std::move(name), state, std::move(detail)});
+  };
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    component("lifecycle", HealthState::Unhealthy, "shut down");
+  } else {
+    component("lifecycle", HealthState::Healthy, "accepting requests");
+  }
+
+  if (cfg_.enable_native) {
+    const BreakerState bs = breaker_.state();
+    component("toolchain.breaker",
+              bs == BreakerState::Closed ? HealthState::Healthy
+                                         : HealthState::Degraded,
+              "breaker '" + breaker_.config().name + "' " +
+                  breaker_.describe());
+  }
+
+  const std::size_t depth = queue_.depth();
+  const std::size_t cap = queue_.capacity();
+  const double fill =
+      cap == 0 ? 0.0 : static_cast<double>(depth) / static_cast<double>(cap);
+  component("queue",
+            fill >= 0.9   ? HealthState::Unhealthy
+            : fill >= 0.5 ? HealthState::Degraded
+                          : HealthState::Healthy,
+            std::to_string(depth) + "/" + std::to_string(cap) + " queued");
+
+  const std::size_t level = metrics_.counter("service.shed.level").value();
+  const std::size_t deepest =
+      cfg_.shed.levels.empty() ? 0 : cfg_.shed.levels.size() - 1;
+  component("shed",
+            level == 0                        ? HealthState::Healthy
+            : deepest > 0 && level >= deepest ? HealthState::Unhealthy
+                                              : HealthState::Degraded,
+            "level " + std::to_string(level) + " of " +
+                std::to_string(deepest));
+
+  const std::size_t quarantined = poison_.quarantined();
+  component("quarantine",
+            quarantined == 0 ? HealthState::Healthy
+            : cfg_.poison.capacity != 0 && quarantined >= cfg_.poison.capacity
+                ? HealthState::Unhealthy
+                : HealthState::Degraded,
+            std::to_string(quarantined) + " fingerprint(s) quarantined");
+
+  return r;
+}
+
+std::string SimService::health_json() const {
+  const HealthReport r = health();
+  JsonValue doc = JsonValue::make_object();
+  doc.set("state",
+          JsonValue::make_string(health_state_name(r.state)));
+  JsonValue comps = JsonValue::make_array();
+  for (const HealthComponent& c : r.components) {
+    JsonValue jc = JsonValue::make_object();
+    jc.set("name", JsonValue::make_string(c.name));
+    jc.set("state", JsonValue::make_string(health_state_name(c.state)));
+    jc.set("detail", JsonValue::make_string(c.detail));
+    comps.array.push_back(std::move(jc));
+  }
+  doc.set("components", std::move(comps));
+  return doc.dump(2);
 }
 
 bool SimService::cancel(std::uint64_t request_id) {
@@ -157,6 +245,17 @@ ServiceTicket SimService::submit(SessionId session, SimRequest req) {
                       std::to_string(p->req.vectors.size()) +
                       " is not a multiple of the primary-input count " +
                       std::to_string(pis));
+  }
+
+  // Poison quarantine: a netlist that has already failed deterministically
+  // enough times answers from the ledger — no queue slot, no worker, no
+  // recompile. The empty() probe keeps the common case (nothing poisoned)
+  // free of a fingerprint walk.
+  if (!poison_.empty()) {
+    if (std::optional<std::string> why =
+            poison_.check(netlist_fingerprint(*p->req.netlist))) {
+      return refuse(Outcome::Rejected, "poison quarantine: " + *why);
+    }
   }
 
   // Admission control: at least one engine of the configured chain must fit
@@ -269,8 +368,8 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
   }
 
   const Netlist& nl = *p->req.netlist;
-  const ProgramCache::Key key{netlist_fingerprint(nl),
-                              engine_chain_fingerprint(chain),
+  const std::uint64_t nl_fp = netlist_fingerprint(nl);
+  const ProgramCache::Key key{nl_fp, engine_chain_fingerprint(chain),
                               cfg_.word_bits};
 
   if (level.cache_only && !cache_.contains(key)) {
@@ -299,6 +398,10 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
           policy.cancel = &p->token;
           policy.validate = cfg_.validate;
           policy.native = cfg_.native;
+          // One breaker spans every request's native attempt: the toolchain
+          // is a service-wide dependency, and an outage discovered by one
+          // request should short-circuit all of them.
+          policy.native_breaker = cfg_.enable_native ? &breaker_ : nullptr;
           policy.word_bits = cfg_.word_bits;  // resolved at construction
           entry->sim = make_simulator_with_fallback(nl, policy, &entry->diag);
           // The compile-time token belongs to the building request and dies
@@ -332,8 +435,18 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
     resolve(*p, std::move(resp));
     return;
   } catch (const std::exception& e) {
+    const FaultClass fc = classify_fault(e);
+    metrics_
+        .counter(std::string("service.fault.") +
+                 std::string(fault_class_name(fc)))
+        .add(1);
     resp.outcome = Outcome::Failed;
     resp.detail = std::string("compile failed: ") + e.what();
+    // A whole-chain compile failure is a property of the netlist (toolchain
+    // outages fall back inside the chain and never reach here): strike it.
+    if (fc == FaultClass::Deterministic) {
+      poison_.record_failure(nl_fp, resp.detail);
+    }
     resolve(*p, std::move(resp));
     return;
   }
@@ -414,21 +527,29 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
                          : Outcome::Cancelled;
       resp.detail = "stopped at " + c.site();
       break;
-    } catch (const InjectedFault& e) {
-      if (!retry_or_fail(e.what())) break;
-    } catch (const std::bad_alloc&) {
-      if (!retry_or_fail("allocation failure")) break;
-    } catch (const NativeError& e) {
-      if (!retry_or_fail(e.what())) break;
     } catch (const std::exception& e) {
-      // Non-transient (geometry-mismatched resume, rejected program, logic
-      // errors): retrying cannot help.
-      resp.outcome = Outcome::Failed;
-      resp.detail = e.what();
-      break;
+      // Explicit classification (DESIGN.md §5k): only failures a retry can
+      // plausibly cure — injected faults, allocation failures, a timed-out
+      // toolchain — consume whole-run attempts and their backoff sleeps.
+      // Deterministic failures (geometry-mismatched resume, rejected
+      // program, a compiler verdict, logic errors) fail immediately and
+      // earn the netlist a poison-ledger strike.
+      const FaultClass fc = classify_fault(e);
+      metrics_
+          .counter(std::string("service.fault.") +
+                   std::string(fault_class_name(fc)))
+          .add(1);
+      if (fc == FaultClass::Deterministic) {
+        resp.outcome = Outcome::Failed;
+        resp.detail = e.what();
+        poison_.record_failure(nl_fp, resp.detail);
+        break;
+      }
+      if (!retry_or_fail(e.what())) break;
     }
   }
   resp.run_ns = elapsed_ns(run_start, Clock::now());
+  if (resp.outcome == Outcome::Completed) poison_.record_success(nl_fp);
   resolve(*p, std::move(resp));
 }
 

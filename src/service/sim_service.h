@@ -9,7 +9,10 @@
 // queue wait, the compile phase and the batch run), bounded whole-run
 // retry-with-backoff over the shard retry/quarantine machinery, and a
 // load-shed ladder that degrades (drop native, step down the chain, shrink
-// thread shares) before it rejects.
+// thread shares) before it rejects. The self-healing layer (DESIGN.md §5k)
+// rides on top: a circuit breaker over the external toolchain, a
+// poison-request quarantine for deterministically failing netlists, and a
+// health() state machine that names which dependency is limping.
 //
 // The hard contract: every submitted request resolves exactly once, with
 // one Outcome — Completed, Cancelled, DeadlineExpired, Rejected, QueueFull,
@@ -26,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -33,8 +37,10 @@
 #include "core/simulator.h"
 #include "obs/metrics.h"
 #include "resilience/cancel.h"
+#include "resilience/circuit_breaker.h"
 #include "resilience/fault_injection.h"
 #include "resilience/resilient_run.h"
+#include "service/poison_ledger.h"
 #include "service/program_cache.h"
 #include "service/request_queue.h"
 #include "service/service_types.h"
@@ -42,6 +48,13 @@
 #include "service/shed_policy.h"
 
 namespace udsim {
+
+/// Three-state service health, ordered by severity (Degraded and Unhealthy
+/// both still answer health probes; Unhealthy warns that requests are being
+/// — or are about to be — refused).
+enum class HealthState : std::uint8_t { Healthy, Degraded, Unhealthy };
+
+[[nodiscard]] std::string_view health_state_name(HealthState s) noexcept;
 
 struct ServiceConfig {
   /// Request worker threads (each runs one request at a time; the batch
@@ -62,6 +75,15 @@ struct ServiceConfig {
   /// toolchain dependency).
   bool enable_native = false;
   NativeOptions native{};
+  /// Circuit breaker over the external toolchain (DESIGN.md §5k): after
+  /// `failure_threshold` consecutive toolchain failures the native engine
+  /// is skipped untried (structured NativeBreakerOpen diagnostic, IR chain
+  /// serves) until a cooldown probe succeeds. Only engaged with
+  /// `enable_native`.
+  CircuitBreakerConfig native_breaker{.name = "toolchain"};
+  /// Poison-request quarantine: a netlist failing deterministically
+  /// `strike_threshold` times is Rejected at submit() until its TTL lapses.
+  PoisonLedgerConfig poison{};
   /// Default per-request batch worker threads (0 = all hardware threads);
   /// shed levels may cap it, SimRequest::batch_threads overrides it.
   unsigned batch_threads = 2;
@@ -127,8 +149,32 @@ class SimService {
     std::size_t cache_entries = 0;
     std::size_t cache_bytes = 0;
     std::size_t shed_level = 0;  ///< level of the most recent schedule
+    std::size_t quarantined = 0;  ///< poison-ledger quarantine population
+    BreakerState breaker = BreakerState::Closed;  ///< toolchain breaker
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Aggregate health model (DESIGN.md §5k): the worst state over the
+  /// service's components. Healthy = every dependency and resource is
+  /// nominal; Degraded = serving, but on a fallback path or under pressure
+  /// (toolchain breaker open/half-open, queue ≥ 50% full, shed ladder
+  /// engaged, poison quarantine populated); Unhealthy = refusing or about
+  /// to refuse work (queue ≥ 90% full, deepest shed level, shut down).
+  struct HealthComponent {
+    std::string name;
+    HealthState state = HealthState::Healthy;
+    std::string detail;
+  };
+  struct HealthReport {
+    HealthState state = HealthState::Healthy;  ///< max over components
+    std::vector<HealthComponent> components;
+  };
+  [[nodiscard]] HealthReport health() const;
+
+  /// health() as JSON, shape:
+  /// {"state":"degraded","components":[{"name":"toolchain.breaker",
+  ///  "state":"degraded","detail":"open (...)"},...]}.
+  [[nodiscard]] std::string health_json() const;
 
  private:
   struct Pending {
@@ -149,6 +195,8 @@ class SimService {
 
   ServiceConfig cfg_;
   mutable MetricsRegistry metrics_;  // internally thread-safe; const reads
+  CircuitBreaker breaker_;  ///< toolchain; wired only with enable_native
+  PoisonLedger poison_;
   ProgramCache cache_;
   BoundedQueue<std::shared_ptr<Pending>> queue_;
   std::atomic<bool> stopping_{false};

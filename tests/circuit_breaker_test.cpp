@@ -1,0 +1,169 @@
+// The toolchain circuit breaker (DESIGN.md §5k): the closed → open →
+// half-open lifecycle, the single-probe contract, the abandoned-attempt
+// release that keeps a probe slot from wedging, and the transition counters.
+#include "resilience/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace udsim {
+namespace {
+
+using namespace std::chrono_literals;
+
+CircuitBreakerConfig quick(unsigned threshold = 3,
+                           std::chrono::nanoseconds cooldown = 50ms) {
+  CircuitBreakerConfig cfg;
+  cfg.name = "test";
+  cfg.failure_threshold = threshold;
+  cfg.cooldown = cooldown;
+  return cfg;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker b(quick());
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_TRUE(b.allow());
+  EXPECT_EQ(b.cooldown_remaining(), 0ns);
+}
+
+TEST(CircuitBreakerTest, OpensAtTheFailureThreshold) {
+  CircuitBreaker b(quick(3, 10s));
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(b.allow());
+    b.record_failure();
+    EXPECT_EQ(b.state(), BreakerState::Closed) << "tripped early at " << i;
+  }
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_FALSE(b.allow());  // short-circuits during cooldown
+  EXPECT_GT(b.cooldown_remaining(), 0ns);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker b(quick(2, 10s));
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  ASSERT_TRUE(b.allow());
+  b.record_success();
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  // Interleaved success broke the streak: still one failure short.
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.consecutive_failures(), 1u);
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsExactlyOneProbe) {
+  CircuitBreaker b(quick(1, 30ms));
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  ASSERT_EQ(b.state(), BreakerState::Open);
+  std::this_thread::sleep_for(60ms);
+  EXPECT_TRUE(b.allow());   // the half-open probe
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+  EXPECT_FALSE(b.allow());  // everyone else stays short-circuited
+  EXPECT_FALSE(b.allow());
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessRecloses) {
+  CircuitBreaker b(quick(1, 30ms));
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  std::this_thread::sleep_for(60ms);
+  ASSERT_TRUE(b.allow());
+  b.record_success();
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_TRUE(b.allow());
+  EXPECT_EQ(b.consecutive_failures(), 0u);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAnotherCooldown) {
+  CircuitBreaker b(quick(1, 30ms));
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  std::this_thread::sleep_for(60ms);
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_FALSE(b.allow());
+  EXPECT_GT(b.cooldown_remaining(), 0ns);
+}
+
+TEST(CircuitBreakerTest, AbandonedProbeDoesNotWedgeTheBreaker) {
+  CircuitBreaker b(quick(1, 30ms));
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  std::this_thread::sleep_for(60ms);
+  // Probe granted, but the attempt dies before reaching the dependency
+  // (budget rejection, cancellation). Without the release the breaker would
+  // report "probe in flight" forever and never close again.
+  ASSERT_TRUE(b.allow());
+  b.record_abandoned();
+  EXPECT_TRUE(b.allow());  // a fresh probe is granted immediately
+  b.record_success();
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdNeverTrips) {
+  CircuitBreaker b(quick(0, 1ms));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(b.allow());
+    b.record_failure();
+  }
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, TransitionCountersAreExact) {
+  MetricsRegistry m;
+  CircuitBreaker b(quick(2, 30ms), &m);
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  ASSERT_TRUE(b.allow());
+  b.record_failure();  // opens
+  EXPECT_FALSE(b.allow());  // short-circuit
+  std::this_thread::sleep_for(60ms);
+  ASSERT_TRUE(b.allow());  // probe
+  b.record_success();      // closes
+  EXPECT_EQ(m.counter("breaker.test.failures").value(), 2u);
+  EXPECT_EQ(m.counter("breaker.test.opened").value(), 1u);
+  EXPECT_EQ(m.counter("breaker.test.short_circuited").value(), 1u);
+  EXPECT_EQ(m.counter("breaker.test.probes").value(), 1u);
+  EXPECT_EQ(m.counter("breaker.test.successes").value(), 1u);
+  EXPECT_EQ(m.counter("breaker.test.closed").value(), 1u);
+}
+
+TEST(CircuitBreakerTest, DescribeNamesTheState) {
+  CircuitBreaker b(quick(1, 10s));
+  EXPECT_EQ(b.describe(), "closed");
+  ASSERT_TRUE(b.allow());
+  b.record_failure();
+  EXPECT_NE(b.describe().find("open"), std::string::npos);
+  EXPECT_NE(b.describe().find("1 consecutive failure"), std::string::npos);
+}
+
+TEST(CircuitBreakerTest, ConcurrentFailuresNeverDoubleOpen) {
+  // Many threads hammering a closed breaker: it must open exactly once
+  // (TSan also watches this path via the resilience label).
+  MetricsRegistry m;
+  CircuitBreaker b(quick(4, 10s), &m);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&b] {
+      for (int i = 0; i < 16; ++i) {
+        if (b.allow()) b.record_failure();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(m.counter("breaker.test.opened").value(), 1u);
+}
+
+}  // namespace
+}  // namespace udsim

@@ -1,0 +1,380 @@
+// Self-healing execution (DESIGN.md §5k): the hung-toolchain scenario end
+// to end — a fake compiler that sleeps forever is killed at
+// NativeOptions::compile_timeout, the toolchain circuit breaker trips after
+// its threshold and native.builds stops growing, every request still
+// resolves exactly once via the IR chain inside its deadline, and health()
+// reports Degraded naming the breaker — plus the poison-request quarantine
+// and the explicit transient/deterministic retry classification.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/simulator.h"
+#include "gen/iscas_profiles.h"
+#include "native/native_backend.h"
+#include "resilience/checkpoint.h"
+#include "resilience/fault_injection.h"
+#include "resilience/program_validator.h"
+#include "resilience/resilient_run.h"
+#include "service/sim_service.h"
+
+namespace udsim {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+std::string fresh_dir(const std::string& tag) {
+  static int counter = 0;
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) tmp = "/tmp";
+  const fs::path dir =
+      tmp / ("udsim-selfheal-" + std::to_string(::getpid()) + "-" + tag + "-" +
+             std::to_string(counter++));
+  fs::create_directories(dir, ec);
+  return dir.string();
+}
+
+std::string write_fake_cc(const std::string& dir, const std::string& body) {
+  const std::string path = dir + "/fakecc.sh";
+  {
+    std::ofstream f(path);
+    f << "#!/bin/sh\n" << body;
+  }
+  std::error_code ec;
+  fs::permissions(path,
+                  fs::perms::owner_all | fs::perms::group_read |
+                      fs::perms::others_read,
+                  fs::perm_options::replace, ec);
+  return path;
+}
+
+std::vector<Bit> make_stream(const Netlist& nl, std::size_t n,
+                             std::uint64_t seed) {
+  const std::size_t pis = nl.primary_inputs().size();
+  std::vector<Bit> bits(n * pis);
+  std::uint64_t x = seed | 1;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    bits[i] = static_cast<Bit>(x & 1);
+  }
+  return bits;
+}
+
+const HealthState* find_component_state(const SimService::HealthReport& r,
+                                        const std::string& name) {
+  for (const auto& c : r.components) {
+    if (c.name == name) return &c.state;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// The ISSUE 9 acceptance scenario.
+// ---------------------------------------------------------------------------
+
+TEST(SelfHealingTest, HungToolchainKilledBreakerTripsIrServesHealthDegrades) {
+  const std::string dir = fresh_dir("hung");
+  ServiceConfig cfg;
+  cfg.workers = 1;  // serialize builds: breaker transitions are deterministic
+  cfg.enable_native = true;
+  cfg.native.compiler = write_fake_cc(dir, "sleep 30\n");
+  cfg.native.compile_timeout = 200ms;
+  cfg.native.cache_dir = dir + "/cache";
+  cfg.native_breaker.name = "toolchain";
+  cfg.native_breaker.failure_threshold = 2;
+  cfg.native_breaker.cooldown = 60s;  // stays open for the whole test
+  SimService svc(cfg);
+  const SessionId sid = svc.open_session("hung-toolchain");
+
+  // Distinct circuits so each request is a program-cache miss that must
+  // attempt its own native build — the axis native.builds is counted on.
+  constexpr std::size_t kCircuits = 5;
+  for (std::size_t i = 0; i < kCircuits; ++i) {
+    const auto nl =
+        std::make_shared<Netlist>(make_iscas85_like("c432", 100 + i));
+    const std::vector<Bit> stream = make_stream(*nl, 16, 0xabc + i);
+    auto direct = make_simulator_with_fallback(*nl, SimPolicy{}, nullptr);
+    const BatchResult ref = direct->run_batch(stream, 2);
+
+    const auto start = std::chrono::steady_clock::now();
+    SimResponse r = svc.run(
+        sid, SimRequest{.netlist = nl, .vectors = stream, .deadline = 30s});
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+
+    // Exactly-once resolution via the IR chain, inside the deadline, with
+    // rows bit-identical to the direct path — a wedged toolchain costs at
+    // most one compile_timeout, never the request.
+    ASSERT_EQ(r.outcome, Outcome::Completed)
+        << "circuit " << i << ": " << r.detail;
+    EXPECT_NE(r.engine, EngineKind::Native) << "circuit " << i;
+    EXPECT_EQ(r.batch.values, ref.values) << "circuit " << i;
+    EXPECT_LT(elapsed, 30s);
+  }
+
+  const auto snap = svc.metrics().snapshot();
+  // Builds 1 and 2 each hit the 200 ms kill; the breaker opens at the
+  // threshold and the remaining circuits skip native untried — native.builds
+  // stops growing the moment the breaker opens.
+  EXPECT_EQ(snap.at("native.builds"), 2u);
+  EXPECT_EQ(snap.at("native.compile_timeout"), 2u);
+  EXPECT_EQ(snap.at("breaker.toolchain.opened"), 1u);
+  EXPECT_EQ(snap.at("native.breaker_skipped"), kCircuits - 2);
+  EXPECT_EQ(snap.at("breaker.toolchain.short_circuited"), kCircuits - 2);
+  EXPECT_EQ(snap.at("service.outcome.completed"), kCircuits);
+
+  EXPECT_EQ(svc.stats().breaker, BreakerState::Open);
+
+  // Health: Degraded overall, with the breaker component naming the breaker
+  // and its state.
+  const SimService::HealthReport h = svc.health();
+  EXPECT_EQ(h.state, HealthState::Degraded);
+  const HealthState* breaker_state =
+      find_component_state(h, "toolchain.breaker");
+  ASSERT_NE(breaker_state, nullptr) << svc.health_json();
+  EXPECT_EQ(*breaker_state, HealthState::Degraded);
+  const std::string json = svc.health_json();
+  EXPECT_NE(json.find("\"state\": \"degraded\""), std::string::npos) << json;
+  EXPECT_NE(json.find("toolchain.breaker"), std::string::npos) << json;
+  EXPECT_NE(json.find("'toolchain' open"), std::string::npos) << json;
+}
+
+TEST(SelfHealingTest, BreakerProbeReclosesWhenTheToolchainRecovers) {
+  NativeOptions probe;
+  if (!native_available(probe)) GTEST_SKIP() << "no usable C compiler";
+  const std::string dir = fresh_dir("recover");
+  const std::string flag = dir + "/toolchain-fixed";
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.enable_native = true;
+  // Fails fast until the flag file appears, then is the real compiler.
+  cfg.native.compiler = write_fake_cc(
+      dir, "if [ -f \"" + flag + "\" ]; then exec " +
+               resolved_compiler(probe) +
+               " \"$@\"\nfi\necho 'toolchain down' >&2\nexit 1\n");
+  cfg.native.cache_dir = dir + "/cache";
+  cfg.native_breaker.failure_threshold = 1;
+  cfg.native_breaker.cooldown = 50ms;
+  SimService svc(cfg);
+  const SessionId sid = svc.open_session("recovery");
+
+  const auto nl_a = std::make_shared<Netlist>(make_iscas85_like("c432", 7));
+  const std::vector<Bit> stream_a = make_stream(*nl_a, 8, 1);
+  SimResponse r1 = svc.run(sid, SimRequest{.netlist = nl_a, .vectors = stream_a});
+  ASSERT_EQ(r1.outcome, Outcome::Completed) << r1.detail;
+  EXPECT_NE(r1.engine, EngineKind::Native);
+  ASSERT_EQ(svc.stats().breaker, BreakerState::Open);
+
+  // Toolchain comes back; after the cooldown the next miss is the half-open
+  // probe, succeeds, and re-closes the breaker — native service resumes
+  // without a restart.
+  { std::ofstream(flag) << "fixed\n"; }
+  std::this_thread::sleep_for(80ms);
+  const auto nl_b = std::make_shared<Netlist>(make_iscas85_like("c432", 8));
+  const std::vector<Bit> stream_b = make_stream(*nl_b, 8, 2);
+  SimResponse r2 = svc.run(sid, SimRequest{.netlist = nl_b, .vectors = stream_b});
+  ASSERT_EQ(r2.outcome, Outcome::Completed) << r2.detail;
+  EXPECT_EQ(r2.engine, EngineKind::Native);
+  EXPECT_EQ(svc.stats().breaker, BreakerState::Closed);
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.at("breaker.toolchain.probes"), 1u);
+  EXPECT_EQ(snap.at("breaker.toolchain.closed"), 1u);
+  EXPECT_EQ(svc.health().state, HealthState::Healthy);
+}
+
+// ---------------------------------------------------------------------------
+// Poison-request quarantine.
+// ---------------------------------------------------------------------------
+
+TEST(SelfHealingTest, PoisonNetlistIsQuarantinedAfterRepeatedFailures) {
+  const std::string dir = fresh_dir("poison");
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  // A chain of only the native engine with a compiler that always refuses:
+  // every run of this config fails deterministically at compile.
+  cfg.chain = {EngineKind::Native};
+  cfg.native.compiler =
+      write_fake_cc(dir, "echo 'fatal: refused' >&2\nexit 1\n");
+  cfg.native.cache_dir = dir + "/cache";
+  cfg.poison.strike_threshold = 2;
+  cfg.poison.ttl = 60s;
+  SimService svc(cfg);
+  const SessionId sid = svc.open_session("poison");
+
+  const auto poison = std::make_shared<Netlist>(make_iscas85_like("c432", 3));
+  const auto healthy = std::make_shared<Netlist>(make_iscas85_like("c432", 4));
+  const std::vector<Bit> stream = make_stream(*poison, 8, 5);
+
+  // Strikes 1 and 2 pay the full failure; both are Failed, not Rejected.
+  for (int i = 0; i < 2; ++i) {
+    SimResponse r =
+        svc.run(sid, SimRequest{.netlist = poison, .vectors = stream});
+    ASSERT_EQ(r.outcome, Outcome::Failed) << "strike " << i << ": " << r.detail;
+    EXPECT_NE(r.detail.find("compile failed"), std::string::npos) << r.detail;
+  }
+
+  // Strike threshold crossed: the third submission is a fast structured
+  // Rejected from the ledger — no queue slot, no recompile.
+  SimResponse r3 =
+      svc.run(sid, SimRequest{.netlist = poison, .vectors = stream});
+  EXPECT_EQ(r3.outcome, Outcome::Rejected);
+  EXPECT_NE(r3.detail.find("poison quarantine"), std::string::npos)
+      << r3.detail;
+
+  // A different netlist is untouched by the quarantine: it still runs (and
+  // fails on its own merits — this config cannot compile anything).
+  SimResponse rh = svc.run(
+      sid, SimRequest{.netlist = healthy, .vectors = make_stream(*healthy, 8, 6)});
+  EXPECT_EQ(rh.outcome, Outcome::Failed);
+
+  const auto snap = svc.metrics().snapshot();
+  // Only the twice-failed netlist crossed the threshold; the other holds a
+  // single strike.
+  EXPECT_EQ(snap.at("service.poison.quarantined"), 1u);
+  EXPECT_EQ(snap.at("service.poison.rejected"), 1u);
+  EXPECT_GE(svc.stats().quarantined, 1u);
+
+  const SimService::HealthReport h = svc.health();
+  const HealthState* q = find_component_state(h, "quarantine");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(*q, HealthState::Degraded);
+  EXPECT_GE(h.state, HealthState::Degraded);
+}
+
+TEST(SelfHealingTest, QuarantineExpiresAfterItsTtl) {
+  const std::string dir = fresh_dir("ttl");
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.chain = {EngineKind::Native};
+  cfg.native.compiler = write_fake_cc(dir, "exit 1\n");
+  cfg.native.cache_dir = dir + "/cache";
+  cfg.poison.strike_threshold = 1;
+  cfg.poison.ttl = 150ms;
+  SimService svc(cfg);
+  const SessionId sid = svc.open_session("ttl");
+
+  const auto nl = std::make_shared<Netlist>(make_iscas85_like("c432", 9));
+  const std::vector<Bit> stream = make_stream(*nl, 8, 7);
+  ASSERT_EQ(svc.run(sid, SimRequest{.netlist = nl, .vectors = stream}).outcome,
+            Outcome::Failed);
+  EXPECT_EQ(svc.run(sid, SimRequest{.netlist = nl, .vectors = stream}).outcome,
+            Outcome::Rejected);
+
+  // TTL lapses: the fingerprint gets a fresh hearing (and fails again on its
+  // own merits rather than from the ledger).
+  std::this_thread::sleep_for(200ms);
+  EXPECT_EQ(svc.run(sid, SimRequest{.netlist = nl, .vectors = stream}).outcome,
+            Outcome::Failed);
+  EXPECT_GE(svc.metrics().snapshot().at("service.poison.expired"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Explicit retry classification.
+// ---------------------------------------------------------------------------
+
+TEST(FaultClassTest, ClassifierSeparatesTransientFromDeterministic) {
+  EXPECT_EQ(classify_fault(InjectedFault(FaultSite::WorkerThrow, 0, 0, 1)),
+            FaultClass::Transient);
+  const std::bad_alloc oom;
+  EXPECT_EQ(classify_fault(oom), FaultClass::Transient);
+  const NativeError timeout(NativeStage::Compile, "killed at timeout",
+                            /*timed_out=*/true);
+  EXPECT_EQ(classify_fault(timeout), FaultClass::Transient);
+  const NativeError verdict(NativeStage::Compile, "syntax error");
+  EXPECT_EQ(classify_fault(verdict), FaultClass::Deterministic);
+  const ProgramRejected rejected("validator said no");
+  EXPECT_EQ(classify_fault(rejected), FaultClass::Deterministic);
+  const std::runtime_error unknown("anything else");
+  EXPECT_EQ(classify_fault(unknown), FaultClass::Deterministic);
+  EXPECT_EQ(fault_class_name(FaultClass::Transient), "transient");
+  EXPECT_EQ(fault_class_name(FaultClass::Deterministic), "deterministic");
+}
+
+TEST(FaultClassTest, TransientFaultsConsumeRetryAttemptsDeterministicDoNot) {
+  const auto nl = std::make_shared<Netlist>(make_iscas85_like("c432", 11));
+  const std::vector<Bit> stream = make_stream(*nl, 32, 9);
+
+  // Transient: an injected fault firing on every shard attempt escapes the
+  // shard retry/quarantine layer and hits the whole-run loop, which must
+  // spend its full retry budget before conceding — max_retries backoffs,
+  // max_retries + 1 attempts, a "retries exhausted" Failed.
+  {
+    FaultInjector inject(0x7a57);
+    inject.set_rate(FaultSite::WorkerThrow, 10000, /*max_attempt=*/100);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.inject = &inject;
+    cfg.retry.max_retries = 2;
+    cfg.retry.base_backoff = 1ms;
+    SimService svc(cfg);
+    SimResponse r = svc.run(0, SimRequest{.netlist = nl, .vectors = stream});
+    ASSERT_EQ(r.outcome, Outcome::Failed) << r.detail;
+    EXPECT_NE(r.detail.find("retries exhausted"), std::string::npos)
+        << r.detail;
+    EXPECT_EQ(r.attempts, 3u);
+    const auto snap = svc.metrics().snapshot();
+    EXPECT_EQ(snap.at("service.retry.attempts"), 2u);
+    EXPECT_EQ(snap.at("service.fault.transient"), 3u);
+    EXPECT_EQ(snap.count("service.fault.deterministic"), 0u);
+  }
+
+  // Deterministic: a geometry-mismatched resume fails identically on every
+  // attempt — it must fail on attempt 1 with zero retry attempts consumed
+  // (no backoff sleeps burned on a foregone conclusion).
+  {
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.retry.max_retries = 2;
+    SimService svc(cfg);
+    auto bad = std::make_shared<BatchCheckpoint>();
+    bad->word_bits = 32;
+    bad->arena_words = 1;  // wrong shape for this program, deliberately
+    bad->input_words = 1;
+    bad->probe_count = 1;
+    bad->num_vectors = 999;
+    SimResponse r = svc.run(
+        0, SimRequest{.netlist = nl, .vectors = stream, .resume = bad,
+                      .batch_threads = 1});
+    ASSERT_EQ(r.outcome, Outcome::Failed) << r.detail;
+    EXPECT_EQ(r.attempts, 1u);
+    const auto snap = svc.metrics().snapshot();
+    EXPECT_EQ(snap.count("service.retry.attempts"), 0u);
+    EXPECT_GE(snap.at("service.fault.deterministic"), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Health model states.
+// ---------------------------------------------------------------------------
+
+TEST(SelfHealingTest, HealthIsHealthyOnAnIdleServiceAndUnhealthyShutDown) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  SimService svc(cfg);
+  EXPECT_EQ(svc.health().state, HealthState::Healthy);
+  const std::string idle = svc.health_json();
+  EXPECT_NE(idle.find("\"state\": \"healthy\""), std::string::npos) << idle;
+
+  svc.shutdown();
+  const SimService::HealthReport down = svc.health();
+  EXPECT_EQ(down.state, HealthState::Unhealthy);
+  const HealthState* lifecycle = find_component_state(down, "lifecycle");
+  ASSERT_NE(lifecycle, nullptr);
+  EXPECT_EQ(*lifecycle, HealthState::Unhealthy);
+}
+
+}  // namespace
+}  // namespace udsim

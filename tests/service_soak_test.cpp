@@ -14,9 +14,13 @@
 // for the opt-in long profile (more clients, more requests, bigger streams).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -213,6 +217,126 @@ TEST(ServiceSoakTest, ConcurrentClientsFaultsAndCancellations) {
   }
   EXPECT_EQ(final_sum, grand_total);
   EXPECT_EQ(final_snap.at("service.submitted"), grand_total);
+}
+
+// Toolchain-outage phase (ISSUE 9): the same exactly-once contract with
+// native enabled and the external compiler wedged solid. Every build
+// attempt must die at compile_timeout, the breaker must trip and stop the
+// bleeding, every request must still resolve via the IR chain with rows
+// bit-identical to the direct path, and the health model must name the
+// limping dependency while the outage lasts.
+TEST(ServiceSoakTest, ToolchainOutagePhase) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) tmp = "/tmp";
+  const fs::path dir =
+      tmp / ("udsim-soak-outage-" + std::to_string(::getpid()));
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+  const std::string fake_cc = (dir / "hungcc.sh").string();
+  {
+    std::ofstream f(fake_cc);
+    f << "#!/bin/sh\nsleep 30\n";
+  }
+  fs::permissions(fs::path(fake_cc), fs::perms::owner_all,
+                  fs::perm_options::replace, ec);
+
+  // Six distinct circuits: more program-cache misses than the breaker
+  // threshold + worker count, so some builds must be attempted after the
+  // breaker opens — those are the short-circuited ones the test asserts.
+  const char* names[] = {"c432", "c499", "c880"};
+  std::vector<Workload> workloads;
+  for (std::size_t w = 0; w < 6; ++w) {
+    Workload wl;
+    wl.netlist = std::make_shared<Netlist>(
+        make_iscas85_like(names[w % std::size(names)], 1 + w / std::size(names)));
+    wl.streams[32] = make_stream(*wl.netlist, 32, 0xfeed + w);
+    auto sim = make_simulator_with_fallback(*wl.netlist, SimPolicy{}, nullptr);
+    wl.references[32] = sim->run_batch(wl.streams[32], 2);
+    workloads.push_back(std::move(wl));
+  }
+
+  ServiceConfig cfg;
+  cfg.workers = 3;
+  cfg.enable_native = true;
+  cfg.native.compiler = fake_cc;
+  cfg.native.compile_timeout = std::chrono::milliseconds(200);
+  cfg.native.cache_dir = (dir / "cache").string();
+  cfg.native_breaker.failure_threshold = 2;
+  cfg.native_breaker.cooldown = std::chrono::seconds(60);
+  SimService svc(cfg);
+
+  constexpr unsigned kClients = 3;
+  constexpr unsigned kPerClient = 8;
+  struct Submitted {
+    ServiceTicket ticket;
+    std::size_t workload = 0;
+  };
+  std::mutex all_mu;
+  std::vector<Submitted> all;
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const SessionId sid = svc.open_session("outage-" + std::to_string(c));
+      for (unsigned i = 0; i < kPerClient; ++i) {
+        // Round-robin with a per-client offset: every circuit is requested
+        // by every client, deterministically.
+        const std::size_t w = (i + c) % workloads.size();
+        ServiceTicket t =
+            svc.submit(sid, SimRequest{.netlist = workloads[w].netlist,
+                                       .vectors = workloads[w].streams.at(32),
+                                       .deadline = std::chrono::seconds(60)});
+        std::lock_guard lock(all_mu);
+        all.push_back({std::move(t), w});
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const std::uint64_t total = std::uint64_t{kClients} * kPerClient;
+  ASSERT_EQ(all.size(), total);
+  std::uint64_t completed = 0;
+  for (Submitted& s : all) {
+    ASSERT_EQ(s.ticket.result.wait_for(std::chrono::seconds(120)),
+              std::future_status::ready)
+        << "request " << s.ticket.id << " hung during the toolchain outage";
+    const SimResponse r = s.ticket.result.get();
+    ASSERT_EQ(r.outcome, Outcome::Completed) << r.detail;
+    EXPECT_NE(r.engine, EngineKind::Native)
+        << "no native engine can exist while the toolchain hangs";
+    ASSERT_EQ(r.batch.values, workloads[s.workload].references.at(32).values)
+        << "request " << s.ticket.id << " diverged from the direct path";
+    ++completed;
+  }
+  EXPECT_EQ(completed, total);
+
+  const auto snap = svc.metrics().snapshot();
+  EXPECT_EQ(snap.at("service.outcome.completed"), total);
+  EXPECT_GE(snap.at("breaker.toolchain.opened"), 1u);
+  // Every build that ran was killed at the timeout, and the breaker capped
+  // the bleeding: with 3 workers racing the open transition, at most
+  // threshold + workers - 1 builds can start before everyone short-circuits.
+  EXPECT_EQ(snap.at("native.builds"), snap.at("native.compile_timeout"));
+  EXPECT_LE(snap.at("native.builds"),
+            std::uint64_t{cfg.native_breaker.failure_threshold} + cfg.workers -
+                1);
+  EXPECT_GE(snap.at("native.breaker_skipped"), 1u);
+
+  // The outage is visible while it lasts: Degraded, breaker named.
+  const SimService::HealthReport h = svc.health();
+  EXPECT_EQ(h.state, HealthState::Degraded);
+  bool breaker_named = false;
+  for (const auto& c : h.components) {
+    if (c.name == "toolchain.breaker") {
+      breaker_named = c.state == HealthState::Degraded &&
+                      c.detail.find("toolchain") != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(breaker_named) << svc.health_json();
+
+  svc.shutdown();
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// The sandboxed subprocess runner (DESIGN.md §5k): structured results for
+// every way a child can end — clean exit, non-zero exit, signal death,
+// timeout escalation, launch failure — plus the stderr capture contract
+// (full text, byte cap, always drained) and the no-shell argv semantics.
+#include "resilience/subprocess.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace udsim {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+class SubprocessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("udsim_subproc_" +
+            std::to_string(static_cast<unsigned>(::getpid())) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// An executable shell script the runner can exec directly.
+  std::string write_script(const std::string& body) {
+    const fs::path p = dir_ / "script.sh";
+    {
+      std::ofstream out(p);
+      out << "#!/bin/sh\n" << body << "\n";
+    }
+    fs::permissions(p, fs::perms::owner_all, fs::perm_options::add);
+    return p.string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SubprocessTest, CleanExitIsOk) {
+  const SubprocessResult r = run_subprocess({write_script("exit 0")});
+  EXPECT_TRUE(r.launched);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.term_signal, 0);
+}
+
+TEST_F(SubprocessTest, NonZeroExitIsReported) {
+  const SubprocessResult r = run_subprocess({write_script("exit 3")});
+  EXPECT_TRUE(r.launched);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_EQ(r.describe(), "exit code 3");
+}
+
+TEST_F(SubprocessTest, StderrIsCapturedInFull) {
+  const SubprocessResult r = run_subprocess({write_script(
+      "echo line-one >&2\necho line-two >&2\necho line-three >&2\nexit 1")});
+  EXPECT_EQ(r.exit_code, 1);
+  // The std::system-era capture kept only the first line; the runner must
+  // carry the whole transcript.
+  EXPECT_NE(r.stderr_output.find("line-one"), std::string::npos);
+  EXPECT_NE(r.stderr_output.find("line-three"), std::string::npos);
+  EXPECT_FALSE(r.stderr_truncated);
+}
+
+TEST_F(SubprocessTest, StderrByteCapTruncatesButDrains) {
+  // 64 KiB of stderr against a 512-byte cap: the child must still run to
+  // completion (the pipe is drained past the cap, so it never blocks).
+  SubprocessOptions opts;
+  opts.stderr_cap = 512;
+  const SubprocessResult r = run_subprocess(
+      {write_script("i=0\nwhile [ $i -lt 1024 ]; do\n"
+                    "  echo 0123456789012345678901234567890123456789012345678"
+                    "90123456789 >&2\n"
+                    "  i=$((i+1))\ndone\nexit 0")},
+      opts);
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_LE(r.stderr_output.size(), 512u);
+  EXPECT_TRUE(r.stderr_truncated);
+}
+
+TEST_F(SubprocessTest, TimeoutKillsTheChild) {
+  SubprocessOptions opts;
+  opts.timeout = 200ms;
+  opts.kill_grace = 50ms;
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult r =
+      run_subprocess({write_script("sleep 30")}, opts);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(r.launched);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_FALSE(r.ok());
+  // Killed promptly — nowhere near the child's 30 s sleep.
+  EXPECT_LT(elapsed, 5s);
+  EXPECT_NE(r.describe().find("timed out"), std::string::npos);
+}
+
+TEST_F(SubprocessTest, TimeoutEscalatesToSigkillOnSigtermIgnorers) {
+  SubprocessOptions opts;
+  opts.timeout = 200ms;
+  opts.kill_grace = 100ms;
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult r = run_subprocess(
+      {write_script("trap '' TERM\nsleep 30")}, opts);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST_F(SubprocessTest, ProcessGroupKillReapsSpawnedChildren) {
+  // The script backgrounds a grandchild then hangs; killing only the direct
+  // child would leave the grandchild holding the stderr pipe open and the
+  // runner draining forever. Group kill must end the whole family fast.
+  SubprocessOptions opts;
+  opts.timeout = 200ms;
+  opts.kill_grace = 50ms;
+  const auto start = std::chrono::steady_clock::now();
+  const SubprocessResult r = run_subprocess(
+      {write_script("sleep 30 &\nsleep 30")}, opts);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST_F(SubprocessTest, MissingBinaryIsAStructuredFailure) {
+  const SubprocessResult r =
+      run_subprocess({"udsim-definitely-not-a-real-binary"});
+  EXPECT_FALSE(r.ok());
+  // exec failure surfaces as the conventional exit 127 with the reason on
+  // the stderr channel — not an exception, not a hang.
+  EXPECT_TRUE(r.launched);
+  EXPECT_EQ(r.exit_code, 127);
+  EXPECT_NE(r.stderr_output.find("exec"), std::string::npos);
+}
+
+TEST_F(SubprocessTest, EmptyArgvThrows) {
+  EXPECT_THROW((void)run_subprocess({}), std::invalid_argument);
+}
+
+TEST_F(SubprocessTest, ArgumentsAreDataNotShell) {
+  // A metacharacter-laden argument must arrive verbatim: the script prints
+  // its first argument to stderr, and nothing is interpolated or executed.
+  const std::string script = write_script("echo \"arg:$1\" >&2\nexit 0");
+  const fs::path canary = dir_ / "canary";
+  const std::string evil = "; touch " + canary.string() + " #";
+  const SubprocessResult r = run_subprocess({script, evil});
+  EXPECT_TRUE(r.ok()) << r.describe();
+  EXPECT_NE(r.stderr_output.find("arg:" + evil), std::string::npos);
+  EXPECT_FALSE(fs::exists(canary)) << "argument was interpreted by a shell";
+}
+
+TEST(SplitCommandTest, SplitsOnWhitespaceOnly) {
+  const std::vector<std::string> got = split_command("  -O2\t-fPIC \n -g  ");
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "-O2");
+  EXPECT_EQ(got[1], "-fPIC");
+  EXPECT_EQ(got[2], "-g");
+  EXPECT_TRUE(split_command("").empty());
+  EXPECT_TRUE(split_command("   \t ").empty());
+}
+
+}  // namespace
+}  // namespace udsim
