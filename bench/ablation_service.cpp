@@ -11,9 +11,19 @@
 // saturation trades latency for throughput, overload converts the excess
 // into QueueFull/shed rejections while completed work stays bit-exact.
 //
+// A second phase measures the telemetry tax (ISSUE 10): the same saturate
+// load is replayed against one service with the full telemetry stack on
+// (request traces, rolling window, JSONL event log) and one with
+// telemetry.enabled = false, and the JSON reports both per-request costs
+// plus the relative overhead. The numbers are wall-clock on a shared
+// machine, so the optional gate is off by default.
+//
 // Extra options on top of the shared harness flags:
 //   --json PATH   machine-readable results (default ablation_service.json)
+//   --max-telemetry-overhead-pct P   exit non-zero when the measured
+//                 telemetry overhead exceeds P percent (default: report only)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -32,6 +42,15 @@ std::string parse_json_path(int argc, char** argv) {
     if (std::string(argv[i]) == "--json") return argv[i + 1];
   }
   return "ablation_service.json";
+}
+
+double parse_overhead_gate(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--max-telemetry-overhead-pct") {
+      return std::atof(argv[i + 1]);
+    }
+  }
+  return -1.0;  // report only
 }
 
 struct LoadPoint {
@@ -146,6 +165,74 @@ int main(int argc, char** argv) {
               "qfull/shed are structured refusals, never crashes. 'other' "
               "outcomes would indicate a bug and are reported in the JSON.)\n");
 
+  // --- Telemetry overhead: the saturate load point on the first circuit,
+  // telemetry fully on (traces + window + event log) vs fully off, best of
+  // `trials` runs each to damp scheduler noise.
+  struct TelemetryCost {
+    double us_per_req = 0.0;
+    std::uint64_t completed = 0;
+  };
+  const auto measure = [&](bool telemetry_on) {
+    const std::string name = args.circuit_names().front();
+    const auto nl =
+        std::make_shared<Netlist>(make_iscas85_like(name, args.seed));
+    const Workload w(nl->primary_inputs().size(), args.vectors, args.seed + 7);
+    TelemetryCost best;
+    const int trials = std::max(1, args.trials);
+    for (int t = 0; t < trials; ++t) {
+      ServiceConfig cfg;
+      cfg.workers = 2;
+      cfg.queue_capacity = 64;  // roomy: measure work, not refusals
+      cfg.batch_threads = 1;
+      cfg.telemetry.enabled = telemetry_on;
+      if (telemetry_on) {
+        cfg.telemetry.event_log_path = "ablation_service_events.jsonl";
+      }
+      SimService svc(cfg);
+      constexpr unsigned kClients = 4, kPerClient = 8;
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::vector<ServiceTicket>> tickets(kClients);
+      std::vector<std::thread> clients;
+      for (unsigned c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          tickets[c].reserve(kPerClient);
+          for (unsigned i = 0; i < kPerClient; ++i) {
+            tickets[c].push_back(
+                svc.submit(0, SimRequest{.netlist = nl, .vectors = w.bits}));
+          }
+        });
+      }
+      for (std::thread& th : clients) th.join();
+      std::uint64_t completed = 0;
+      for (auto& per_client : tickets) {
+        for (ServiceTicket& tk : per_client) {
+          if (tk.result.get().outcome == Outcome::Completed) ++completed;
+        }
+      }
+      const double us = 1e-3 * static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      svc.shutdown();
+      const double per_req =
+          completed == 0 ? 0.0 : us / static_cast<double>(completed);
+      if (t == 0 || (per_req != 0.0 && per_req < best.us_per_req)) {
+        best = {per_req, completed};
+      }
+    }
+    return best;
+  };
+  const TelemetryCost on = measure(true);
+  const TelemetryCost off = measure(false);
+  const double overhead_pct =
+      off.us_per_req <= 0.0
+          ? 0.0
+          : 100.0 * (on.us_per_req - off.us_per_req) / off.us_per_req;
+  std::printf("\ntelemetry overhead (saturate, %s): on %.1f us/req, off %.1f "
+              "us/req, overhead %+.2f%%\n",
+              args.circuit_names().front().c_str(), on.us_per_req,
+              off.us_per_req, overhead_pct);
+
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
                  "{\n  \"bench\": \"ablation_service\",\n"
@@ -166,11 +253,25 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(r.other), r.p50_us,
                    r.p95_us, r.p99_us, i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f,
+                 "  ],\n  \"telemetry\": {\"on_us_per_req\": %.3f, "
+                 "\"off_us_per_req\": %.3f, \"overhead_pct\": %.3f, "
+                 "\"completed_on\": %llu, \"completed_off\": %llu}\n}\n",
+                 on.us_per_req, off.us_per_req, overhead_pct,
+                 static_cast<unsigned long long>(on.completed),
+                 static_cast<unsigned long long>(off.completed));
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   } else {
     std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  const double gate = parse_overhead_gate(argc, argv);
+  if (gate >= 0.0 && overhead_pct > gate) {
+    std::fprintf(stderr,
+                 "telemetry overhead %.2f%% exceeds the %.2f%% gate\n",
+                 overhead_pct, gate);
     return 1;
   }
 

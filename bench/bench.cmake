@@ -25,6 +25,7 @@ udsim_bench(ablation_observability)
 udsim_bench(ablation_resilience)
 udsim_bench(ablation_service)
 udsim_bench(ablation_breaker)
+udsim_bench(telemetry_smoke)
 
 udsim_bench(bench_report)
 # bench_report resolves circuit names through examples/common.h, which
@@ -60,6 +61,12 @@ set_tests_properties(bench_service_smoke PROPERTIES LABELS "service")
 # breaker does not cap the toolchain tax at its threshold.
 add_test(NAME bench_breaker_smoke COMMAND ablation_breaker --vectors 32 --circuits c432 --json ablation_breaker_smoke.json)
 set_tests_properties(bench_breaker_smoke PROPERTIES LABELS "service")
+# Telemetry scrape gate (ISSUE 10): status_json must parse with every
+# section present and the exactly-once invariant visible over the wire, the
+# Prometheus exposition must pass the line-grammar validator, and the JSONL
+# event log must account for every resolution.
+add_test(NAME bench_telemetry_smoke COMMAND telemetry_smoke --vectors 48 --circuits c432)
+set_tests_properties(bench_telemetry_smoke PROPERTIES LABELS "service;telemetry")
 
 # The report-label gate (ISSUE 5): bench_report must produce a valid report
 # and --check must fail on injected counter drift. The drift test writes a

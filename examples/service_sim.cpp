@@ -3,7 +3,11 @@
 // the shared compiled-program cache, watch a deadline expire and a
 // cancellation land as structured outcomes, and read the per-session report.
 //
-//   service_sim [circuit] [vectors] [requests]    (defaults: c880 64 4)
+//   service_sim [circuit] [vectors] [requests] [--status] [--prometheus]
+//                                               (defaults: c880 64 4)
+//
+//   --status      print the live status_json() document after the traffic
+//   --prometheus  print the Prometheus text exposition after the traffic
 //
 // Everything a request can do is visible in its SimResponse: the outcome,
 // the engine that served it, whether the program came from the cache, how
@@ -19,14 +23,29 @@
 #include <vector>
 
 #include "common.h"
+#include "obs/exporter.h"
 #include "service/sim_service.h"
 
 int main(int argc, char** argv) {
   using namespace udsim;
-  const std::string circuit = argc > 1 ? argv[1] : "c880";
+  bool show_status = false;
+  bool show_prometheus = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--status") {
+      show_status = true;
+    } else if (a == "--prometheus") {
+      show_prometheus = true;
+    } else {
+      pos.push_back(a);
+    }
+  }
+  const std::string circuit = !pos.empty() ? pos[0] : "c880";
   const std::size_t vectors =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
-  const unsigned requests = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+      pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 64;
+  const unsigned requests =
+      pos.size() > 2 ? static_cast<unsigned>(std::atoi(pos[2].c_str())) : 4;
 
   const auto nl =
       std::make_shared<Netlist>(examples::load_circuit(circuit));
@@ -114,6 +133,23 @@ int main(int argc, char** argv) {
               std::string(health_state_name(health.state)).c_str(),
               svc.health_json().c_str());
   if (health.state != HealthState::Healthy) return 1;
+
+  // 7. Live telemetry (DESIGN.md §5l): the status document and Prometheus
+  // exposition compose everything above — stats, health, exactly-once
+  // outcome counters, the rolling window with latency percentiles and the
+  // SLO view — for a scrape loop or dashboard.
+  if (show_status) {
+    std::printf("status:\n%s\n", svc.status_json().c_str());
+  }
+  if (show_prometheus) {
+    const std::string text = svc.prometheus_text();
+    std::string why;
+    if (!validate_prometheus_text(text, &why)) {
+      std::fprintf(stderr, "malformed exposition: %s\n", why.c_str());
+      return 1;
+    }
+    std::printf("prometheus:\n%s", text.c_str());
+  }
 
   svc.shutdown();
   std::printf("ok\n");

@@ -8,6 +8,7 @@
 
 #include "core/width_dispatch.h"
 #include "netlist/diagnostics.h"
+#include "obs/request_trace.h"
 
 namespace udsim {
 
@@ -86,6 +87,10 @@ void BatchRunner::run_shard(std::span<const std::uint64_t> inputs,
   FaultInjector* const inj = options_.inject;
   const std::uint64_t t0 = reg ? shard_now_ns() : 0;
   const std::size_t start = slot.next;
+  // Pool threads re-enter the request's trace scope from the explicitly
+  // threaded id, so the shard's span — opened next — tags itself with the
+  // "request" arg like the submitter-thread spans do.
+  RequestTraceScope trace_scope(options_.trace_id);
   // The span owns the batch.shard.ns / batch.shard.calls counters and the
   // trace event; it closes after account() runs, covering the whole shard.
   TraceSpan span(reg, "batch.shard");

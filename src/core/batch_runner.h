@@ -67,6 +67,12 @@ struct BatchOptions {
   unsigned retry_limit = 2;
   /// Retry / quarantine / cancel events as structured records.
   Diagnostics* diag = nullptr;
+  /// Request-trace id of the service request this batch serves (0 = none).
+  /// Shards run on pool threads, which cannot see the submitter's
+  /// thread-local RequestTraceScope — this is the explicitly-threaded hop:
+  /// each shard re-enters the scope so its batch.shard span (and anything
+  /// beneath it) carries the "request" arg in the trace export.
+  std::uint64_t trace_id = 0;
 };
 
 /// How a resilient run ended.

@@ -1,0 +1,82 @@
+#include "obs/event_log.h"
+
+#include <utility>
+#include <vector>
+
+namespace udsim {
+
+JsonlEventLog::JsonlEventLog(EventLogConfig cfg, MetricsRegistry* metrics)
+    : cfg_(std::move(cfg)), metrics_(metrics) {
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  if (!cfg_.path.empty()) file_ = std::fopen(cfg_.path.c_str(), "a");
+  if (file_ != nullptr) {
+    writer_ = std::thread([this] { writer_loop(); });
+  }
+}
+
+JsonlEventLog::~JsonlEventLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+bool JsonlEventLog::append(std::string line) {
+  if (file_ != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && queue_.size() < cfg_.capacity) {
+      queue_.push_back(std::move(line));
+      work_cv_.notify_one();
+      return true;
+    }
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  metric_add(metrics_, "events.dropped", 1);
+  return false;
+}
+
+void JsonlEventLog::flush() {
+  if (file_ == nullptr) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] {
+      return (queue_.empty() && writer_idle_) || stopping_;
+    });
+  }
+  std::fflush(file_);
+}
+
+void JsonlEventLog::writer_loop() {
+  std::vector<std::string> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      writer_idle_ = true;
+      drain_cv_.notify_all();
+      work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty() && stopping_) return;
+      // Take the whole backlog in one swap so the producers' lock hold time
+      // stays independent of I/O latency.
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      writer_idle_ = false;
+    }
+    for (std::string& line : batch) {
+      line.push_back('\n');
+      std::fputs(line.c_str(), file_);
+      written_.fetch_add(1, std::memory_order_relaxed);
+      metric_add(metrics_, "events.written", 1);
+    }
+    std::fflush(file_);
+    batch.clear();
+  }
+}
+
+}  // namespace udsim

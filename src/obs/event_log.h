@@ -1,0 +1,84 @@
+// Bounded structured JSONL event log (DESIGN.md §5l).
+//
+// One line of JSON per event (for the service: per request *resolution*),
+// appended to a file by a dedicated writer thread behind a bounded queue.
+// The producer side is a mutex-guarded push that never blocks on I/O: when
+// the writer cannot keep up and the queue is full, the line is dropped and
+// *counted* — the log is self-describing about its own losses, so
+// "every resolution appears exactly once in the log or in the drop counter"
+// is a checkable invariant (the soak test holds it).
+//
+// The sink is deliberately dumb: it takes pre-rendered lines (the caller
+// owns the schema; SimService renders via the obs/json DOM so every line
+// round-trips through the hardened parser) and guarantees only atomicity
+// per line (single writer thread, one fputs per line + newline) and
+// eventual durability (flush() drains and fflushes; the destructor drains).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace udsim {
+
+struct EventLogConfig {
+  std::string path;            ///< file appended to; must be non-empty
+  std::size_t capacity = 1024; ///< queued lines before append() drops
+};
+
+class JsonlEventLog {
+ public:
+  /// Opens `cfg.path` for append. When `metrics` is non-null, written and
+  /// dropped lines bump events.written / events.dropped. A path that cannot
+  /// be opened leaves ok() false; append() then drops (and counts) every
+  /// line instead of crashing the service over its telemetry.
+  explicit JsonlEventLog(EventLogConfig cfg, MetricsRegistry* metrics = nullptr);
+  /// Drains the queue, flushes and closes the file, joins the writer.
+  ~JsonlEventLog();
+  JsonlEventLog(const JsonlEventLog&) = delete;
+  JsonlEventLog& operator=(const JsonlEventLog&) = delete;
+
+  /// Enqueue one event line (without trailing newline; the writer adds it).
+  /// Returns false — and bumps the drop counter — when the queue is at
+  /// capacity or the sink is unusable. Never blocks on I/O.
+  bool append(std::string line);
+
+  /// Block until every line enqueued before the call is written and
+  /// fflush()ed. Safe from any thread.
+  void flush();
+
+  [[nodiscard]] std::uint64_t written() const noexcept {
+    return written_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const noexcept { return cfg_.path; }
+
+ private:
+  void writer_loop();
+
+  EventLogConfig cfg_;
+  MetricsRegistry* metrics_;
+  std::FILE* file_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< producer → writer
+  std::condition_variable drain_cv_;  ///< writer → flush()ers
+  std::deque<std::string> queue_;
+  bool stopping_ = false;
+  bool writer_idle_ = true;
+
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::thread writer_;
+};
+
+}  // namespace udsim

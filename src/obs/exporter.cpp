@@ -1,0 +1,261 @@
+#include "obs/exporter.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace udsim {
+
+namespace {
+
+[[nodiscard]] bool name_start_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+[[nodiscard]] bool name_char(char c) noexcept {
+  return name_start_char(c) || (c >= '0' && c <= '9');
+}
+
+void append_label_value(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const PrometheusWriter::Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_label_value(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  if (out.empty() && (name.empty() || !name_start_char(name.front()))) {
+    out += '_';
+  }
+  for (const char c : name) out += name_char(c) ? c : '_';
+  return out;
+}
+
+void PrometheusWriter::type(std::string_view name, std::string_view type,
+                            std::string_view help) {
+  if (!help.empty()) {
+    out_ += "# HELP ";
+    out_ += name;
+    out_ += ' ';
+    for (const char c : help) out_ += c == '\n' ? ' ' : c;
+    out_ += '\n';
+  }
+  out_ += "# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PrometheusWriter::sample(std::string_view name, std::uint64_t value,
+                              const Labels& labels) {
+  out_ += name;
+  append_labels(out_, labels);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", value);
+  out_ += buf;
+}
+
+void PrometheusWriter::sample(std::string_view name, double value,
+                              const Labels& labels) {
+  out_ += name;
+  append_labels(out_, labels);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, " %.9g\n", value);
+  out_ += buf;
+}
+
+void PrometheusWriter::histogram(std::string_view name,
+                                 const HistogramSnapshot& h,
+                                 std::string_view help) {
+  type(name, "histogram", help);
+  const std::string bucket_name = std::string(name) + "_bucket";
+  std::uint64_t cumulative = 0;
+  char le[32];
+  for (const auto& [floor, n] : h.buckets) {
+    cumulative += n;
+    // Inclusive upper edge of the log2 bucket [floor, 2·floor).
+    std::snprintf(le, sizeof le, "%" PRIu64,
+                  floor == 0 ? std::uint64_t{0} : floor * 2 - 1);
+    sample(bucket_name, cumulative, {{"le", le}});
+  }
+  sample(bucket_name, h.count, {{"le", "+Inf"}});
+  sample(std::string(name) + "_sum", h.sum);
+  sample(std::string(name) + "_count", h.count);
+}
+
+std::string render_prometheus(const MetricsRegistry& reg,
+                              std::string_view prefix) {
+  PrometheusWriter w;
+  for (const auto& [name, value] : reg.snapshot()) {
+    const std::string pname = prometheus_name(name, prefix);
+    w.type(pname, "untyped");
+    w.sample(pname, value);
+  }
+  for (const auto& [name, h] : reg.snapshot_histograms()) {
+    w.histogram(prometheus_name(name, prefix), h);
+  }
+  return w.take();
+}
+
+namespace {
+
+[[nodiscard]] bool valid_metric_name(std::string_view s) noexcept {
+  if (s.empty() || !name_start_char(s.front())) return false;
+  for (const char c : s) {
+    if (!name_char(c)) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool valid_value(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  if (s == "+Inf" || s == "-Inf" || s == "NaN") return true;
+  char* end = nullptr;
+  const std::string copy(s);
+  (void)std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Validate one sample line: name[{labels}] value [timestamp].
+[[nodiscard]] bool valid_sample_line(std::string_view line,
+                                     std::string* reason) {
+  std::size_t i = 0;
+  while (i < line.size() && name_char(line[i])) ++i;
+  if (i == 0 || !valid_metric_name(line.substr(0, i))) {
+    if (reason) *reason = "bad metric name";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    bool in_quotes = false;
+    bool closed = false;
+    for (++i; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_quotes) {
+        if (c == '\\') {
+          ++i;  // escaped char inside a label value
+        } else if (c == '"') {
+          in_quotes = false;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == '}') {
+        closed = true;
+        ++i;
+        break;
+      }
+    }
+    if (!closed || in_quotes) {
+      if (reason) *reason = "unterminated label set";
+      return false;
+    }
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    if (reason) *reason = "missing value separator";
+    return false;
+  }
+  ++i;
+  const std::size_t value_end = line.find(' ', i);
+  const std::string_view value = line.substr(
+      i, value_end == std::string_view::npos ? line.size() - i
+                                             : value_end - i);
+  if (!valid_value(value)) {
+    if (reason) *reason = "unparseable value";
+    return false;
+  }
+  if (value_end != std::string_view::npos) {
+    // Optional timestamp: must be an integer.
+    const std::string_view ts = line.substr(value_end + 1);
+    if (ts.empty()) {
+      if (reason) *reason = "trailing space without timestamp";
+      return false;
+    }
+    for (std::size_t k = 0; k < ts.size(); ++k) {
+      if (!(std::isdigit(static_cast<unsigned char>(ts[k])) ||
+            (k == 0 && (ts[k] == '-' || ts[k] == '+')))) {
+        if (reason) *reason = "bad timestamp";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_prometheus_text(std::string_view text, std::string* error) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  const auto fail = [&](std::string_view line, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why + ": " +
+               std::string(line);
+    }
+    return false;
+  };
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      // Comment: "# TYPE name kind" and "# HELP name text" are checked,
+      // other comments pass.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos ||
+            !valid_metric_name(rest.substr(0, sp))) {
+          return fail(line, "malformed TYPE comment");
+        }
+        const std::string_view kind = rest.substr(sp + 1);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          return fail(line, "unknown metric type");
+        }
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        const std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (!valid_metric_name(
+                rest.substr(0, sp == std::string_view::npos ? rest.size() : sp))) {
+          return fail(line, "malformed HELP comment");
+        }
+      }
+      continue;
+    }
+    std::string reason;
+    if (!valid_sample_line(line, &reason)) return fail(line, reason);
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+}  // namespace udsim

@@ -1,0 +1,76 @@
+// Prometheus text exposition of the observability layer (DESIGN.md §5l).
+//
+// PrometheusWriter builds text in the Prometheus exposition format
+// (version 0.0.4: `# TYPE` headers, `name{label="v"} value` samples,
+// log2 histograms as cumulative `_bucket{le=...}` series). Metric names are
+// sanitized from the registry's dotted names ("service.outcome.completed" →
+// "udsim_service_outcome_completed"); registry counters export as untyped
+// samples (the registry does not distinguish monotonic counters from
+// gauges), registry histograms as real histogram families. The composed
+// service exposition (SimService::prometheus_text) layers typed gauges for
+// queue/breaker/shed/quarantine/health and the rolling-window SLO view on
+// top.
+//
+// validate_prometheus_text() is the scrape-side self-check: a line-grammar
+// validator the telemetry smoke test (bench/telemetry_smoke) runs against
+// every exposition the service renders, so a malformed metric name or an
+// unparseable value fails CI instead of a scrape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace udsim {
+
+/// Sanitize a dotted metric name into the Prometheus alphabet
+/// [a-zA-Z_:][a-zA-Z0-9_:]* — every invalid byte becomes '_', a leading
+/// digit gains a '_' prefix. `prefix` is prepended verbatim.
+[[nodiscard]] std::string prometheus_name(std::string_view name,
+                                          std::string_view prefix = "udsim_");
+
+/// Incremental exposition builder. Families must be opened (via type())
+/// before their samples; the writer does not reorder.
+class PrometheusWriter {
+ public:
+  /// Emit `# HELP` (when non-empty) and `# TYPE` for a family. `type` is
+  /// one of counter|gauge|histogram|untyped.
+  void type(std::string_view name, std::string_view type,
+            std::string_view help = {});
+
+  using Labels = std::vector<std::pair<std::string_view, std::string_view>>;
+  void sample(std::string_view name, std::uint64_t value,
+              const Labels& labels = {});
+  void sample(std::string_view name, double value, const Labels& labels = {});
+
+  /// One histogram family from a snapshot: cumulative `_bucket{le="..."}`
+  /// series (inclusive upper edges of the log2 buckets, closed by
+  /// le="+Inf"), plus `_sum` and `_count`. Emits its own TYPE header.
+  void histogram(std::string_view name, const HistogramSnapshot& h,
+                 std::string_view help = {});
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Render every counter (untyped samples) and histogram (histogram
+/// families) of `reg` with sanitized names under `prefix`.
+[[nodiscard]] std::string render_prometheus(const MetricsRegistry& reg,
+                                            std::string_view prefix = "udsim_");
+
+/// Validate exposition-format text line by line: every non-comment line
+/// must be `name{labels} value [timestamp]` with a legal metric name,
+/// balanced quoted labels and a parseable value; `# TYPE`/`# HELP` comments
+/// must be well-formed. Returns true when clean; otherwise false with the
+/// first offending line and reason in `*error` (when non-null).
+[[nodiscard]] bool validate_prometheus_text(std::string_view text,
+                                            std::string* error = nullptr);
+
+}  // namespace udsim

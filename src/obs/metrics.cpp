@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "harness/table.h"
+#include "obs/request_trace.h"
 
 namespace udsim {
 
@@ -150,9 +151,23 @@ std::vector<TraceEvent> MetricsRegistry::trace_events() const {
   return trace_;
 }
 
+std::size_t MetricsRegistry::trace_size() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_.size();
+}
+
 std::string MetricsRegistry::trace_to_json() const {
   const auto events = trace_events();
-  std::string json = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(std::string_view("trace.dropped"));
+    if (it != counters_.end()) dropped = it->second->value();
+  }
+  std::string json = "{\"displayTimeUnit\": \"ns\", \"metadata\": {";
+  json += "\"trace.events\": " + std::to_string(events.size());
+  json += ", \"trace.dropped\": " + std::to_string(dropped);
+  json += "}, \"traceEvents\": [";
   bool first = true;
   char buf[64];
   for (const TraceEvent& e : events) {
@@ -219,6 +234,11 @@ TraceSpan::TraceSpan(MetricsRegistry* reg, std::string_view name) : reg_(reg) {
   name_ = name;
   tid_ = trace_thread_id();
   start_ns_ = now_ns();
+  // Spans opened inside a RequestTraceScope tag themselves with the request
+  // id, cross-linking the thread lanes with the per-request lanes.
+  if (const RequestTraceId req = current_request_trace_id(); req != 0) {
+    args_.emplace_back("request", req);
+  }
 }
 
 TraceSpan::~TraceSpan() {

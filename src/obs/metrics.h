@@ -188,6 +188,9 @@ class MetricsRegistry {
   /// Copy of the buffered trace, in completion order.
   [[nodiscard]] std::vector<TraceEvent> trace_events() const;
 
+  /// Buffered trace-event count without copying the buffer.
+  [[nodiscard]] std::size_t trace_size() const;
+
   /// Chrome Trace Event Format JSON ("X" complete events, µs timestamps) —
   /// load the string in Perfetto (ui.perfetto.dev) or chrome://tracing.
   [[nodiscard]] std::string trace_to_json() const;

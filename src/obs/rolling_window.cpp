@@ -1,0 +1,173 @@
+#include "obs/rolling_window.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace udsim {
+
+RollingWindow::RollingWindow(RollingWindowConfig cfg, std::size_t slots)
+    : cfg_(cfg), slot_count_(slots) {
+  if (slots == 0) {
+    throw std::invalid_argument("RollingWindow: slot count must be non-zero");
+  }
+  if (cfg_.buckets == 0 || cfg_.interval_ns == 0) {
+    throw std::invalid_argument(
+        "RollingWindow: interval and bucket count must be non-zero");
+  }
+  ring_ = std::vector<Bucket>(cfg_.buckets);
+  for (Bucket& b : ring_) {
+    b.slot_counts =
+        std::make_unique<std::atomic<std::uint64_t>[]>(slot_count_);
+    for (std::size_t s = 0; s < slot_count_; ++s) {
+      b.slot_counts[s].store(0, std::memory_order_relaxed);
+    }
+  }
+  totals_ = std::make_unique<std::atomic<std::uint64_t>[]>(slot_count_);
+  for (std::size_t s = 0; s < slot_count_; ++s) {
+    totals_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+void RollingWindow::rotate(Bucket& b, std::uint64_t epoch) noexcept {
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  if (b.epoch.load(std::memory_order_relaxed) == epoch) return;
+  for (std::size_t s = 0; s < slot_count_; ++s) {
+    b.slot_counts[s].store(0, std::memory_order_relaxed);
+  }
+  for (auto& lb : b.lat) lb.store(0, std::memory_order_relaxed);
+  b.lat_count.store(0, std::memory_order_relaxed);
+  b.lat_sum.store(0, std::memory_order_relaxed);
+  b.lat_max.store(0, std::memory_order_relaxed);
+  b.epoch.store(epoch, std::memory_order_release);
+}
+
+void RollingWindow::record(std::size_t slot, std::uint64_t latency_us,
+                           std::uint64_t now_ns) noexcept {
+  if (slot >= slot_count_) slot = slot_count_ - 1;
+  // Cumulative totals first: exact under every interleaving with rotation
+  // (the invariant layer — windowed attribution below is best-effort at
+  // interval edges, these never are).
+  totals_[slot].fetch_add(1, std::memory_order_relaxed);
+  total_count_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::uint64_t epoch = now_ns / cfg_.interval_ns;
+  Bucket& b = ring_[epoch % ring_.size()];
+  if (b.epoch.load(std::memory_order_acquire) != epoch) rotate(b, epoch);
+  b.slot_counts[slot].fetch_add(1, std::memory_order_relaxed);
+  b.lat[static_cast<std::size_t>(MetricHistogram::bucket_index(latency_us))]
+      .fetch_add(1, std::memory_order_relaxed);
+  b.lat_count.fetch_add(1, std::memory_order_relaxed);
+  b.lat_sum.fetch_add(latency_us, std::memory_order_relaxed);
+  std::uint64_t cur = b.lat_max.load(std::memory_order_relaxed);
+  while (latency_us > cur && !b.lat_max.compare_exchange_weak(
+                                 cur, latency_us, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> RollingWindow::totals() const {
+  std::vector<std::uint64_t> out(slot_count_);
+  for (std::size_t s = 0; s < slot_count_; ++s) {
+    out[s] = totals_[s].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t RollingWindow::total_count() const noexcept {
+  return total_count_.load(std::memory_order_relaxed);
+}
+
+RollingWindow::Snapshot RollingWindow::snapshot(std::uint64_t now_ns) const {
+  Snapshot snap;
+  snap.now_ns = now_ns;
+  snap.interval_ns = cfg_.interval_ns;
+  snap.span_ns = cfg_.interval_ns * ring_.size();
+  snap.slot_counts.assign(slot_count_, 0);
+  snap.slot_totals = totals();
+
+  const std::uint64_t now_epoch = now_ns / cfg_.interval_ns;
+  // The window covers epochs (now_epoch - buckets, now_epoch]; anything
+  // older has expired (its ring position may already be recycled).
+  const std::uint64_t oldest =
+      now_epoch >= ring_.size() - 1 ? now_epoch - (ring_.size() - 1) : 0;
+
+  std::array<std::uint64_t, MetricHistogram::kBuckets> merged{};
+  std::uint64_t min_floor_seen = 0;
+  bool any = false;
+  for (const Bucket& b : ring_) {
+    const std::uint64_t epoch = b.epoch.load(std::memory_order_acquire);
+    if (epoch == kNeverUsed || epoch < oldest || epoch > now_epoch) continue;
+    ++snap.covered_intervals;
+    for (std::size_t s = 0; s < slot_count_; ++s) {
+      snap.slot_counts[s] +=
+          b.slot_counts[s].load(std::memory_order_relaxed);
+    }
+    for (int i = 0; i < MetricHistogram::kBuckets; ++i) {
+      merged[static_cast<std::size_t>(i)] +=
+          b.lat[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+    snap.latency.count += b.lat_count.load(std::memory_order_relaxed);
+    snap.latency.sum += b.lat_sum.load(std::memory_order_relaxed);
+    snap.latency.max =
+        std::max(snap.latency.max, b.lat_max.load(std::memory_order_relaxed));
+    any = true;
+  }
+  (void)any;
+  for (int i = 0; i < MetricHistogram::kBuckets; ++i) {
+    const std::uint64_t n = merged[static_cast<std::size_t>(i)];
+    if (n != 0) {
+      const std::uint64_t floor = MetricHistogram::bucket_floor(i);
+      if (snap.latency.buckets.empty()) min_floor_seen = floor;
+      snap.latency.buckets.emplace_back(floor, n);
+    }
+  }
+  snap.latency.min = min_floor_seen;
+  return snap;
+}
+
+std::uint64_t RollingWindow::percentile(const HistogramSnapshot& h,
+                                        double q) noexcept {
+  if (h.count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th ordered sample (1-based, ceil — the classic nearest-
+  // rank definition), then walk the cumulative bucket counts.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             q * static_cast<double>(h.count) + 0.9999999999));
+  std::uint64_t seen = 0;
+  for (const auto& [floor, n] : h.buckets) {
+    seen += n;
+    if (seen >= rank) {
+      // Inclusive upper edge of the log2 bucket: [floor, 2·floor).
+      return floor == 0 ? 0 : floor * 2 - 1;
+    }
+  }
+  return h.max;
+}
+
+SloView evaluate_slo(const RollingWindow::Snapshot& snap, const SloConfig& slo,
+                     const std::vector<bool>& good_slots) {
+  SloView v;
+  for (std::size_t s = 0; s < snap.slot_counts.size(); ++s) {
+    v.total += snap.slot_counts[s];
+    if (s < good_slots.size() && good_slots[s]) v.good += snap.slot_counts[s];
+  }
+  v.errors = v.total - v.good;
+  v.availability =
+      v.total == 0 ? 1.0
+                   : static_cast<double>(v.good) / static_cast<double>(v.total);
+  v.error_budget =
+      (1.0 - slo.availability_target) * static_cast<double>(v.total);
+  v.budget_consumed =
+      v.errors == 0
+          ? 0.0
+          : (v.error_budget <= 0.0
+                 ? static_cast<double>(v.errors)  // zero budget: any error blows it
+                 : static_cast<double>(v.errors) / v.error_budget);
+  v.availability_ok = v.availability >= slo.availability_target || v.total == 0;
+  v.latency_q_us = RollingWindow::percentile(snap.latency, slo.latency_quantile);
+  v.latency_ok = v.latency_q_us <= slo.latency_target_us;
+  return v;
+}
+
+}  // namespace udsim

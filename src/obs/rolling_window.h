@@ -1,0 +1,136 @@
+// Rolling-window aggregation for live service telemetry (DESIGN.md §5l).
+//
+// The PR 3 registry is cumulative: its counters answer "since the service
+// started". A live SLO needs "over the last minute". RollingWindow is a
+// fixed ring of per-interval buckets — each holding per-slot outcome counts
+// and one 65-bucket log2 latency histogram, all relaxed atomics — that a
+// hot resolve() path can record into with no locks on the common path (one
+// rare mutex acquisition per bucket *rotation*, i.e. once per interval).
+//
+// Two views with different guarantees:
+//   - totals(): cumulative per-slot counts since construction. EXACT — every
+//     record() bumps them unconditionally, so they always equal the
+//     service's exactly-once outcome counters (the hard invariant the soak
+//     test holds).
+//   - snapshot(now): the windowed view over the last `buckets` intervals.
+//     Buckets whose interval has slid out of the window are excluded;
+//     within the covered span the counts are exact per bucket (a record
+//     racing a rotation at an interval edge may land in the new interval —
+//     time attribution at edges is approximate, counts are never lost
+//     because totals() is bumped first).
+//
+// Slots are opaque small integers so this layer stays independent of the
+// service's Outcome enum; the service maps Outcome → slot by value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace udsim {
+
+struct RollingWindowConfig {
+  std::uint64_t interval_ns = 1'000'000'000;  ///< bucket granularity (1 s)
+  std::size_t buckets = 60;  ///< window span = interval_ns × buckets
+};
+
+/// Service-level objective targets evaluated against a window snapshot.
+struct SloConfig {
+  /// Fraction of requests that must end "good" (not a service-side failure
+  /// or refusal) over the window.
+  double availability_target = 0.999;
+  /// Latency objective: the `latency_quantile` of windowed latency must be
+  /// at or below this many microseconds.
+  std::uint64_t latency_target_us = 1'000'000;
+  double latency_quantile = 0.95;
+};
+
+/// One evaluated SLO view (see evaluate_slo).
+struct SloView {
+  std::uint64_t total = 0;     ///< windowed requests
+  std::uint64_t good = 0;      ///< windowed requests in a "good" slot
+  std::uint64_t errors = 0;    ///< total - good
+  double availability = 1.0;   ///< good / total (1.0 when empty)
+  /// Error budget for the windowed traffic: (1 - target) × total, and how
+  /// much of it the observed errors consumed (> 1.0 = budget blown).
+  double error_budget = 0.0;
+  double budget_consumed = 0.0;
+  std::uint64_t latency_q_us = 0;  ///< observed quantile (upper-bound estimate)
+  bool latency_ok = true;
+  bool availability_ok = true;
+};
+
+class RollingWindow {
+ public:
+  /// `slots` is the number of distinct outcome slots (record() takes
+  /// slot < slots). Throws std::invalid_argument on zero slots/buckets.
+  RollingWindow(RollingWindowConfig cfg, std::size_t slots);
+
+  /// Record one resolution: `slot` names the outcome, `latency_us` feeds
+  /// the windowed latency histogram, `now_ns` is the caller's steady clock
+  /// (explicit so tests can drive time deterministically). Lock-free except
+  /// when `now_ns` enters a new interval (one mutex-guarded bucket reset).
+  void record(std::size_t slot, std::uint64_t latency_us,
+              std::uint64_t now_ns) noexcept;
+
+  /// Cumulative per-slot counts since construction — exact, never expire.
+  [[nodiscard]] std::vector<std::uint64_t> totals() const;
+  [[nodiscard]] std::uint64_t total_count() const noexcept;
+
+  struct Snapshot {
+    std::uint64_t now_ns = 0;
+    std::uint64_t interval_ns = 0;
+    std::uint64_t span_ns = 0;  ///< interval_ns × ring size
+    std::uint64_t covered_intervals = 0;  ///< live buckets merged in
+    std::vector<std::uint64_t> slot_counts;  ///< windowed, per slot
+    std::vector<std::uint64_t> slot_totals;  ///< cumulative (== totals())
+    HistogramSnapshot latency;  ///< windowed latency (µs), merged buckets
+  };
+
+  /// Merge every bucket still inside the window ending at `now_ns`.
+  [[nodiscard]] Snapshot snapshot(std::uint64_t now_ns) const;
+
+  [[nodiscard]] const RollingWindowConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] std::size_t slots() const noexcept { return slot_count_; }
+
+  /// Upper-bound quantile estimate from a log2 histogram snapshot: the
+  /// inclusive upper edge of the bucket holding the q-th ordered sample
+  /// (0 when empty). Monotone in q; exact to within one power of two.
+  [[nodiscard]] static std::uint64_t percentile(const HistogramSnapshot& h,
+                                                double q) noexcept;
+
+ private:
+  struct Bucket {
+    std::atomic<std::uint64_t> epoch{kNeverUsed};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slot_counts;
+    std::array<std::atomic<std::uint64_t>, MetricHistogram::kBuckets> lat{};
+    std::atomic<std::uint64_t> lat_count{0};
+    std::atomic<std::uint64_t> lat_sum{0};
+    std::atomic<std::uint64_t> lat_max{0};
+  };
+  static constexpr std::uint64_t kNeverUsed = ~std::uint64_t{0};
+
+  void rotate(Bucket& b, std::uint64_t epoch) noexcept;
+
+  RollingWindowConfig cfg_;
+  std::size_t slot_count_;
+  std::vector<Bucket> ring_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> totals_;
+  std::atomic<std::uint64_t> total_count_{0};
+  std::mutex rotate_mu_;  ///< taken once per interval, never on record
+};
+
+/// Evaluate `slo` against a window snapshot. `good_slots` marks which slot
+/// indices count as "good" (e.g. Completed, plus client-initiated stops);
+/// everything else is an error charged against the budget.
+[[nodiscard]] SloView evaluate_slo(const RollingWindow::Snapshot& snap,
+                                   const SloConfig& slo,
+                                   const std::vector<bool>& good_slots);
+
+}  // namespace udsim

@@ -151,7 +151,8 @@ ResilientResult run_batch_resilient(const Simulator& sim,
                                   .cancel = opts.cancel,
                                   .inject = opts.inject,
                                   .retry_limit = opts.retry_limit,
-                                  .diag = opts.diag});
+                                  .diag = opts.diag,
+                                  .trace_id = opts.trace_id});
   ResilientBatch b = runner.run_resilient(in, count, opts.resume);
   r.status = b.status;
   r.batch.values = std::move(b.values);

@@ -21,14 +21,16 @@ ProgramCache::Acquired ProgramCache::acquire(const Key& key,
                                              const Builder& build,
                                              const CancelToken* cancel) {
   std::unique_lock lock(mu_);
+  bool waited = false;
   for (;;) {
     auto it = slots_.find(key);
     if (it == slots_.end()) break;  // this caller becomes the builder
     if (it->second.ready != nullptr) {
       it->second.tick = ++tick_;
       metric_add(metrics_, "service.cache.hit", 1);
-      return {it->second.ready, true};
+      return {it->second.ready, true, waited};
     }
+    waited = true;
     // Someone else is building this key: wait, but keep honoring our own
     // deadline — a request must never be stuck behind a foreign compile
     // past its budget. The wait re-checks in slices rather than relying on
@@ -69,7 +71,7 @@ ProgramCache::Acquired ProgramCache::acquire(const Key& key,
   evict_over_budget_locked(key);
   lock.unlock();
   ready_cv_.notify_all();
-  return {std::move(built), false};
+  return {std::move(built), false, waited};
 }
 
 bool ProgramCache::contains(const Key& key) const {

@@ -70,6 +70,10 @@ class ProgramCache {
   struct Acquired {
     std::shared_ptr<const Entry> entry;
     bool hit = false;
+    /// True when this caller blocked behind another request's in-flight
+    /// build before the entry became available (the "wait" cache
+    /// disposition in request traces and the event log).
+    bool waited = false;
   };
 
   /// `budget_bytes` caps the summed Entry::bytes (0 = unbounded; at least

@@ -89,6 +89,10 @@ struct SimResponse {
   unsigned attempts = 1;             ///< whole-run attempts (1 = no retry)
   std::uint64_t queue_ns = 0;        ///< time spent waiting in the queue
   std::uint64_t run_ns = 0;          ///< time spent executing (all attempts)
+  /// Request-trace id minted at submit (0 only when telemetry is disabled).
+  /// Keys the request's line in the JSONL event log and its lane in the
+  /// Perfetto trace export.
+  std::uint64_t trace_id = 0;
 };
 
 /// Submission receipt: the request id (usable with SimService::cancel) and

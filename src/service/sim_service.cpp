@@ -6,6 +6,7 @@
 #include "core/width_dispatch.h"
 #include "native/native_backend.h"
 #include "netlist/stats.h"
+#include "obs/exporter.h"
 #include "obs/json.h"
 #include "resilience/program_validator.h"
 
@@ -18,6 +19,24 @@ using Clock = std::chrono::steady_clock;
 std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+/// One rolling-window slot per Outcome, indexed by the enum's value.
+constexpr std::size_t kOutcomeSlots =
+    static_cast<std::size_t>(Outcome::ShutDown) + 1;
+
+/// The cache disposition a finished trace implies (at most one of the three
+/// cache phases is recorded per request).
+[[nodiscard]] std::string_view cache_disposition(const RequestTrace& t) noexcept {
+  for (const RequestTrace::Record& r : t.records()) {
+    switch (r.phase) {
+      case RequestPhase::CacheHit:   return "hit";
+      case RequestPhase::CacheWait:  return "wait";
+      case RequestPhase::CacheBuild: return "build";
+      default: break;
+    }
+  }
+  return "none";
 }
 
 }  // namespace
@@ -47,6 +66,16 @@ SimService::SimService(ServiceConfig cfg)
   // admission estimate and compiled engine then agrees on the width (the
   // dispatch records it in the service registry's dispatch.width gauge).
   cfg_.word_bits = dispatch_width(cfg_.word_bits, nullptr, &metrics_).word_bits;
+  if (cfg_.telemetry.enabled) {
+    window_ =
+        std::make_unique<RollingWindow>(cfg_.telemetry.window, kOutcomeSlots);
+    if (!cfg_.telemetry.event_log_path.empty()) {
+      events_ = std::make_unique<JsonlEventLog>(
+          EventLogConfig{cfg_.telemetry.event_log_path,
+                         cfg_.telemetry.event_log_capacity},
+          &metrics_);
+    }
+  }
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -179,6 +208,220 @@ std::string SimService::health_json() const {
   return doc.dump(2);
 }
 
+std::vector<bool> SimService::good_outcome_slots() {
+  std::vector<bool> good(kOutcomeSlots, false);
+  good[static_cast<std::size_t>(Outcome::Completed)] = true;
+  // Client-initiated stops end the request the way the client asked for;
+  // charging them against availability would let one impatient client eat
+  // the error budget.
+  good[static_cast<std::size_t>(Outcome::Cancelled)] = true;
+  good[static_cast<std::size_t>(Outcome::DeadlineExpired)] = true;
+  return good;
+}
+
+std::string SimService::status_json() const {
+  const Stats st = stats();
+  const HealthReport hr = health();
+  JsonValue doc = JsonValue::make_object();
+
+  JsonValue svc = JsonValue::make_object();
+  svc.set("queue_depth", JsonValue::make_uint(st.queue_depth));
+  svc.set("queue_capacity", JsonValue::make_uint(st.queue_capacity));
+  svc.set("active_requests", JsonValue::make_uint(st.active_requests));
+  svc.set("cache_entries", JsonValue::make_uint(st.cache_entries));
+  svc.set("cache_bytes", JsonValue::make_uint(st.cache_bytes));
+  svc.set("shed_level", JsonValue::make_uint(st.shed_level));
+  svc.set("quarantined", JsonValue::make_uint(st.quarantined));
+  svc.set("breaker", JsonValue::make_string(breaker_state_name(st.breaker)));
+  svc.set("word_bits", JsonValue::make_uint(
+                           static_cast<std::uint64_t>(cfg_.word_bits)));
+  svc.set("submitted",
+          JsonValue::make_uint(metrics_.counter("service.submitted").value()));
+  doc.set("service", std::move(svc));
+
+  JsonValue health_doc = JsonValue::make_object();
+  health_doc.set("state",
+                 JsonValue::make_string(health_state_name(hr.state)));
+  JsonValue comps = JsonValue::make_array();
+  for (const HealthComponent& c : hr.components) {
+    JsonValue jc = JsonValue::make_object();
+    jc.set("name", JsonValue::make_string(c.name));
+    jc.set("state", JsonValue::make_string(health_state_name(c.state)));
+    jc.set("detail", JsonValue::make_string(c.detail));
+    comps.array.push_back(std::move(jc));
+  }
+  health_doc.set("components", std::move(comps));
+  doc.set("health", std::move(health_doc));
+
+  // Cumulative exactly-once outcome counters: one key per Outcome, always
+  // present (0 included) so consumers can sum without existence checks.
+  JsonValue outcomes = JsonValue::make_object();
+  for (std::size_t s = 0; s < kOutcomeSlots; ++s) {
+    const Outcome o = static_cast<Outcome>(s);
+    outcomes.set(
+        std::string(outcome_name(o)),
+        JsonValue::make_uint(
+            metrics_
+                .counter(std::string("service.outcome.") +
+                         std::string(outcome_name(o)))
+                .value()));
+  }
+  doc.set("outcomes", std::move(outcomes));
+
+  if (window_ != nullptr) {
+    const RollingWindow::Snapshot snap = window_->snapshot(trace_now_ns());
+    JsonValue win = JsonValue::make_object();
+    win.set("interval_ns", JsonValue::make_uint(snap.interval_ns));
+    win.set("span_ns", JsonValue::make_uint(snap.span_ns));
+    win.set("covered_intervals",
+            JsonValue::make_uint(snap.covered_intervals));
+    JsonValue wout = JsonValue::make_object();
+    JsonValue tout = JsonValue::make_object();
+    for (std::size_t s = 0; s < kOutcomeSlots; ++s) {
+      const std::string name(outcome_name(static_cast<Outcome>(s)));
+      wout.set(name, JsonValue::make_uint(snap.slot_counts[s]));
+      tout.set(name, JsonValue::make_uint(snap.slot_totals[s]));
+    }
+    win.set("outcomes", std::move(wout));
+    win.set("outcome_totals", std::move(tout));
+    JsonValue lat = JsonValue::make_object();
+    lat.set("count", JsonValue::make_uint(snap.latency.count));
+    lat.set("sum_us", JsonValue::make_uint(snap.latency.sum));
+    lat.set("max_us", JsonValue::make_uint(snap.latency.max));
+    lat.set("p50_us", JsonValue::make_uint(
+                          RollingWindow::percentile(snap.latency, 0.50)));
+    lat.set("p95_us", JsonValue::make_uint(
+                          RollingWindow::percentile(snap.latency, 0.95)));
+    lat.set("p99_us", JsonValue::make_uint(
+                          RollingWindow::percentile(snap.latency, 0.99)));
+    win.set("latency", std::move(lat));
+    doc.set("window", std::move(win));
+
+    const SloView slo =
+        evaluate_slo(snap, cfg_.telemetry.slo, good_outcome_slots());
+    JsonValue js = JsonValue::make_object();
+    js.set("total", JsonValue::make_uint(slo.total));
+    js.set("good", JsonValue::make_uint(slo.good));
+    js.set("errors", JsonValue::make_uint(slo.errors));
+    js.set("availability", JsonValue::make_double(slo.availability));
+    js.set("availability_target",
+           JsonValue::make_double(cfg_.telemetry.slo.availability_target));
+    js.set("error_budget", JsonValue::make_double(slo.error_budget));
+    js.set("budget_consumed", JsonValue::make_double(slo.budget_consumed));
+    js.set("availability_ok", JsonValue::make_bool(slo.availability_ok));
+    js.set("latency_quantile",
+           JsonValue::make_double(cfg_.telemetry.slo.latency_quantile));
+    js.set("latency_q_us", JsonValue::make_uint(slo.latency_q_us));
+    js.set("latency_target_us",
+           JsonValue::make_uint(cfg_.telemetry.slo.latency_target_us));
+    js.set("latency_ok", JsonValue::make_bool(slo.latency_ok));
+    doc.set("slo", std::move(js));
+  }
+
+  JsonValue ev = JsonValue::make_object();
+  ev.set("enabled", JsonValue::make_bool(events_ != nullptr));
+  if (events_ != nullptr) {
+    ev.set("path", JsonValue::make_string(events_->path()));
+    ev.set("ok", JsonValue::make_bool(events_->ok()));
+    ev.set("written", JsonValue::make_uint(events_->written()));
+    ev.set("dropped", JsonValue::make_uint(events_->dropped()));
+  }
+  doc.set("events", std::move(ev));
+
+  JsonValue tr = JsonValue::make_object();
+  tr.set("buffered", JsonValue::make_uint(metrics_.trace_size()));
+  tr.set("dropped",
+         JsonValue::make_uint(metrics_.counter("trace.dropped").value()));
+  doc.set("trace", std::move(tr));
+
+  return doc.dump(2);
+}
+
+std::string SimService::prometheus_text() const {
+  std::string out = render_prometheus(metrics_);
+  PrometheusWriter w;
+  const Stats st = stats();
+  const HealthReport hr = health();
+
+  w.type("udsim_service_queue_depth", "gauge", "Requests waiting in the queue");
+  w.sample("udsim_service_queue_depth", std::uint64_t{st.queue_depth});
+  w.type("udsim_service_queue_capacity", "gauge");
+  w.sample("udsim_service_queue_capacity", std::uint64_t{st.queue_capacity});
+  w.type("udsim_service_active_requests", "gauge",
+         "Submitted but not yet resolved");
+  w.sample("udsim_service_active_requests", std::uint64_t{st.active_requests});
+  w.type("udsim_service_cache_entries", "gauge");
+  w.sample("udsim_service_cache_entries", std::uint64_t{st.cache_entries});
+  w.type("udsim_service_cache_bytes", "gauge");
+  w.sample("udsim_service_cache_bytes", std::uint64_t{st.cache_bytes});
+  w.type("udsim_service_shed_level_current", "gauge",
+         "Load-shed ladder level of the most recent schedule");
+  w.sample("udsim_service_shed_level_current", std::uint64_t{st.shed_level});
+  w.type("udsim_service_quarantined_fingerprints", "gauge",
+         "Poison-ledger quarantine population");
+  w.sample("udsim_service_quarantined_fingerprints",
+           std::uint64_t{st.quarantined});
+  w.type("udsim_service_breaker_state", "gauge",
+         "Toolchain breaker: 0=closed 1=open 2=half_open");
+  w.sample("udsim_service_breaker_state",
+           static_cast<std::uint64_t>(st.breaker));
+  w.type("udsim_service_health_state", "gauge",
+         "0=healthy 1=degraded 2=unhealthy");
+  w.sample("udsim_service_health_state", static_cast<std::uint64_t>(hr.state));
+
+  if (window_ != nullptr) {
+    const RollingWindow::Snapshot snap = window_->snapshot(trace_now_ns());
+    w.type("udsim_window_outcome_count", "gauge",
+           "Requests resolved per outcome over the rolling window");
+    w.type("udsim_window_outcome_total", "counter",
+           "Requests resolved per outcome since start (exactly-once)");
+    for (std::size_t s = 0; s < kOutcomeSlots; ++s) {
+      const std::string name(outcome_name(static_cast<Outcome>(s)));
+      w.sample("udsim_window_outcome_count", snap.slot_counts[s],
+               {{"outcome", name}});
+      w.sample("udsim_window_outcome_total", snap.slot_totals[s],
+               {{"outcome", name}});
+    }
+    w.type("udsim_window_latency_us", "gauge",
+           "Windowed request latency percentiles (microseconds)");
+    w.sample("udsim_window_latency_us",
+             RollingWindow::percentile(snap.latency, 0.50),
+             {{"quantile", "0.5"}});
+    w.sample("udsim_window_latency_us",
+             RollingWindow::percentile(snap.latency, 0.95),
+             {{"quantile", "0.95"}});
+    w.sample("udsim_window_latency_us",
+             RollingWindow::percentile(snap.latency, 0.99),
+             {{"quantile", "0.99"}});
+
+    const SloView slo =
+        evaluate_slo(snap, cfg_.telemetry.slo, good_outcome_slots());
+    w.type("udsim_slo_availability", "gauge",
+           "Windowed good / total (1.0 when empty)");
+    w.sample("udsim_slo_availability", slo.availability);
+    w.type("udsim_slo_error_budget_consumed", "gauge",
+           "Fraction of the windowed error budget consumed (>1 = blown)");
+    w.sample("udsim_slo_error_budget_consumed", slo.budget_consumed);
+    w.type("udsim_slo_availability_ok", "gauge");
+    w.sample("udsim_slo_availability_ok",
+             std::uint64_t{slo.availability_ok ? 1u : 0u});
+    w.type("udsim_slo_latency_ok", "gauge");
+    w.sample("udsim_slo_latency_ok", std::uint64_t{slo.latency_ok ? 1u : 0u});
+  }
+
+  if (events_ != nullptr) {
+    w.type("udsim_events_written", "counter",
+           "Event-log lines written to the JSONL sink");
+    w.sample("udsim_events_written", events_->written());
+    w.type("udsim_events_dropped", "counter",
+           "Event-log lines dropped (queue full or sink unusable)");
+    w.sample("udsim_events_dropped", events_->dropped());
+  }
+
+  out += w.take();
+  return out;
+}
+
 bool SimService::cancel(std::uint64_t request_id) {
   std::lock_guard lock(mu_);
   const auto it = active_.find(request_id);
@@ -191,6 +434,7 @@ bool SimService::cancel(std::uint64_t request_id) {
 void SimService::resolve(Pending& p, SimResponse&& resp) {
   if (p.resolved.exchange(true, std::memory_order_acq_rel)) return;
   const std::uint64_t latency_ns = elapsed_ns(p.submitted, Clock::now());
+  resp.trace_id = p.trace.id();
   metrics_.histogram("service.latency.us").record(latency_ns / 1000);
   if (resp.run_ns != 0) {
     metrics_.histogram("service.run.us").record(resp.run_ns / 1000);
@@ -199,6 +443,22 @@ void SimService::resolve(Pending& p, SimResponse&& resp) {
       .counter(std::string("service.outcome.") +
                std::string(outcome_name(resp.outcome)))
       .add(1);
+  // Telemetry rides the exactly-once edge: the window record, the event-log
+  // line and the trace flush happen iff the outcome counter above was
+  // bumped, which is what keeps windowed totals == outcome counters and
+  // "one log line (or drop) per resolution" checkable invariants.
+  p.trace.record(RequestPhase::Resolve, trace_now_ns(), 0,
+                 static_cast<std::uint64_t>(resp.outcome));
+  if (window_ != nullptr) {
+    window_->record(static_cast<std::size_t>(resp.outcome), latency_ns / 1000,
+                    trace_now_ns());
+  }
+  if (events_ != nullptr) {
+    (void)events_->append(event_line(p, resp, latency_ns));
+  }
+  if (cfg_.telemetry.enabled && cfg_.telemetry.trace_requests) {
+    p.trace.flush_to(metrics_);
+  }
   if (p.session != nullptr) {
     p.session->record(resp.outcome, latency_ns, resp.queue_ns);
   }
@@ -210,11 +470,53 @@ void SimService::resolve(Pending& p, SimResponse&& resp) {
   p.promise.set_value(std::move(resp));
 }
 
+std::string SimService::event_line(const Pending& p, const SimResponse& resp,
+                                   std::uint64_t latency_ns) const {
+  JsonValue e = JsonValue::make_object();
+  e.set("trace_id", JsonValue::make_uint(p.trace.id()));
+  e.set("request_id", JsonValue::make_uint(p.id));
+  e.set("session",
+        JsonValue::make_uint(p.session != nullptr ? p.session->id() : 0));
+  e.set("outcome", JsonValue::make_string(outcome_name(resp.outcome)));
+  e.set("engine", JsonValue::make_string(engine_name(resp.engine)));
+  e.set("width", JsonValue::make_uint(
+                     static_cast<std::uint64_t>(cfg_.word_bits)));
+  e.set("cache", JsonValue::make_string(cache_disposition(p.trace)));
+  e.set("shed_level", JsonValue::make_uint(resp.shed_level));
+  e.set("attempts", JsonValue::make_uint(resp.attempts));
+  e.set("vectors_done", JsonValue::make_uint(resp.vectors_done));
+  e.set("latency_ns", JsonValue::make_uint(latency_ns));
+  e.set("queue_ns", JsonValue::make_uint(resp.queue_ns));
+  e.set("run_ns", JsonValue::make_uint(resp.run_ns));
+  JsonValue phases = JsonValue::make_object();
+  for (const RequestPhase ph :
+       {RequestPhase::Admission, RequestPhase::QueueWait,
+        RequestPhase::ShedDecide, RequestPhase::CacheHit,
+        RequestPhase::CacheWait, RequestPhase::CacheBuild,
+        RequestPhase::RunAttempt, RequestPhase::Backoff}) {
+    const std::uint64_t ns = p.trace.phase_ns(ph);
+    if (ns != 0) {
+      phases.set(std::string(request_phase_name(ph)),
+                 JsonValue::make_uint(ns));
+    }
+  }
+  e.set("phase_ns", std::move(phases));
+  if (!resp.detail.empty()) {
+    e.set("detail", JsonValue::make_string(resp.detail));
+  }
+  return e.dump(0);
+}
+
 ServiceTicket SimService::submit(SessionId session, SimRequest req) {
   auto p = std::make_shared<Pending>();
   p->id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   p->req = std::move(req);
   p->submitted = Clock::now();
+  if (cfg_.telemetry.enabled) {
+    p->trace = RequestTrace(mint_request_trace_id());
+  }
+  const std::uint64_t admission_start =
+      cfg_.telemetry.enabled ? trace_now_ns() : 0;
   ServiceTicket ticket{p->id, p->promise.get_future()};
   metrics_.counter("service.submitted").add(1);
   {
@@ -224,6 +526,13 @@ ServiceTicket SimService::submit(SessionId session, SimRequest req) {
   }
 
   const auto refuse = [&](Outcome o, std::string detail) {
+    // Refusals never reached the queue: the whole pre-queue life is one
+    // Admission record (the success path records it just before the push,
+    // so a queue-side refusal does not record twice).
+    if (p->trace.records().empty()) {
+      p->trace.record(RequestPhase::Admission, admission_start,
+                      trace_now_ns() - admission_start);
+    }
     SimResponse r;
     r.outcome = o;
     r.detail = std::move(detail);
@@ -299,6 +608,10 @@ ServiceTicket SimService::submit(SessionId session, SimRequest req) {
     active_.emplace(p->id, p);
     metrics_.counter("service.active").set(active_.size());
   }
+  // Recorded before the push: once the request is in the queue a worker may
+  // own it, and the trace is single-writer.
+  p->trace.record(RequestPhase::Admission, admission_start,
+                  trace_now_ns() - admission_start);
   switch (queue_.try_push(p)) {
     case BoundedQueue<std::shared_ptr<Pending>>::Push::Ok:
       break;
@@ -336,9 +649,16 @@ void SimService::worker_loop() {
 }
 
 void SimService::run_one(const std::shared_ptr<Pending>& p) {
+  // Pin the request id to this worker thread: every TraceSpan below —
+  // including the compile-phase spans inside the cache build — tags itself
+  // with the "request" arg. Shards on pool threads re-enter the scope via
+  // BatchOptions::trace_id.
+  RequestTraceScope trace_scope(p->trace.id());
   SimResponse resp;
   resp.queue_ns = elapsed_ns(p->submitted, Clock::now());
   metrics_.histogram("service.queue_wait.us").record(resp.queue_ns / 1000);
+  p->trace.record(RequestPhase::QueueWait, trace_now_ns() - resp.queue_ns,
+                  resp.queue_ns);
 
   // A deadline or cancel that landed while the request was queued: resolve
   // without touching the cache or the pool.
@@ -351,9 +671,12 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
   }
 
   // Load-shed decision, from the queue state at schedule time.
+  const std::uint64_t shed_start = trace_now_ns();
   const std::size_t level_i =
       cfg_.shed.decide(queue_.depth(), queue_.capacity());
   const ShedLevel& level = cfg_.shed.level(level_i);
+  p->trace.record(RequestPhase::ShedDecide, shed_start,
+                  trace_now_ns() - shed_start, level_i);
   resp.shed_level = level_i;
   metrics_.counter("service.shed.level").set(level_i);
   if (level_i > 0) metrics_.counter("service.shed.degraded").add(1);
@@ -382,6 +705,7 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
   }
 
   ProgramCache::Acquired acq;
+  const std::uint64_t cache_start = trace_now_ns();
   try {
     acq = cache_.acquire(
         key,
@@ -420,6 +744,8 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
         },
         &p->token);
   } catch (const Cancelled& c) {
+    p->trace.record(RequestPhase::CacheWait, cache_start,
+                    trace_now_ns() - cache_start);
     resp.outcome = c.reason() == StopReason::Deadline
                        ? Outcome::DeadlineExpired
                        : Outcome::Cancelled;
@@ -427,6 +753,8 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
     resolve(*p, std::move(resp));
     return;
   } catch (const BudgetExceeded& e) {
+    p->trace.record(RequestPhase::CacheBuild, cache_start,
+                    trace_now_ns() - cache_start);
     // The structural admission estimate passed but the real emission (or a
     // stricter prediction) did not: still a structured rejection.
     metrics_.counter("service.admission.rejected").add(1);
@@ -435,6 +763,8 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
     resolve(*p, std::move(resp));
     return;
   } catch (const std::exception& e) {
+    p->trace.record(RequestPhase::CacheBuild, cache_start,
+                    trace_now_ns() - cache_start);
     const FaultClass fc = classify_fault(e);
     metrics_
         .counter(std::string("service.fault.") +
@@ -450,6 +780,10 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
     resolve(*p, std::move(resp));
     return;
   }
+  p->trace.record(acq.hit ? (acq.waited ? RequestPhase::CacheWait
+                                        : RequestPhase::CacheHit)
+                          : RequestPhase::CacheBuild,
+                  cache_start, trace_now_ns() - cache_start);
   resp.cache_hit = acq.hit;
   resp.engine = acq.entry->engine;
 
@@ -475,6 +809,7 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
   // The program was validated once at build time (cfg_.validate); re-running
   // the validator per request would be pure overhead.
   ropts.validate = false;
+  ropts.trace_id = p->trace.id();
 
   const Clock::time_point run_start = Clock::now();
   for (unsigned attempt = 1;; ++attempt) {
@@ -488,8 +823,11 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
         return false;
       }
       metrics_.counter("service.retry.attempts").add(1);
+      const std::uint64_t backoff_start = trace_now_ns();
       const StopReason r =
           backoff_sleep(cfg_.retry.backoff_for(attempt), &p->token);
+      p->trace.record(RequestPhase::Backoff, backoff_start,
+                      trace_now_ns() - backoff_start, attempt);
       if (r != StopReason::None) {
         resp.outcome = r == StopReason::Deadline ? Outcome::DeadlineExpired
                                                  : Outcome::Cancelled;
@@ -498,9 +836,15 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
       }
       return true;
     };
+    const std::uint64_t attempt_start = trace_now_ns();
+    const auto record_attempt = [&] {
+      p->trace.record(RequestPhase::RunAttempt, attempt_start,
+                      trace_now_ns() - attempt_start, attempt);
+    };
     try {
       ResilientResult rr =
           run_batch_resilient(*acq.entry->sim, p->req.vectors, ropts);
+      record_attempt();
       resp.batch = std::move(rr.batch);
       resp.checkpoint = std::move(rr.checkpoint);
       resp.resumable = rr.resumable && rr.status != RunStatus::Complete;
@@ -522,12 +866,14 @@ void SimService::run_one(const std::shared_ptr<Pending>& p) {
       }
       break;
     } catch (const Cancelled& c) {
+      record_attempt();
       resp.outcome = c.reason() == StopReason::Deadline
                          ? Outcome::DeadlineExpired
                          : Outcome::Cancelled;
       resp.detail = "stopped at " + c.site();
       break;
     } catch (const std::exception& e) {
+      record_attempt();
       // Explicit classification (DESIGN.md §5k): only failures a retry can
       // plausibly cure — injected faults, allocation failures, a timed-out
       // toolchain — consume whole-run attempts and their backoff sleeps.

@@ -35,7 +35,10 @@
 
 #include "analysis/compile_budget.h"
 #include "core/simulator.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/rolling_window.h"
 #include "resilience/cancel.h"
 #include "resilience/circuit_breaker.h"
 #include "resilience/fault_injection.h"
@@ -55,6 +58,29 @@ namespace udsim {
 enum class HealthState : std::uint8_t { Healthy, Degraded, Unhealthy };
 
 [[nodiscard]] std::string_view health_state_name(HealthState s) noexcept;
+
+/// Live-telemetry knobs (DESIGN.md §5l). Telemetry is on by default — the
+/// rolling window and request traces are a few relaxed atomics and one
+/// small vector per request (the ablation bench bounds the overhead);
+/// the JSONL event log engages only when given a path.
+struct TelemetryConfig {
+  /// Master switch: off = no trace ids, no rolling window, no event log
+  /// (status_json() still reports counters and health).
+  bool enabled = true;
+  /// Rolling-window geometry for windowed outcome counts and latency
+  /// percentiles (default: 60 × 1 s).
+  RollingWindowConfig window{};
+  /// SLO targets evaluated against the window in status_json().
+  SloConfig slo{};
+  /// When non-empty, one JSON line per request resolution is appended here
+  /// (bounded queue + writer thread; overflow drops are counted, never
+  /// block a worker).
+  std::string event_log_path;
+  std::size_t event_log_capacity = 1024;
+  /// Flush each finished RequestTrace into the registry's trace buffer so
+  /// the Perfetto export grows per-request lanes next to the thread lanes.
+  bool trace_requests = true;
+};
 
 struct ServiceConfig {
   /// Request worker threads (each runs one request at a time; the batch
@@ -102,6 +128,8 @@ struct ServiceConfig {
   /// UDSIM_FORCE_WIDTH overrides). The resolved width keys the program
   /// cache and is compiled into every engine the service builds.
   int word_bits = 0;
+  /// Request tracing, rolling-window SLOs and the JSONL event log.
+  TelemetryConfig telemetry{};
 };
 
 class SimService {
@@ -176,6 +204,31 @@ class SimService {
   ///  "state":"degraded","detail":"open (...)"},...]}.
   [[nodiscard]] std::string health_json() const;
 
+  /// One live status document composing stats(), health(), cumulative
+  /// outcome counters, the rolling-window view with latency percentiles,
+  /// the SLO evaluation and event-log accounting. Every number is emitted
+  /// through the obs/json DOM (exact uint64), so the document round-trips
+  /// through JsonValue::parse.
+  [[nodiscard]] std::string status_json() const;
+
+  /// Prometheus text exposition: every registry counter/histogram plus
+  /// typed gauges for queue depth, breaker/health/shed state, quarantine
+  /// population, windowed outcome counts, latency percentiles and the SLO
+  /// view. Always passes validate_prometheus_text().
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// The rolling outcome/latency window, or nullptr when telemetry is off.
+  [[nodiscard]] const RollingWindow* window() const noexcept {
+    return window_.get();
+  }
+  /// The JSONL event log, or nullptr when no path was configured.
+  [[nodiscard]] JsonlEventLog* event_log() noexcept { return events_.get(); }
+
+  /// Which Outcome slots count as "good" for the SLO: everything except
+  /// the service-side failures and refusals (Failed, QueueFull, Rejected,
+  /// ShutDown). Client-initiated stops are not availability errors.
+  [[nodiscard]] static std::vector<bool> good_outcome_slots();
+
  private:
   struct Pending {
     std::uint64_t id = 0;
@@ -185,6 +238,9 @@ class SimService {
     std::atomic<bool> resolved{false};
     CancelToken token;
     std::chrono::steady_clock::time_point submitted;
+    /// Lifecycle phases (single-writer: the submit thread until queued,
+    /// then the worker that popped it — the queue is the hand-off edge).
+    RequestTrace trace;
   };
 
   void worker_loop();
@@ -192,12 +248,18 @@ class SimService {
   /// Exactly-once resolution: first caller wins, records outcome counters
   /// and per-session metrics, erases the active entry, fulfills the future.
   void resolve(Pending& p, SimResponse&& resp);
+  /// Render the one-line event-log JSON for a resolved request.
+  [[nodiscard]] std::string event_line(const Pending& p,
+                                       const SimResponse& resp,
+                                       std::uint64_t latency_ns) const;
 
   ServiceConfig cfg_;
   mutable MetricsRegistry metrics_;  // internally thread-safe; const reads
   CircuitBreaker breaker_;  ///< toolchain; wired only with enable_native
   PoisonLedger poison_;
   ProgramCache cache_;
+  std::unique_ptr<RollingWindow> window_;   ///< null when telemetry is off
+  std::unique_ptr<JsonlEventLog> events_;   ///< null without a log path
   BoundedQueue<std::shared_ptr<Pending>> queue_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> next_id_{0};

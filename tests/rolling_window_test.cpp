@@ -1,0 +1,198 @@
+// RollingWindow (DESIGN.md §5l): bucket rotation and expiry under an
+// explicit test-driven clock, the cumulative-totals invariant (totals()
+// never expire and count every record exactly once, including under
+// concurrent recording across interval edges), the nearest-rank log2
+// percentile, and the SLO evaluation math.
+#include "obs/rolling_window.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace udsim {
+namespace {
+
+constexpr std::uint64_t kIntervalNs = 1'000;  // small, test-driven clock
+
+RollingWindowConfig tiny_config(std::size_t buckets = 4) {
+  RollingWindowConfig cfg;
+  cfg.interval_ns = kIntervalNs;
+  cfg.buckets = buckets;
+  return cfg;
+}
+
+std::uint64_t at_interval(std::uint64_t i) { return i * kIntervalNs + 1; }
+
+TEST(RollingWindowTest, ConstructorRejectsDegenerateShapes) {
+  EXPECT_THROW(RollingWindow(tiny_config(), 0), std::invalid_argument);
+  RollingWindowConfig no_buckets = tiny_config(0);
+  EXPECT_THROW(RollingWindow(no_buckets, 3), std::invalid_argument);
+  RollingWindowConfig no_interval = tiny_config();
+  no_interval.interval_ns = 0;
+  EXPECT_THROW(RollingWindow(no_interval, 3), std::invalid_argument);
+}
+
+TEST(RollingWindowTest, RecordsLandInTheCurrentInterval) {
+  RollingWindow w(tiny_config(), 3);
+  w.record(0, 100, at_interval(0));
+  w.record(0, 200, at_interval(0));
+  w.record(2, 50, at_interval(0));
+
+  const auto snap = w.snapshot(at_interval(0));
+  EXPECT_EQ(snap.covered_intervals, 1u);
+  EXPECT_EQ(snap.slot_counts, (std::vector<std::uint64_t>{2, 0, 1}));
+  EXPECT_EQ(snap.slot_totals, (std::vector<std::uint64_t>{2, 0, 1}));
+  EXPECT_EQ(snap.latency.count, 3u);
+  EXPECT_EQ(snap.latency.sum, 350u);
+  EXPECT_EQ(snap.latency.max, 200u);
+}
+
+TEST(RollingWindowTest, ExpiredBucketsLeaveTheWindowButNotTheTotals) {
+  RollingWindow w(tiny_config(4), 2);
+  w.record(0, 10, at_interval(0));
+  w.record(1, 10, at_interval(1));
+
+  // Both intervals still inside the 4-bucket window.
+  auto snap = w.snapshot(at_interval(2));
+  EXPECT_EQ(snap.slot_counts, (std::vector<std::uint64_t>{1, 1}));
+
+  // Advance until interval 0 has slid out (window covers (now-4, now]).
+  snap = w.snapshot(at_interval(4));
+  EXPECT_EQ(snap.slot_counts, (std::vector<std::uint64_t>{0, 1}));
+
+  // Far past everything: the windowed view is empty, the totals are not.
+  snap = w.snapshot(at_interval(100));
+  EXPECT_EQ(snap.slot_counts, (std::vector<std::uint64_t>{0, 0}));
+  EXPECT_EQ(snap.covered_intervals, 0u);
+  EXPECT_EQ(snap.latency.count, 0u);
+  EXPECT_EQ(w.totals(), (std::vector<std::uint64_t>{1, 1}));
+  EXPECT_EQ(w.total_count(), 2u);
+}
+
+TEST(RollingWindowTest, RingRecyclingResetsTheReusedBucket) {
+  // Interval 0 and interval 4 share a ring position in a 4-bucket ring; the
+  // later epoch must rotate the bucket rather than accumulate into it.
+  RollingWindow w(tiny_config(4), 1);
+  w.record(0, 10, at_interval(0));
+  w.record(0, 10, at_interval(0));
+  w.record(0, 10, at_interval(4));
+
+  const auto snap = w.snapshot(at_interval(4));
+  EXPECT_EQ(snap.slot_counts[0], 1u) << "recycled bucket kept stale counts";
+  EXPECT_EQ(w.totals()[0], 3u);
+}
+
+TEST(RollingWindowTest, OutOfRangeSlotClampsToLast) {
+  RollingWindow w(tiny_config(), 2);
+  w.record(99, 10, at_interval(0));
+  EXPECT_EQ(w.totals(), (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(RollingWindowTest, PercentileIsTheInclusiveLog2UpperEdge) {
+  RollingWindow w(tiny_config(), 1);
+  // 100 samples of 100µs: every percentile is the upper edge of the bucket
+  // [64, 128), i.e. 127.
+  for (int i = 0; i < 100; ++i) w.record(0, 100, at_interval(0));
+  const auto snap = w.snapshot(at_interval(0));
+  EXPECT_EQ(RollingWindow::percentile(snap.latency, 0.50), 127u);
+  EXPECT_EQ(RollingWindow::percentile(snap.latency, 0.99), 127u);
+
+  HistogramSnapshot empty;
+  EXPECT_EQ(RollingWindow::percentile(empty, 0.99), 0u);
+
+  // 9 fast samples + 1 slow: p50 stays in the fast bucket, p99 reaches the
+  // slow one — the quantile is monotone across buckets.
+  RollingWindow mixed(tiny_config(), 1);
+  for (int i = 0; i < 9; ++i) mixed.record(0, 3, at_interval(0));
+  mixed.record(0, 1000, at_interval(0));
+  const auto msnap = mixed.snapshot(at_interval(0));
+  EXPECT_EQ(RollingWindow::percentile(msnap.latency, 0.50), 3u);
+  EXPECT_EQ(RollingWindow::percentile(msnap.latency, 0.99), 1023u);
+}
+
+TEST(RollingWindowTest, SloEvaluationChargesErrorsAgainstTheBudget) {
+  RollingWindow w(tiny_config(), 2);  // slot 0 good, slot 1 error
+  for (int i = 0; i < 98; ++i) w.record(0, 10, at_interval(0));
+  w.record(1, 10, at_interval(0));
+  w.record(1, 10, at_interval(0));
+
+  SloConfig slo;
+  slo.availability_target = 0.95;
+  slo.latency_target_us = 100;
+  slo.latency_quantile = 0.95;
+  const SloView v =
+      evaluate_slo(w.snapshot(at_interval(0)), slo, {true, false});
+  EXPECT_EQ(v.total, 100u);
+  EXPECT_EQ(v.good, 98u);
+  EXPECT_EQ(v.errors, 2u);
+  EXPECT_DOUBLE_EQ(v.availability, 0.98);
+  EXPECT_TRUE(v.availability_ok);
+  EXPECT_NEAR(v.error_budget, 5.0, 1e-9);
+  EXPECT_NEAR(v.budget_consumed, 0.4, 1e-9);
+  EXPECT_LE(v.latency_q_us, 15u);
+  EXPECT_TRUE(v.latency_ok);
+
+  // Tighten the target past the observed availability: budget blown.
+  slo.availability_target = 0.999;
+  const SloView tight =
+      evaluate_slo(w.snapshot(at_interval(0)), slo, {true, false});
+  EXPECT_FALSE(tight.availability_ok);
+  EXPECT_GT(tight.budget_consumed, 1.0);
+}
+
+TEST(RollingWindowTest, SloOnEmptyWindowIsVacuouslyHealthy) {
+  RollingWindow w(tiny_config(), 2);
+  const SloView v = evaluate_slo(w.snapshot(at_interval(0)), SloConfig{},
+                                 {true, false});
+  EXPECT_EQ(v.total, 0u);
+  EXPECT_DOUBLE_EQ(v.availability, 1.0);
+  EXPECT_TRUE(v.availability_ok);
+  EXPECT_TRUE(v.latency_ok);
+}
+
+TEST(RollingWindowTest, TotalsStayExactUnderConcurrentRecordingAndRotation) {
+  // The hard invariant behind "windowed totals == outcome counters": many
+  // threads record across interval edges (forcing rotations and ring
+  // recycling) while a reader snapshots; afterwards totals() must count
+  // every record exactly once per slot.
+  constexpr std::size_t kSlots = 3;
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+  RollingWindow w(tiny_config(4), kSlots);
+
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&w, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        // Deterministic slot mix and a clock that sweeps many epochs.
+        const std::size_t slot = (t + i) % kSlots;
+        const std::uint64_t now = i * (kIntervalNs / 8) + t;
+        w.record(slot, i % 512, now);
+      }
+    });
+  }
+  std::uint64_t snapshots_taken = 0;
+  std::thread reader([&w, &snapshots_taken] {
+    for (int i = 0; i < 200; ++i) {
+      const auto snap = w.snapshot(at_interval(static_cast<std::uint64_t>(i)));
+      ASSERT_LE(snap.slot_counts[0] + snap.slot_counts[1] + snap.slot_counts[2],
+                kThreads * kPerThread);
+      ++snapshots_taken;
+    }
+  });
+  for (std::thread& th : workers) th.join();
+  reader.join();
+  EXPECT_EQ(snapshots_taken, 200u);
+
+  std::vector<std::uint64_t> expected(kSlots, 0);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) ++expected[(t + i) % kSlots];
+  }
+  EXPECT_EQ(w.totals(), expected);
+  EXPECT_EQ(w.total_count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace udsim

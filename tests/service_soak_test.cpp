@@ -31,6 +31,8 @@
 
 #include "core/simulator.h"
 #include "gen/iscas_profiles.h"
+#include "obs/exporter.h"
+#include "obs/json.h"
 #include "resilience/fault_injection.h"
 #include "service/sim_service.h"
 
@@ -106,6 +108,15 @@ TEST(ServiceSoakTest, ConcurrentClientsFaultsAndCancellations) {
   cfg.queue_capacity = 8;  // small: backpressure and shedding must trigger
   cfg.batch_threads = 2;
   cfg.inject = &inject;
+  // Full telemetry stack engaged during the soak (ISSUE 10): the rolling
+  // window and JSONL event log ride the same resolve() edge as the outcome
+  // counters, so the assertion phase below can hold their invariants
+  // against the exactly-once contract under real concurrency.
+  const std::string event_log_path =
+      "service_soak_events_" + std::to_string(::getpid()) + ".jsonl";
+  std::remove(event_log_path.c_str());
+  cfg.telemetry.event_log_path = event_log_path;
+  cfg.telemetry.event_log_capacity = 4096;  // soak bursts must not drop
   SimService svc(cfg);
 
   struct Submitted {
@@ -217,6 +228,47 @@ TEST(ServiceSoakTest, ConcurrentClientsFaultsAndCancellations) {
   }
   EXPECT_EQ(final_sum, grand_total);
   EXPECT_EQ(final_snap.at("service.submitted"), grand_total);
+
+  // Telemetry assertion phase (ISSUE 10). The rolling window's cumulative
+  // totals are bumped on the same exactly-once edge as the outcome
+  // counters, so after the soak they must agree slot by slot — no request
+  // counted twice, none missed, regardless of interleaving.
+  ASSERT_NE(svc.window(), nullptr);
+  const std::vector<std::uint64_t> window_totals = svc.window()->totals();
+  constexpr std::size_t kSlots =
+      static_cast<std::size_t>(Outcome::ShutDown) + 1;
+  ASSERT_EQ(window_totals.size(), kSlots);
+  std::uint64_t window_sum = 0;
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    const std::string counter =
+        "service.outcome." +
+        std::string(outcome_name(static_cast<Outcome>(s)));
+    const auto it = final_snap.find(counter);
+    const std::uint64_t expect = it == final_snap.end() ? 0 : it->second;
+    EXPECT_EQ(window_totals[s], expect)
+        << "rolling-window total diverged from " << counter;
+    window_sum += window_totals[s];
+  }
+  EXPECT_EQ(window_sum, grand_total);
+
+  // Every resolution appears exactly once in the event log or in its drop
+  // counter — and with soak-sized capacity, nothing should have dropped.
+  ASSERT_NE(svc.event_log(), nullptr);
+  svc.event_log()->flush();
+  const std::uint64_t written = svc.event_log()->written();
+  const std::uint64_t dropped = svc.event_log()->dropped();
+  EXPECT_EQ(written + dropped, grand_total);
+  EXPECT_EQ(dropped, 0u) << "soak-sized event-log queue should not drop";
+
+  // The status document renders the same numbers for a scraper.
+  const JsonValue status = JsonValue::parse(svc.status_json());
+  std::uint64_t wire_sum = 0;
+  for (const auto& [name, v] : status.at("outcomes").object) {
+    ASSERT_TRUE(v.is_integer) << name;
+    wire_sum += v.as_u64();
+  }
+  EXPECT_EQ(wire_sum, grand_total);
+  std::remove(event_log_path.c_str());
 }
 
 // Toolchain-outage phase (ISSUE 9): the same exactly-once contract with
@@ -334,6 +386,20 @@ TEST(ServiceSoakTest, ToolchainOutagePhase) {
     }
   }
   EXPECT_TRUE(breaker_named) << svc.health_json();
+
+  // Mid-outage scrape (ISSUE 10): the telemetry surfaces must carry the
+  // live degraded state — a monitoring agent polling during the outage sees
+  // the open breaker in both the status document and the exposition, and
+  // both stay well-formed while the service is limping.
+  const JsonValue status = JsonValue::parse(svc.status_json());
+  EXPECT_EQ(status.at("service").at("breaker").string, "open")
+      << svc.status_json();
+  EXPECT_NE(status.at("health").at("state").string, "healthy");
+  const std::string expo = svc.prometheus_text();
+  std::string why;
+  EXPECT_TRUE(validate_prometheus_text(expo, &why)) << why;
+  EXPECT_NE(expo.find("udsim_service_breaker_state 1"), std::string::npos)
+      << "open breaker (state 1) not visible in the exposition";
 
   svc.shutdown();
   fs::remove_all(dir, ec);

@@ -1,0 +1,252 @@
+// Live-telemetry surface tests (DESIGN.md §5l): status_json() and
+// health_json() round-trip through the hardened obs/json parser with every
+// documented section and exact uint64 counters, the windowed outcome totals
+// match the exactly-once outcome counters over the wire, responses carry
+// trace ids that also tag the shard spans in the trace buffer, the
+// Prometheus exposition validates (and the validator itself rejects
+// malformed text), and the JSONL event log accounts for every resolution.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gen/iscas_profiles.h"
+#include "obs/event_log.h"
+#include "obs/exporter.h"
+#include "obs/json.h"
+#include "service/sim_service.h"
+
+namespace udsim {
+namespace {
+
+std::shared_ptr<const Netlist> circuit(const char* name, unsigned seed = 1) {
+  return std::make_shared<Netlist>(make_iscas85_like(name, seed));
+}
+
+std::vector<Bit> stream_for(const Netlist& nl, std::size_t n,
+                            std::uint64_t seed = 7) {
+  const std::size_t pis = nl.primary_inputs().size();
+  std::vector<Bit> bits(n * pis);
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    bits[i] = static_cast<Bit>(x & 1);
+  }
+  return bits;
+}
+
+/// A service that has resolved a known traffic mix: `completed` completions
+/// plus one Rejected (ragged stream) and one DeadlineExpired (1ns budget).
+struct DrivenService {
+  std::unique_ptr<SimService> svc;
+  std::uint64_t offered = 0;
+  std::vector<SimResponse> responses;
+};
+
+DrivenService drive(ServiceConfig cfg, unsigned completed = 4) {
+  DrivenService d;
+  d.svc = std::make_unique<SimService>(cfg);
+  const auto nl = circuit("c432");
+  const std::vector<Bit> stream = stream_for(*nl, 16);
+  const SessionId s = d.svc->open_session("telemetry-test");
+  for (unsigned i = 0; i < completed; ++i) {
+    d.responses.push_back(
+        d.svc->run(s, SimRequest{.netlist = nl, .vectors = stream}));
+    ++d.offered;
+    EXPECT_EQ(d.responses.back().outcome, Outcome::Completed);
+  }
+  std::vector<Bit> ragged(stream.begin(), stream.end() - 1);
+  d.responses.push_back(
+      d.svc->run(s, SimRequest{.netlist = nl, .vectors = ragged}));
+  ++d.offered;
+  EXPECT_EQ(d.responses.back().outcome, Outcome::Rejected);
+  d.responses.push_back(
+      d.svc->run(s, SimRequest{.netlist = nl,
+                               .vectors = stream,
+                               .deadline = std::chrono::nanoseconds(1)}));
+  ++d.offered;
+  EXPECT_EQ(d.responses.back().outcome, Outcome::DeadlineExpired);
+  return d;
+}
+
+TEST(TelemetryTest, StatusJsonRoundTripsWithEverySection) {
+  DrivenService d = drive(ServiceConfig{});
+  const JsonValue doc = JsonValue::parse(d.svc->status_json());
+  for (const char* key :
+       {"service", "health", "outcomes", "window", "slo", "events", "trace"}) {
+    EXPECT_TRUE(doc.has(key)) << "missing section \"" << key << "\"";
+  }
+  const JsonValue& svc = doc.at("service");
+  EXPECT_TRUE(svc.at("submitted").is_integer);
+  EXPECT_EQ(svc.at("submitted").as_u64(), d.offered);
+  EXPECT_TRUE(svc.at("breaker").is_string());
+  EXPECT_TRUE(doc.at("health").has("state"));
+  EXPECT_TRUE(doc.at("trace").at("dropped").is_integer);
+}
+
+TEST(TelemetryTest, OutcomeCountersAreExactAndMatchWindowTotals) {
+  DrivenService d = drive(ServiceConfig{});
+  const JsonValue doc = JsonValue::parse(d.svc->status_json());
+
+  const JsonValue& outcomes = doc.at("outcomes");
+  std::uint64_t sum = 0;
+  for (const auto& [name, v] : outcomes.object) {
+    ASSERT_TRUE(v.is_integer) << name << " is not an exact uint64";
+    sum += v.as_u64();
+  }
+  EXPECT_EQ(sum, d.offered) << "outcome counters must sum to submissions";
+  EXPECT_EQ(outcomes.at("completed").as_u64(), d.offered - 2);
+  EXPECT_EQ(outcomes.at("rejected").as_u64(), 1u);
+  EXPECT_EQ(outcomes.at("deadline_expired").as_u64(), 1u);
+
+  // The invariant, observed over the wire: the rolling window's cumulative
+  // totals equal the service's exactly-once counters, slot by slot.
+  const JsonValue& totals = doc.at("window").at("outcome_totals");
+  ASSERT_EQ(totals.object.size(), outcomes.object.size());
+  for (const auto& [name, v] : totals.object) {
+    EXPECT_EQ(v.as_u64(), outcomes.at(name).as_u64()) << "slot " << name;
+  }
+
+  const JsonValue& slo = doc.at("slo");
+  EXPECT_EQ(slo.at("total").as_u64(), d.offered);
+  // Rejected is a service-side refusal (an error); the expired deadline is
+  // a client-chosen budget (good).
+  EXPECT_EQ(slo.at("errors").as_u64(), 1u);
+}
+
+TEST(TelemetryTest, HealthJsonRoundTripsThroughTheParser) {
+  DrivenService d = drive(ServiceConfig{}, 1);
+  const JsonValue doc = JsonValue::parse(d.svc->health_json());
+  EXPECT_TRUE(doc.has("state"));
+  EXPECT_TRUE(doc.has("components"));
+}
+
+TEST(TelemetryTest, ResponsesCarryDistinctTraceIdsThatTagShardSpans) {
+  DrivenService d = drive(ServiceConfig{});
+  std::set<std::uint64_t> ids;
+  for (const SimResponse& r : d.responses) {
+    EXPECT_NE(r.trace_id, 0u);
+    ids.insert(r.trace_id);
+  }
+  EXPECT_EQ(ids.size(), d.responses.size()) << "trace ids must be distinct";
+
+  // The ids thread through to the span buffer: every batch.shard span of a
+  // completed request carries a "request" arg holding one of them.
+  bool tagged_shard = false;
+  for (const TraceEvent& e : d.svc->metrics().trace_events()) {
+    if (e.name != "batch.shard") continue;
+    for (const auto& [k, v] : e.args) {
+      if (k == "request" && ids.count(v) != 0) tagged_shard = true;
+    }
+  }
+  EXPECT_TRUE(tagged_shard) << "no batch.shard span carried a request id";
+
+  // And the Perfetto export stays parseable, with drop accounting.
+  const JsonValue trace = JsonValue::parse(d.svc->metrics().trace_to_json());
+  EXPECT_TRUE(trace.has("traceEvents"));
+  EXPECT_TRUE(trace.at("metadata").has("trace.dropped"));
+}
+
+TEST(TelemetryTest, DisabledTelemetryLeavesNoTraceOrWindow) {
+  ServiceConfig cfg;
+  cfg.telemetry.enabled = false;
+  DrivenService d = drive(std::move(cfg), 1);
+  for (const SimResponse& r : d.responses) EXPECT_EQ(r.trace_id, 0u);
+  EXPECT_EQ(d.svc->window(), nullptr);
+  // status_json still parses; it simply has no window/slo sections.
+  const JsonValue doc = JsonValue::parse(d.svc->status_json());
+  EXPECT_TRUE(doc.has("outcomes"));
+  EXPECT_FALSE(doc.has("window"));
+}
+
+TEST(TelemetryTest, PrometheusExpositionValidatesAndCoversServiceState) {
+  DrivenService d = drive(ServiceConfig{});
+  const std::string text = d.svc->prometheus_text();
+  std::string why;
+  EXPECT_TRUE(validate_prometheus_text(text, &why)) << why;
+  for (const char* needle :
+       {"udsim_service_queue_depth", "udsim_service_breaker_state",
+        "udsim_window_outcome_total", "udsim_slo_availability",
+        "udsim_service_health_state"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing " << needle;
+  }
+}
+
+TEST(TelemetryTest, PrometheusValidatorRejectsMalformedText) {
+  auto bad = [](std::string_view text) {
+    return !validate_prometheus_text(text);
+  };
+  EXPECT_FALSE(bad("udsim_x 1\n"));
+  EXPECT_FALSE(bad("udsim_x{label=\"a b\"} 1.5 1234\n"));
+  EXPECT_FALSE(bad("udsim_x +Inf\n"));
+  EXPECT_TRUE(bad("9leading_digit 1\n"));
+  EXPECT_TRUE(bad("udsim_x{unbalanced=\"a\" 1\n"));
+  EXPECT_TRUE(bad("udsim_x notanumber\n"));
+  EXPECT_TRUE(bad("udsim_x\n"));
+  EXPECT_TRUE(bad("# TYPE udsim_x nonsense\n"));
+}
+
+TEST(TelemetryTest, PrometheusNameSanitizesTheDottedRegistryNames) {
+  EXPECT_EQ(prometheus_name("service.outcome.completed"),
+            "udsim_service_outcome_completed");
+  EXPECT_EQ(prometheus_name("exec.ops/sec"), "udsim_exec_ops_sec");
+  EXPECT_EQ(prometheus_name("9lives", ""), "_9lives");
+}
+
+TEST(TelemetryTest, EventLogAccountsForEveryResolution) {
+  const std::string path = "telemetry_test_events.jsonl";
+  std::remove(path.c_str());
+  ServiceConfig cfg;
+  cfg.telemetry.event_log_path = path;
+  std::uint64_t offered = 0;
+  std::uint64_t written = 0;
+  {
+    DrivenService d = drive(std::move(cfg));
+    offered = d.offered;
+    JsonlEventLog* log = d.svc->event_log();
+    ASSERT_NE(log, nullptr);
+    EXPECT_TRUE(log->ok());
+    log->flush();
+    written = log->written();
+    EXPECT_EQ(written + log->dropped(), offered);
+    d.svc->shutdown();
+  }
+  // After the writer thread is gone: one parseable line per written event,
+  // each carrying the documented schema.
+  std::uint64_t lines = 0;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[1 << 16];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    ++lines;
+    const JsonValue e = JsonValue::parse(buf);
+    for (const char* key : {"trace_id", "outcome", "engine", "cache",
+                            "latency_ns", "phase_ns"}) {
+      EXPECT_TRUE(e.has(key)) << "line " << lines << " missing " << key;
+    }
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, written);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTest, EventLogOnUnusableSinkDropsAndCountsInsteadOfFailing) {
+  EventLogConfig cfg;
+  cfg.path = "no-such-dir-telemetry-test/sub/events.jsonl";
+  JsonlEventLog log(cfg);
+  EXPECT_FALSE(log.ok());
+  EXPECT_FALSE(log.append("{\"k\":1}"));
+  log.flush();
+  EXPECT_EQ(log.written(), 0u);
+  EXPECT_EQ(log.dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace udsim
